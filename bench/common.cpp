@@ -1,0 +1,156 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::bench {
+
+const char* ordering_name(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kRcp:
+      return "RCP";
+    case OrderingKind::kMpo:
+      return "MPO";
+    case OrderingKind::kDts:
+      return "DTS";
+    case OrderingKind::kDtsMerged:
+      return "DTS+merge";
+  }
+  return "?";
+}
+
+Instance make_cholesky_instance(const num::Workload& workload,
+                                sparse::Index block, int procs) {
+  Instance inst;
+  inst.name = workload.name;
+  inst.num_procs = procs;
+  auto matrix = workload.matrix;
+  inst.cholesky = std::make_shared<num::CholeskyApp>(
+      num::CholeskyApp::build(std::move(matrix), block, procs));
+  inst.graph = &inst.cholesky->mutable_graph();
+  inst.assignment = sched::owner_compute_tasks(*inst.graph, procs);
+  inst.params = machine::MachineParams::cray_t3d(procs);
+  return inst;
+}
+
+Instance make_lu_instance(const num::Workload& workload, sparse::Index block,
+                          int procs) {
+  Instance inst;
+  inst.name = workload.name;
+  inst.num_procs = procs;
+  auto matrix = workload.matrix;
+  inst.lu = std::make_shared<num::LuApp>(
+      num::LuApp::build(std::move(matrix), block, procs));
+  inst.graph = &inst.lu->mutable_graph();
+  inst.assignment = sched::owner_compute_tasks(*inst.graph, procs);
+  inst.params = machine::MachineParams::cray_t3d(procs);
+  return inst;
+}
+
+sched::Schedule make_schedule(const Instance& instance, OrderingKind kind,
+                              std::optional<std::int64_t> volatile_budget) {
+  switch (kind) {
+    case OrderingKind::kRcp:
+      return sched::schedule_rcp(*instance.graph, instance.assignment,
+                                 instance.num_procs, instance.params);
+    case OrderingKind::kMpo:
+      return sched::schedule_mpo(*instance.graph, instance.assignment,
+                                 instance.num_procs, instance.params);
+    case OrderingKind::kDts:
+      return sched::schedule_dts(*instance.graph, instance.assignment,
+                                 instance.num_procs, instance.params);
+    case OrderingKind::kDtsMerged:
+      RAPID_CHECK(volatile_budget.has_value(),
+                  "DTS+merge needs a volatile budget");
+      return sched::schedule_dts(*instance.graph, instance.assignment,
+                                 instance.num_procs, instance.params,
+                                 volatile_budget);
+  }
+  RAPID_FAIL("unreachable");
+}
+
+SimResult run_sim(const Instance& instance, const sched::Schedule& schedule,
+                  std::int64_t capacity, bool active_memory) {
+  const rt::RunPlan plan = rt::build_run_plan(*instance.graph, schedule);
+  rt::RunConfig config;
+  config.params = instance.params;
+  config.capacity_per_proc = capacity;
+  config.active_memory = active_memory;
+  const rt::RunReport report = rt::simulate(plan, config);
+  SimResult out;
+  out.executable = report.executable;
+  out.parallel_time_us = report.parallel_time_us;
+  out.avg_maps = report.avg_maps();
+  out.peak_bytes = report.peak_bytes();
+  return out;
+}
+
+SimResult run_baseline(const Instance& instance,
+                       const sched::Schedule& schedule) {
+  return run_sim(instance, schedule, tot_mem(instance, schedule),
+                 /*active_memory=*/false);
+}
+
+std::int64_t tot_mem(const Instance& instance,
+                     const sched::Schedule& schedule) {
+  return sched::analyze_liveness(*instance.graph, schedule).tot_mem();
+}
+
+std::int64_t min_mem(const Instance& instance,
+                     const sched::Schedule& schedule) {
+  return sched::analyze_liveness(*instance.graph, schedule).min_mem();
+}
+
+std::int64_t max_permanent_bytes(const Instance& instance,
+                                 const sched::Schedule& schedule) {
+  const auto liveness = sched::analyze_liveness(*instance.graph, schedule);
+  std::int64_t worst = 0;
+  for (const auto& p : liveness.procs) {
+    worst = std::max(worst, p.permanent_bytes);
+  }
+  return worst;
+}
+
+std::string pt_increase_cell(const SimResult& base, const SimResult& run) {
+  if (!run.executable) return "inf";
+  const double ratio = run.parallel_time_us / base.parallel_time_us - 1.0;
+  return fixed(ratio * 100.0, 1) + "%";
+}
+
+std::string maps_cell(const SimResult& run) {
+  if (!run.executable) return "inf";
+  return fixed(run.avg_maps, 2);
+}
+
+std::string compare_cell(const SimResult& a, const SimResult& b) {
+  if (!a.executable && !b.executable) return "-";
+  if (!a.executable) return "*";
+  if (!b.executable) return "(A only)";
+  const double ratio = b.parallel_time_us / a.parallel_time_us - 1.0;
+  return fixed(ratio * 100.0, 1) + "%";
+}
+
+bool parse_common_flags(Flags& flags, int argc, const char* const* argv) {
+  flags.define("scale", "1.0",
+               "linear workload scale in (0,1]; 1.0 reproduces the paper's "
+               "problem sizes (slower)");
+  flags.define("block", "24", "block size for the 2-D/1-D partitions");
+  flags.define("procs", "2,4,8,16,32", "processor counts to sweep");
+  flags.parse(argc, argv);
+  return flags.help_requested();
+}
+
+void print_header(const std::string& artifact, const std::string& workload,
+                  const std::string& notes) {
+  std::printf("== %s ==\n", artifact.c_str());
+  std::printf("workload: %s\n", workload.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("\n");
+}
+
+}  // namespace rapid::bench

@@ -1,0 +1,92 @@
+// google-benchmark micro suite for the dense block kernels (the task bodies
+// of the factorization workloads) — establishes the per-task cost scale the
+// machine model's flop rate abstracts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rapid/num/kernels.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace {
+
+using namespace rapid;
+
+std::vector<double> random_spd(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.next_double(-1.0, 1.0);
+  // A := (A + A^T)/2 + n·I keeps it SPD without an O(n^3) product.
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < j; ++i) {
+      const double avg = 0.5 * (a[j * n + i] + a[i * n + j]);
+      a[j * n + i] = a[i * n + j] = avg;
+    }
+    a[j * n + j] = static_cast<double>(n) + 1.0;
+  }
+  return a;
+}
+
+void BM_Potrf(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto base = random_spd(b, 42);
+  for (auto _ : state) {
+    auto a = base;
+    num::potrf_lower(a.data(), b, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = num::flops_potrf(b);
+}
+BENCHMARK(BM_Potrf)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TrsmRightLowerTranspose(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  auto l = random_spd(b, 43);
+  num::potrf_lower(l.data(), b, b);
+  Rng rng(44);
+  std::vector<double> panel(static_cast<std::size_t>(b * b));
+  for (auto& v : panel) v = rng.next_double(-1.0, 1.0);
+  for (auto _ : state) {
+    auto x = panel;
+    num::trsm_right_lower_transpose(l.data(), b, x.data(), b, b, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["flops"] = num::flops_trsm(b, b);
+}
+BENCHMARK(BM_TrsmRightLowerTranspose)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GemmMinusAbt(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  Rng rng(45);
+  std::vector<double> a(static_cast<std::size_t>(b * b));
+  std::vector<double> bb(static_cast<std::size_t>(b * b));
+  std::vector<double> c(static_cast<std::size_t>(b * b));
+  for (auto& v : a) v = rng.next_double(-1.0, 1.0);
+  for (auto& v : bb) v = rng.next_double(-1.0, 1.0);
+  for (auto _ : state) {
+    num::gemm_minus_abt(a.data(), b, bb.data(), b, c.data(), b, b, b, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = num::flops_gemm(b, b, b);
+}
+BENCHMARK(BM_GemmMinusAbt)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GetrfPanel(benchmark::State& state) {
+  const std::int64_t m = state.range(0);
+  const std::int64_t w = 16;
+  Rng rng(46);
+  std::vector<double> base(static_cast<std::size_t>(m * w));
+  for (auto& v : base) v = rng.next_double(-1.0, 1.0);
+  for (std::int64_t j = 0; j < w; ++j) base[j * m + j] += 4.0;
+  std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
+  for (auto _ : state) {
+    auto a = base;
+    num::getrf_panel(a.data(), m, m, w, piv.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["flops"] = num::flops_getrf_panel(m, w);
+}
+BENCHMARK(BM_GetrfPanel)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Table 4: parallel-time comparison RCP vs MPO under memory constraints
+// (75/50/40/25 % of TOT). Cell = PT_MPO / PT_RCP − 1; "*" = only MPO
+// executable; "-" = neither executable.
+//
+// Paper's finding: the difference is negligible (±10 %) and MPO sometimes
+// wins outright, while being far more memory scalable — plus MPO runs in
+// cells where RCP cannot.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rapid/support/str.hpp"
+
+using namespace rapid;
+
+namespace {
+
+void run_panel(const char* title, bool lu, double scale, sparse::Index block,
+               const std::vector<std::int64_t>& procs) {
+  std::printf("--- %s (RCP vs MPO) ---\n", title);
+  TextTable table({"p", "75%", "50%", "40%", "25%"});
+  const double fractions[] = {0.75, 0.5, 0.4, 0.25};
+  for (const auto p : procs) {
+    const num::Workload workload =
+        lu ? num::goodwin_like(scale) : num::bcsstk24_like(scale);
+    const bench::Instance inst =
+        lu ? bench::make_lu_instance(workload, block, static_cast<int>(p))
+           : bench::make_cholesky_instance(workload, block,
+                                           static_cast<int>(p));
+    const auto rcp = bench::make_schedule(inst, bench::OrderingKind::kRcp);
+    const auto mpo = bench::make_schedule(inst, bench::OrderingKind::kMpo);
+    // The paper's constraint base is TOT of the time-efficient schedule.
+    const auto tot = bench::tot_mem(inst, rcp);
+    std::vector<std::string> row = {std::to_string(p)};
+    for (const double f : fractions) {
+      const auto capacity =
+          static_cast<std::int64_t>(static_cast<double>(tot) * f);
+      const bench::SimResult a = bench::run_sim(inst, rcp, capacity);
+      const bench::SimResult b = bench::run_sim(inst, mpo, capacity);
+      row.push_back(bench::compare_cell(a, b));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (bench::parse_common_flags(flags, argc, argv)) return 0;
+  const double scale = flags.get_double("scale");
+  const auto block = static_cast<sparse::Index>(flags.get_int("block"));
+  const auto procs = flags.get_int_list("procs");
+
+  bench::print_header(
+      "Table 4: RCP vs MPO parallel time under memory constraints",
+      "(a) " + num::bcsstk24_like(scale).name + "   (b) " +
+          num::goodwin_like(scale).name,
+      "cell = PT_MPO/PT_RCP - 1;  '*' = MPO executable where RCP is not; "
+      "'-' = neither");
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs);
+  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs);
+  std::printf(
+      "expected shape: small differences either way; MPO executable in "
+      "strictly more cells\n(fewer MAPs + better temporal locality offset "
+      "its weaker critical-path use).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 6: parallel-time comparison MPO vs DTS (no slice merging) under
+// memory constraints. Cell = PT_DTS / PT_MPO − 1; "*" = only DTS runs.
+//
+// Paper's finding: MPO outperforms DTS substantially, increasingly with p
+// (up to ~115 % for LU on 32 processors), but DTS executes in cells where
+// MPO cannot (e.g. LU at 25 % on 16 processors).
+#include <cstdio>
+
+#include "common.hpp"
+#include "rapid/support/str.hpp"
+
+using namespace rapid;
+
+namespace {
+
+void run_panel(const char* title, bool lu, double scale, sparse::Index block,
+               const std::vector<std::int64_t>& procs) {
+  std::printf("--- %s (MPO vs DTS) ---\n", title);
+  TextTable table({"p", "75%", "50%", "40%", "25%"});
+  const double fractions[] = {0.75, 0.5, 0.4, 0.25};
+  for (const auto p : procs) {
+    const num::Workload workload =
+        lu ? num::goodwin_like(scale) : num::bcsstk24_like(scale);
+    const bench::Instance inst =
+        lu ? bench::make_lu_instance(workload, block, static_cast<int>(p))
+           : bench::make_cholesky_instance(workload, block,
+                                           static_cast<int>(p));
+    const auto mpo = bench::make_schedule(inst, bench::OrderingKind::kMpo);
+    const auto dts = bench::make_schedule(inst, bench::OrderingKind::kDts);
+    const auto tot =
+        bench::tot_mem(inst, bench::make_schedule(inst,
+                                                  bench::OrderingKind::kRcp));
+    std::vector<std::string> row = {std::to_string(p)};
+    for (const double f : fractions) {
+      const auto capacity =
+          static_cast<std::int64_t>(static_cast<double>(tot) * f);
+      const bench::SimResult a = bench::run_sim(inst, mpo, capacity);
+      const bench::SimResult b = bench::run_sim(inst, dts, capacity);
+      row.push_back(bench::compare_cell(a, b));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (bench::parse_common_flags(flags, argc, argv)) return 0;
+  const double scale = flags.get_double("scale");
+  const auto block = static_cast<sparse::Index>(flags.get_int("block"));
+  const auto procs = flags.get_int_list("procs");
+
+  bench::print_header(
+      "Table 6: MPO vs DTS parallel time under memory constraints",
+      "(a) " + num::bcsstk24_like(scale).name + "   (b) " +
+          num::goodwin_like(scale).name,
+      "cell = PT_DTS/PT_MPO - 1;  '*' = DTS executable where MPO is not; "
+      "'-' = neither");
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs);
+  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs);
+  std::printf(
+      "expected shape: DTS slower (positive cells), gap growing with p; DTS "
+      "still\nexecutable at the tightest memory where MPO fails.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Memory-pressure study on one instance: sweep the per-processor capacity
+// from TOT down past MIN_MEM and watch the paper's §5.1 trade-off appear —
+// more MAPs, more suspended sends, more time — until the schedule becomes
+// non-executable. Compares all three orderings at each capacity.
+//
+// Run:  ./memory_pressure [--scale 0.25] [--block 12] [--procs 8]
+#include <cstdio>
+
+#include "rapid/num/cholesky_app.hpp"
+#include "rapid/num/workloads.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/flags.hpp"
+#include "rapid/support/str.hpp"
+#include "rapid/support/table.hpp"
+
+using namespace rapid;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("scale", "0.25", "workload scale in (0,1]");
+  flags.define("block", "12", "square block size");
+  flags.define("procs", "8", "number of simulated processors");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) return 0;
+  const double scale = flags.get_double("scale");
+  const auto block = static_cast<sparse::Index>(flags.get_int("block"));
+  const int procs = static_cast<int>(flags.get_int("procs"));
+
+  const num::Workload workload = num::bcsstk24_like(scale);
+  std::printf("== memory pressure sweep: %s, p = %d ==\n\n",
+              workload.name.c_str(), procs);
+  auto matrix = workload.matrix;
+  auto app = num::CholeskyApp::build(std::move(matrix), block, procs);
+  const auto params = machine::MachineParams::cray_t3d(procs);
+  const auto assignment = sched::owner_compute_tasks(app.graph(), procs);
+
+  struct Entry {
+    const char* name;
+    sched::Schedule schedule;
+    rt::RunPlan plan;
+    std::int64_t min_mem;
+    double base_time;
+  };
+  std::vector<Entry> entries;
+  auto add = [&](const char* name, sched::Schedule s) {
+    auto plan = rt::build_run_plan(app.graph(), s);
+    const auto liveness = sched::analyze_liveness(app.graph(), s);
+    rt::RunConfig base;
+    base.params = params;
+    base.capacity_per_proc = liveness.tot_mem();
+    base.active_memory = false;
+    const double base_time = rt::simulate(plan, base).parallel_time_us;
+    entries.push_back(Entry{name, std::move(s), std::move(plan),
+                            liveness.min_mem(), base_time});
+  };
+  add("RCP", sched::schedule_rcp(app.graph(), assignment, procs, params));
+  add("MPO", sched::schedule_mpo(app.graph(), assignment, procs, params));
+  add("DTS", sched::schedule_dts(app.graph(), assignment, procs, params));
+
+  const auto tot = sched::analyze_liveness(app.graph(), entries[0].schedule)
+                       .tot_mem();
+  std::printf("TOT(RCP) = %s;  MIN_MEM: RCP %s, MPO %s, DTS %s\n\n",
+              human_bytes(static_cast<double>(tot)).c_str(),
+              human_bytes(static_cast<double>(entries[0].min_mem)).c_str(),
+              human_bytes(static_cast<double>(entries[1].min_mem)).c_str(),
+              human_bytes(static_cast<double>(entries[2].min_mem)).c_str());
+
+  TextTable table({"capacity", "% of TOT", "RCP PT+ / #MAP", "MPO PT+ / #MAP",
+                   "DTS PT+ / #MAP"});
+  for (double frac : {1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15}) {
+    const auto capacity =
+        static_cast<std::int64_t>(static_cast<double>(tot) * frac);
+    std::vector<std::string> row = {
+        human_bytes(static_cast<double>(capacity)),
+        fixed(frac * 100.0, 0) + "%"};
+    for (const Entry& e : entries) {
+      rt::RunConfig config;
+      config.params = params;
+      config.capacity_per_proc = capacity;
+      const rt::RunReport r = rt::simulate(e.plan, config);
+      if (!r.executable) {
+        row.push_back("inf");
+      } else {
+        row.push_back(
+            fixed((r.parallel_time_us / e.base_time - 1.0) * 100.0, 1) +
+            "% / " + fixed(r.avg_maps(), 2));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nPT+ = parallel-time increase over that ordering's no-management "
+      "baseline;\n'inf' = non-executable at that capacity (Def. 6). The "
+      "memory-aware orderings\n(MPO/DTS) survive deeper cuts than RCP.\n");
+  return 0;
+}

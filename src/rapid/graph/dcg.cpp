@@ -1,0 +1,178 @@
+#include "rapid/graph/dcg.hpp"
+
+#include <algorithm>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::graph {
+
+Dcg build_dcg(const TaskGraph& graph) {
+  RAPID_CHECK(graph.finalized(), "graph must be finalized");
+  Dcg dcg;
+  dcg.task_assoc.resize(static_cast<std::size_t>(graph.num_tasks()));
+  dcg.succ.resize(static_cast<std::size_t>(graph.num_data()));
+
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const Task& task = graph.task(t);
+    auto& assoc = dcg.task_assoc[t];
+    for (DataId d : task.reads) {
+      const bool modifies =
+          std::binary_search(task.writes.begin(), task.writes.end(), d);
+      if (!modifies) assoc.push_back(d);
+    }
+    if (assoc.empty()) {
+      // Every read is also a write here. Single write: the paper's "only
+      // modifies d_i and uses no other objects" rule. Multiple writes: the
+      // extension from the header (associate with all written objects).
+      assoc = task.writes;
+    }
+    RAPID_CHECK(!assoc.empty(), "task with no data association");
+    std::sort(assoc.begin(), assoc.end());
+    assoc.erase(std::unique(assoc.begin(), assoc.end()), assoc.end());
+    // Multi-association: strongly connect the associated nodes.
+    for (std::size_t a = 0; a + 1 < assoc.size(); ++a) {
+      for (std::size_t b = a + 1; b < assoc.size(); ++b) {
+        dcg.succ[assoc[a]].push_back(assoc[b]);
+        dcg.succ[assoc[b]].push_back(assoc[a]);
+      }
+    }
+  }
+
+  // Temporal edges from transformed-graph dependences.
+  for (const Edge& e : graph.edges()) {
+    if (e.redundant) continue;
+    for (DataId di : dcg.task_assoc[e.src]) {
+      for (DataId dj : dcg.task_assoc[e.dst]) {
+        if (di != dj) dcg.succ[di].push_back(dj);
+      }
+    }
+  }
+  for (auto& list : dcg.succ) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return dcg;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC. Returns comp[node] with components numbered in
+/// *reverse* topological order of the condensation (standard Tarjan
+/// property: a component is numbered when popped, after its successors).
+struct TarjanResult {
+  std::vector<std::int32_t> comp;
+  std::int32_t num_components = 0;
+};
+
+TarjanResult tarjan_scc(const std::vector<std::vector<DataId>>& succ) {
+  const auto n = static_cast<DataId>(succ.size());
+  TarjanResult res;
+  res.comp.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<DataId> stack;
+  std::int32_t next_index = 0;
+
+  struct Frame {
+    DataId node;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> dfs;
+
+  for (DataId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    dfs.push_back(Frame{root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const DataId u = frame.node;
+      if (frame.child < succ[u].size()) {
+        const DataId v = succ[u][frame.child++];
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back(Frame{v});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // All children explored.
+      if (lowlink[u] == index[u]) {
+        while (true) {
+          const DataId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          res.comp[w] = res.num_components;
+          if (w == u) break;
+        }
+        ++res.num_components;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] =
+            std::min(lowlink[dfs.back().node], lowlink[u]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+SliceDecomposition decompose_slices(const TaskGraph& graph, const Dcg& dcg) {
+  const TarjanResult scc = tarjan_scc(dcg.succ);
+  // Tarjan numbers components in reverse topological order; flip it.
+  auto topo_of_comp = [&](std::int32_t c) {
+    return scc.num_components - 1 - c;
+  };
+
+  std::vector<Slice> all(static_cast<std::size_t>(scc.num_components));
+  for (DataId d = 0; d < dcg.num_nodes(); ++d) {
+    all[topo_of_comp(scc.comp[d])].objects.push_back(d);
+  }
+  std::vector<std::int32_t> raw_slice_of_task(
+      static_cast<std::size_t>(graph.num_tasks()), -1);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    // All of a task's associated nodes share one SCC (multi-association
+    // strongly connects them), so any of them determines the slice.
+    const DataId d0 = dcg.task_assoc[t].front();
+    const std::int32_t s = topo_of_comp(scc.comp[d0]);
+    for (DataId d : dcg.task_assoc[t]) {
+      RAPID_CHECK(topo_of_comp(scc.comp[d]) == s,
+                  "task associated with nodes in different SCCs");
+    }
+    raw_slice_of_task[t] = s;
+    all[s].tasks.push_back(t);
+  }
+
+  // Drop task-less slices and renumber.
+  SliceDecomposition out;
+  std::vector<std::int32_t> renumber(all.size(), -1);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    if (all[s].tasks.empty()) continue;
+    renumber[s] = static_cast<std::int32_t>(out.slices.size());
+    out.slices.push_back(std::move(all[s]));
+  }
+  out.slice_of_task.resize(static_cast<std::size_t>(graph.num_tasks()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    out.slice_of_task[t] = renumber[raw_slice_of_task[t]];
+    RAPID_CHECK(out.slice_of_task[t] >= 0, "task lost its slice");
+  }
+  return out;
+}
+
+SliceDecomposition compute_slices(const TaskGraph& graph) {
+  return decompose_slices(graph, build_dcg(graph));
+}
+
+bool dcg_is_acyclic(const Dcg& dcg) {
+  const TarjanResult scc = tarjan_scc(dcg.succ);
+  return scc.num_components == dcg.num_nodes();
+}
+
+}  // namespace rapid::graph

@@ -1,0 +1,65 @@
+// Data connection graph (paper §4.2): nodes are data objects, edges the
+// temporal order of data accesses. Strongly connected components of the DCG
+// become "slices"; a topological order of the component DAG is the slice
+// order that the DTS scheduler enforces.
+//
+// Association rules (verbatim from the paper, extended where ambiguous):
+//  - A task that uses but does not modify d is associated with d.
+//  - A task that only modifies d and uses no other object is associated
+//    with d (a read-modify-write of d alone counts).
+//  - Extension: a task that modifies several objects and reads none is
+//    associated with all of them (the paper leaves this case open); the
+//    multi-association rule below then fuses those nodes, which is the
+//    conservative choice.
+//  - A task associated with multiple data nodes strongly connects them
+//    (doubly-directed edges).
+//  - A transformed-graph edge (Tx, Ty) adds DCG edges from every node
+//    associated with Tx to every node associated with Ty.
+#pragma once
+
+#include <vector>
+
+#include "rapid/graph/task_graph.hpp"
+
+namespace rapid::graph {
+
+struct Dcg {
+  /// assoc[t] = data nodes task t is associated with (≥1 for any task that
+  /// accesses data, which add_task guarantees).
+  std::vector<std::vector<DataId>> task_assoc;
+  /// Adjacency over data nodes (deduplicated, no self loops).
+  std::vector<std::vector<DataId>> succ;
+
+  DataId num_nodes() const { return static_cast<DataId>(succ.size()); }
+};
+
+Dcg build_dcg(const TaskGraph& graph);
+
+/// One DTS slice: a strongly connected component of the DCG plus the tasks
+/// associated with its data nodes.
+struct Slice {
+  std::vector<DataId> objects;
+  std::vector<TaskId> tasks;
+};
+
+struct SliceDecomposition {
+  /// Slices in a valid topological order of the component DAG. Slices with
+  /// no associated tasks are dropped (their objects are never read).
+  std::vector<Slice> slices;
+  /// slice_of_task[t] = index into slices (every task appears exactly once).
+  std::vector<std::int32_t> slice_of_task;
+
+  std::size_t num_slices() const { return slices.size(); }
+};
+
+/// Tarjan SCC + condensation topological order.
+SliceDecomposition decompose_slices(const TaskGraph& graph, const Dcg& dcg);
+
+/// Convenience: build_dcg + decompose_slices.
+SliceDecomposition compute_slices(const TaskGraph& graph);
+
+/// True if the DCG itself is acyclic (every SCC is a single node) — the
+/// hypothesis of Corollary 1.
+bool dcg_is_acyclic(const Dcg& dcg);
+
+}  // namespace rapid::graph

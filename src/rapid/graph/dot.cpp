@@ -1,0 +1,70 @@
+#include "rapid/graph/dot.hpp"
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::graph {
+
+namespace {
+
+/// Escapes a label for a quoted Graphviz string.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+  RAPID_CHECK(graph.finalized(), "graph must be finalized");
+  RAPID_CHECK(options.proc_of_task.empty() ||
+                  static_cast<TaskId>(options.proc_of_task.size()) ==
+                      graph.num_tasks(),
+              "proc_of_task size mismatch");
+  std::string out = "digraph task_graph {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  if (options.proc_of_task.empty()) {
+    for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+      out += cat("  t", t, " [label=\"", escape(graph.task(t).name), "\"];\n");
+    }
+  } else {
+    ProcId max_proc = 0;
+    for (ProcId p : options.proc_of_task) max_proc = std::max(max_proc, p);
+    for (ProcId p = 0; p <= max_proc; ++p) {
+      out += cat("  subgraph cluster_p", p, " {\n    label=\"P", p,
+                 "\";\n    style=rounded;\n");
+      for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+        if (options.proc_of_task[t] != p) continue;
+        out += cat("    t", t, " [label=\"", escape(graph.task(t).name),
+                   "\"];\n");
+      }
+      out += "  }\n";
+    }
+  }
+
+  for (const Edge& e : graph.edges()) {
+    if (e.redundant && !options.show_redundant) continue;
+    std::string attrs;
+    if (e.redundant) {
+      attrs = "style=dotted, color=gray";
+    } else if (e.kind != DepKind::kTrue) {
+      attrs = "style=dashed";
+    }
+    if (options.label_objects && e.object != kInvalidData) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += cat("label=\"", escape(graph.data(e.object).name), "\"");
+    }
+    out += cat("  t", e.src, " -> t", e.dst);
+    if (!attrs.empty()) out += cat(" [", attrs, "]");
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rapid::graph

@@ -1,0 +1,26 @@
+// Graphviz export of task graphs and schedules, for debugging and docs:
+// tasks as nodes (clustered per processor when a schedule is given), true
+// dependences as solid edges, kept anti/output synchronization edges as
+// dashed, subsumed edges omitted.
+#pragma once
+
+#include <string>
+
+#include "rapid/graph/task_graph.hpp"
+
+namespace rapid::graph {
+
+struct DotOptions {
+  /// Processor of each task; tasks are grouped into per-processor clusters
+  /// when non-empty.
+  std::vector<ProcId> proc_of_task;
+  /// Include edge labels naming the carried data object.
+  bool label_objects = true;
+  /// Include subsumed (redundant) edges, dotted gray.
+  bool show_redundant = false;
+};
+
+/// Renders the transformed dependence graph as a Graphviz digraph.
+std::string to_dot(const TaskGraph& graph, const DotOptions& options = {});
+
+}  // namespace rapid::graph

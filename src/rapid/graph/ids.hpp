@@ -1,0 +1,16 @@
+// Shared identifier types for the task parallelism model.
+#pragma once
+
+#include <cstdint>
+
+namespace rapid::graph {
+
+using TaskId = std::int32_t;
+using DataId = std::int32_t;
+using ProcId = std::int32_t;
+
+inline constexpr TaskId kInvalidTask = -1;
+inline constexpr DataId kInvalidData = -1;
+inline constexpr ProcId kInvalidProc = -1;
+
+}  // namespace rapid::graph

@@ -1,0 +1,371 @@
+#include "rapid/graph/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::graph {
+
+const char* dep_kind_name(DepKind kind) {
+  switch (kind) {
+    case DepKind::kTrue:
+      return "true";
+    case DepKind::kAnti:
+      return "anti";
+    case DepKind::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+std::vector<DataId> Task::accesses() const {
+  std::vector<DataId> all = reads;
+  all.insert(all.end(), writes.begin(), writes.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+DataId TaskGraph::add_data(std::string name, std::int64_t size_bytes,
+                           ProcId owner) {
+  RAPID_CHECK(!finalized_, "graph is finalized");
+  RAPID_CHECK(size_bytes >= 0, "negative object size");
+  data_.push_back(DataObject{std::move(name), size_bytes, owner});
+  return static_cast<DataId>(data_.size() - 1);
+}
+
+TaskId TaskGraph::add_task(std::string name, std::vector<DataId> reads,
+                           std::vector<DataId> writes, double flops,
+                           std::int32_t commute_group) {
+  RAPID_CHECK(!finalized_, "graph is finalized");
+  RAPID_CHECK(flops >= 0.0, "negative flops");
+  auto dedupe = [this](std::vector<DataId>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    for (DataId d : ids) {
+      RAPID_CHECK(d >= 0 && d < num_data(), cat("unknown data id ", d));
+    }
+  };
+  dedupe(reads);
+  dedupe(writes);
+  RAPID_CHECK(!reads.empty() || !writes.empty(),
+              "task must access at least one object");
+  tasks_.push_back(Task{std::move(name), std::move(reads), std::move(writes),
+                        flops, commute_group});
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::set_owner(DataId d, ProcId owner) {
+  RAPID_CHECK(d >= 0 && d < num_data(), "unknown data id");
+  data_[d].owner = owner;
+}
+
+const Task& TaskGraph::task(TaskId t) const {
+  RAPID_CHECK(t >= 0 && t < num_tasks(), cat("unknown task id ", t));
+  return tasks_[t];
+}
+
+const DataObject& TaskGraph::data(DataId d) const {
+  RAPID_CHECK(d >= 0 && d < num_data(), cat("unknown data id ", d));
+  return data_[d];
+}
+
+void TaskGraph::finalize() {
+  RAPID_CHECK(!finalized_, "finalize() called twice");
+  derive_edges();
+  mark_redundant_edges();
+  build_adjacency();
+  finalized_ = true;
+}
+
+namespace {
+
+/// Per-object inspector state (see header comment for the commuting-epoch
+/// semantics).
+struct ObjState {
+  std::vector<TaskId> writers;       // current write epoch
+  std::vector<TaskId> prev_writers;  // epoch before current
+  std::int32_t group = -2;           // commute group of current epoch
+  std::vector<TaskId> readers;       // readers since current epoch began
+  // Readers of the previous epoch: a writer that *joins* the current epoch
+  // must also be ordered after them (its commuting peers got those anti
+  // edges when the epoch began; without this the joiner and a prior reader
+  // would be unordered and the reader could observe a half-updated value).
+  std::vector<TaskId> prev_readers;
+};
+
+}  // namespace
+
+void TaskGraph::derive_edges() {
+  std::vector<ObjState> state(data_.size());
+  writers_.assign(data_.size(), {});
+  readers_.assign(data_.size(), {});
+
+  auto add_edge = [this](TaskId src, TaskId dst, DataId obj, DepKind kind) {
+    if (src == dst) return;
+    edges_.push_back(Edge{src, dst, obj, kind, false});
+  };
+
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    const Task& task = tasks_[t];
+    std::unordered_set<DataId> write_set(task.writes.begin(),
+                                         task.writes.end());
+    // Pure reads first.
+    for (DataId d : task.reads) {
+      readers_[d].push_back(t);
+      if (write_set.count(d)) continue;  // handled with the write below
+      ObjState& s = state[d];
+      for (TaskId w : s.writers) add_edge(w, t, d, DepKind::kTrue);
+      s.readers.push_back(t);
+    }
+    // Writes (including read-modify-writes).
+    for (DataId d : task.writes) {
+      ObjState& s = state[d];
+      writers_[d].push_back(t);
+      const bool rmw =
+          std::binary_search(task.reads.begin(), task.reads.end(), d);
+      const bool joins_commute_epoch = task.commute_group >= 0 &&
+                                       s.group == task.commute_group &&
+                                       !s.writers.empty();
+      if (joins_commute_epoch) {
+        // Mutually unordered with the epoch's other writers; ordered after
+        // the previous epoch, after the previous epoch's readers, and after
+        // any external readers of this epoch.
+        for (TaskId w : s.prev_writers) {
+          add_edge(w, t, d, rmw ? DepKind::kTrue : DepKind::kOutput);
+        }
+        for (TaskId r : s.prev_readers) add_edge(r, t, d, DepKind::kAnti);
+        for (TaskId r : s.readers) add_edge(r, t, d, DepKind::kAnti);
+        s.writers.push_back(t);
+        continue;
+      }
+      // New epoch: ordered after current writers and readers.
+      for (TaskId w : s.writers) {
+        add_edge(w, t, d, rmw ? DepKind::kTrue : DepKind::kOutput);
+      }
+      for (TaskId r : s.readers) add_edge(r, t, d, DepKind::kAnti);
+      s.prev_writers = std::move(s.writers);
+      s.writers = {t};
+      s.group = task.commute_group >= 0 ? task.commute_group : -1;
+      s.prev_readers = std::move(s.readers);
+      s.readers.clear();
+    }
+  }
+
+  // Deduplicate exact duplicates (same endpoints, object and kind).
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst, a.object, a.kind) <
+           std::tie(b.src, b.dst, b.object, b.kind);
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst &&
+                                    a.object == b.object && a.kind == b.kind;
+                           }),
+               edges_.end());
+}
+
+void TaskGraph::mark_redundant_edges() {
+  // An anti/output edge (u, v) is redundant if v is reachable from u through
+  // true edges (possibly interleaved with already-required sync edges — we
+  // conservatively use true edges only, which can only under-mark).
+  std::vector<std::vector<TaskId>> true_succ(tasks_.size());
+  std::int64_t n_true = 0, n_sync = 0;
+  for (const Edge& e : edges_) {
+    if (e.kind == DepKind::kTrue) {
+      true_succ[e.src].push_back(e.dst);
+      ++n_true;
+    } else {
+      ++n_sync;
+    }
+  }
+  if (n_sync == 0) return;
+  if (n_sync * std::max<std::int64_t>(n_true, 1) > kRedundancyWorkCap) {
+    // Too expensive; keep all sync edges (correct, possibly more messages).
+    return;
+  }
+  // Topological levels over true edges bound the search.
+  std::vector<std::int32_t> level(tasks_.size(), 0);
+  {
+    std::vector<std::int32_t> indeg(tasks_.size(), 0);
+    for (TaskId u = 0; u < num_tasks(); ++u) {
+      for (TaskId v : true_succ[u]) ++indeg[v];
+    }
+    std::deque<TaskId> queue;
+    for (TaskId t = 0; t < num_tasks(); ++t) {
+      if (indeg[t] == 0) queue.push_back(t);
+    }
+    while (!queue.empty()) {
+      const TaskId u = queue.front();
+      queue.pop_front();
+      for (TaskId v : true_succ[u]) {
+        level[v] = std::max(level[v], level[u] + 1);
+        if (--indeg[v] == 0) queue.push_back(v);
+      }
+    }
+  }
+  std::vector<std::int32_t> visited(tasks_.size(), -1);
+  std::vector<TaskId> stack;
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    Edge& e = edges_[ei];
+    if (e.kind == DepKind::kTrue) continue;
+    if (level[e.src] >= level[e.dst]) continue;  // no true path possible
+    // DFS from src along true edges, pruned by level.
+    const auto stamp = static_cast<std::int32_t>(ei);
+    stack.assign(1, e.src);
+    visited[e.src] = stamp;
+    bool reachable = false;
+    while (!stack.empty() && !reachable) {
+      const TaskId u = stack.back();
+      stack.pop_back();
+      for (TaskId v : true_succ[u]) {
+        if (v == e.dst) {
+          reachable = true;
+          break;
+        }
+        if (visited[v] != stamp && level[v] < level[e.dst]) {
+          visited[v] = stamp;
+          stack.push_back(v);
+        }
+      }
+    }
+    e.redundant = reachable;
+  }
+}
+
+void TaskGraph::build_adjacency() {
+  const auto n = tasks_.size();
+  out_ptr_.assign(n + 1, 0);
+  in_ptr_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    if (e.redundant) continue;
+    ++out_ptr_[static_cast<std::size_t>(e.src) + 1];
+    ++in_ptr_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out_ptr_[i + 1] += out_ptr_[i];
+    in_ptr_[i + 1] += in_ptr_[i];
+  }
+  out_idx_.resize(static_cast<std::size_t>(out_ptr_[n]));
+  in_idx_.resize(static_cast<std::size_t>(in_ptr_[n]));
+  std::vector<std::int32_t> out_next(out_ptr_.begin(), out_ptr_.end() - 1);
+  std::vector<std::int32_t> in_next(in_ptr_.begin(), in_ptr_.end() - 1);
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    const Edge& e = edges_[ei];
+    if (e.redundant) continue;
+    out_idx_[out_next[e.src]++] = static_cast<std::int32_t>(ei);
+    in_idx_[in_next[e.dst]++] = static_cast<std::int32_t>(ei);
+  }
+}
+
+std::span<const std::int32_t> TaskGraph::out_edges(TaskId t) const {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  RAPID_CHECK(t >= 0 && t < num_tasks(), "unknown task id");
+  return {out_idx_.data() + out_ptr_[t],
+          static_cast<std::size_t>(out_ptr_[t + 1] - out_ptr_[t])};
+}
+
+std::span<const std::int32_t> TaskGraph::in_edges(TaskId t) const {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  RAPID_CHECK(t >= 0 && t < num_tasks(), "unknown task id");
+  return {in_idx_.data() + in_ptr_[t],
+          static_cast<std::size_t>(in_ptr_[t + 1] - in_ptr_[t])};
+}
+
+std::span<const TaskId> TaskGraph::writers(DataId d) const {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  RAPID_CHECK(d >= 0 && d < num_data(), "unknown data id");
+  return {writers_[d].data(), writers_[d].size()};
+}
+
+std::span<const TaskId> TaskGraph::readers(DataId d) const {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  RAPID_CHECK(d >= 0 && d < num_data(), "unknown data id");
+  return {readers_[d].data(), readers_[d].size()};
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  std::vector<std::int32_t> indeg(tasks_.size(), 0);
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    indeg[t] = static_cast<std::int32_t>(in_edges(t).size());
+  }
+  std::deque<TaskId> queue;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (indeg[t] == 0) queue.push_back(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!queue.empty()) {
+    const TaskId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (std::int32_t ei : out_edges(u)) {
+      const TaskId v = edges_[ei].dst;
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  RAPID_CHECK(order.size() == tasks_.size(),
+              "transformed dependence graph contains a cycle");
+  return order;
+}
+
+std::int64_t TaskGraph::sequential_space() const {
+  std::int64_t total = 0;
+  for (const DataObject& d : data_) total += d.size_bytes;
+  return total;
+}
+
+double TaskGraph::total_flops() const {
+  double total = 0.0;
+  for (const Task& t : tasks_) total += t.flops;
+  return total;
+}
+
+TaskGraph make_paper_figure2_graph() {
+  TaskGraph g;
+  // 11 unit-size objects d1..d11; cyclic owner mapping on 2 processors
+  // assigns odd ids to P0 and even ids to P1 (owner = (i-1) mod 2).
+  std::vector<DataId> d(12, kInvalidData);
+  for (int i = 1; i <= 11; ++i) {
+    d[i] = g.add_data(cat("d", i), 1, static_cast<ProcId>((i - 1) % 2));
+  }
+  auto writer = [&](int j) {
+    g.add_task(cat("T[", j, "]"), {}, {d[j]}, 1.0);
+  };
+  auto update = [&](int j) {
+    g.add_task(cat("T[", j, "]"), {d[j]}, {d[j]}, 1.0);
+  };
+  auto reader = [&](int i, int j) {
+    g.add_task(cat("T[", i, ",", j, "]"), {d[i]}, {d[j]}, 1.0);
+  };
+  // 20 tasks in program order. VOLA(P0) = {d8}; VOLA(P1) = {d1,d3,d5,d7},
+  // matching the paper's description of Figure 2(a).
+  writer(1);      // T[1]
+  writer(3);      // T[3]
+  writer(5);      // T[5]
+  writer(7);      // T[7]
+  reader(1, 2);   // T[1,2]
+  update(2);      // T[2]
+  reader(1, 4);   // T[1,4]
+  reader(3, 4);   // T[3,4]
+  reader(3, 10);  // T[3,10]
+  reader(5, 10);  // T[5,10]
+  reader(5, 6);   // T[5,6]
+  reader(7, 8);   // T[7,8]
+  update(8);      // T[8]
+  reader(8, 9);   // T[8,9]
+  reader(4, 10);  // T[4,10]
+  reader(2, 10);  // T[2,10]
+  reader(4, 6);   // T[4,6]
+  update(9);      // T[9]
+  reader(9, 11);  // T[9,11]
+  update(10);     // T[10]
+  g.finalize();
+  return g;
+}
+
+}  // namespace rapid::graph

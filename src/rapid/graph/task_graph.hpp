@@ -1,0 +1,131 @@
+// The paper's computation model (§2): a set of tasks, a set of distinct
+// data objects, each task reading/writing a subset. Tasks are registered in
+// sequential program order (the inspector order); finalize() derives
+// true/anti/output dependences from the access history, marks anti/output
+// edges subsumed by true-dependence paths as redundant, and exposes the
+// *transformed* dependence-complete DAG: true edges plus the non-redundant
+// anti/output edges kept as zero-byte synchronization edges.
+//
+// Commutativity (§2's extension): tasks carrying the same non-negative
+// commute_group that read-modify-write the same object are mutually
+// unordered; the group as a whole is ordered after prior writers and before
+// subsequent accesses. This is what lets the factorization update tasks run
+// in any order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rapid/graph/ids.hpp"
+
+namespace rapid::graph {
+
+enum class DepKind : std::uint8_t { kTrue, kAnti, kOutput };
+
+const char* dep_kind_name(DepKind kind);
+
+struct DataObject {
+  std::string name;
+  std::int64_t size_bytes = 0;
+  ProcId owner = kInvalidProc;  // assigned by the mapping stage
+};
+
+struct Task {
+  std::string name;
+  std::vector<DataId> reads;
+  std::vector<DataId> writes;
+  double flops = 0.0;
+  std::int32_t commute_group = -1;  // -1: does not commute with anything
+
+  /// All objects the task touches (reads ∪ writes), deduplicated, sorted.
+  std::vector<DataId> accesses() const;
+};
+
+struct Edge {
+  TaskId src = kInvalidTask;
+  TaskId dst = kInvalidTask;
+  DataId object = kInvalidData;
+  DepKind kind = DepKind::kTrue;
+  bool redundant = false;  // subsumed by a true-dependence path
+};
+
+class TaskGraph {
+ public:
+  /// Registers a data object. Size is the payload footprint used by the
+  /// memory manager; owner may be assigned later via set_owner().
+  DataId add_data(std::string name, std::int64_t size_bytes,
+                  ProcId owner = kInvalidProc);
+
+  /// Registers a task in sequential program order. Duplicate ids within
+  /// reads/writes are tolerated and deduplicated.
+  TaskId add_task(std::string name, std::vector<DataId> reads,
+                  std::vector<DataId> writes, double flops,
+                  std::int32_t commute_group = -1);
+
+  /// Derives dependence edges from the registration order, marks redundant
+  /// anti/output edges, and builds transformed-graph adjacency. Must be
+  /// called exactly once, after which the graph is immutable except for
+  /// set_owner().
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  void set_owner(DataId d, ProcId owner);
+
+  TaskId num_tasks() const { return static_cast<TaskId>(tasks_.size()); }
+  DataId num_data() const { return static_cast<DataId>(data_.size()); }
+  const Task& task(TaskId t) const;
+  const DataObject& data(DataId d) const;
+
+  /// All derived edges (including redundant ones, for inspection).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Transformed-graph adjacency: indices into edges() of the non-redundant
+  /// edges leaving / entering a task.
+  std::span<const std::int32_t> out_edges(TaskId t) const;
+  std::span<const std::int32_t> in_edges(TaskId t) const;
+
+  /// Writer tasks of each object, in program order (transformed graph keeps
+  /// this as the version order of the object).
+  std::span<const TaskId> writers(DataId d) const;
+  /// Reader tasks of each object, in program order.
+  std::span<const TaskId> readers(DataId d) const;
+
+  /// Topological order of the transformed graph; throws if cyclic.
+  std::vector<TaskId> topological_order() const;
+
+  /// Sum of all data object sizes = S1, the sequential space requirement.
+  std::int64_t sequential_space() const;
+
+  /// Total flops over all tasks.
+  double total_flops() const;
+
+  /// Edge-count cap above which redundancy marking is skipped (the check is
+  /// O(#anti/output-edges × #true-edges) in the worst case). Exposed so
+  /// tests can force either path.
+  static constexpr std::int64_t kRedundancyWorkCap = 64 * 1000 * 1000;
+
+ private:
+  void derive_edges();
+  void mark_redundant_edges();
+  void build_adjacency();
+
+  std::vector<DataObject> data_;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  bool finalized_ = false;
+
+  // CSR adjacency over non-redundant edges.
+  std::vector<std::int32_t> out_ptr_, out_idx_;
+  std::vector<std::int32_t> in_ptr_, in_idx_;
+  // Per-object access lists (program order).
+  std::vector<std::vector<TaskId>> writers_;
+  std::vector<std::vector<TaskId>> readers_;
+};
+
+/// Builds the 20-task / 11-object DAG of the paper's Figure 2(a), with unit
+/// object sizes and unit task costs. Used by tests and the quickstart.
+TaskGraph make_paper_figure2_graph();
+
+}  // namespace rapid::graph

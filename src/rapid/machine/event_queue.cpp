@@ -1,0 +1,42 @@
+#include "rapid/machine/event_queue.hpp"
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::machine {
+
+void EventQueue::schedule_at(SimTime when, Callback fn) {
+  RAPID_CHECK(when >= now_,
+              cat("event scheduled in the past: ", when, " < ", now_));
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Callback fn) {
+  RAPID_CHECK(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+SimTime EventQueue::run() {
+  while (!heap_.empty()) {
+    // Move out the callback before popping (top() is const).
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+bool EventQueue::run_bounded(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && !heap_.empty(); ++i) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return heap_.empty();
+}
+
+}  // namespace rapid::machine

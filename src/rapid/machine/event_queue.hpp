@@ -1,0 +1,55 @@
+// Deterministic discrete-event engine. Events at equal timestamps fire in
+// scheduling order (a monotone sequence number breaks ties), so simulations
+// are bit-reproducible regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rapid::machine {
+
+using SimTime = double;  // microseconds throughout the simulator
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` at now() + delay.
+  void schedule_after(SimTime delay, Callback fn);
+
+  /// Runs events until the queue is empty. Returns the time of the last
+  /// event (0 if none ran).
+  SimTime run();
+
+  /// Runs at most `max_events` events; returns true if the queue drained.
+  bool run_bounded(std::uint64_t max_events);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rapid::machine

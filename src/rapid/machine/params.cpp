@@ -1,0 +1,30 @@
+#include "rapid/machine/params.hpp"
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::machine {
+
+double MachineParams::task_time_us(double flops) const {
+  RAPID_CHECK(flops >= 0.0, "negative flops");
+  return task_overhead_us + flops / flops_per_us;
+}
+
+double MachineParams::send_overhead_us(std::int64_t bytes) const {
+  RAPID_CHECK(bytes >= 0, "negative message size");
+  // The paper's SHMEM_PUT cost: fixed software overhead; the payload
+  // streaming occupies the sender for bytes/bandwidth as well.
+  return rma_overhead_us + static_cast<double>(bytes) / bytes_per_us;
+}
+
+double MachineParams::transfer_time_us(std::int64_t bytes) const {
+  RAPID_CHECK(bytes >= 0, "negative message size");
+  return rma_latency_us + static_cast<double>(bytes) / bytes_per_us;
+}
+
+MachineParams MachineParams::cray_t3d(int num_procs) {
+  MachineParams p;
+  p.num_procs = num_procs;
+  return p;
+}
+
+}  // namespace rapid::machine

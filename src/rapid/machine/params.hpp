@@ -1,0 +1,47 @@
+// Machine cost model. Defaults mirror the paper's Cray-T3D numbers:
+// 64 MB/node, 103 MFLOPS (BLAS-3 DGEMM), SHMEM_PUT with 2.7 µs overhead and
+// 128 MB/s bandwidth. All times in microseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace rapid::machine {
+
+struct MachineParams {
+  int num_procs = 1;
+
+  // Computation.
+  double flops_per_us = 103.0;    // 103 MFLOPS
+  double task_overhead_us = 2.0;  // dispatch/bookkeeping per task
+
+  // RMA (shmem_put-like): sender pays overhead, payload arrives at the
+  // destination after latency + bytes/bandwidth.
+  double rma_overhead_us = 2.7;
+  double rma_latency_us = 1.0;
+  double bytes_per_us = 128.0;  // 128 MB/s
+
+  // Active memory management costs.
+  double map_base_us = 50.0;        // fixed cost per MAP
+  double map_per_object_us = 3.0;   // per allocate/deallocate action
+  double addr_entry_us = 1.0;       // per address entry in a package
+  double poll_us = 2.0;             // one RA+CQ service round while blocked
+  // Per-message software cost of the address machinery in active mode:
+  // remote-address table lookup plus suspended-queue bookkeeping on every
+  // content send (the baseline has addresses hardwired, so it skips this).
+  double addr_lookup_us = 20.0;
+
+  /// Task execution time for a given flop count.
+  double task_time_us(double flops) const;
+
+  /// Sender-side occupancy of one RMA put.
+  double send_overhead_us(std::int64_t bytes) const;
+
+  /// Delay from send to availability at the destination (excludes the
+  /// sender overhead which serializes on the sender).
+  double transfer_time_us(std::int64_t bytes) const;
+
+  /// Paper-default parameter set for p processors.
+  static MachineParams cray_t3d(int num_procs);
+};
+
+}  // namespace rapid::machine

@@ -1,0 +1,136 @@
+#include "rapid/mem/arena.hpp"
+
+#include <algorithm>
+
+#include "rapid/support/str.hpp"
+
+namespace rapid::mem {
+
+double ArenaStats::fragmentation() const {
+  const std::int64_t total_free = capacity - in_use;
+  if (total_free <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block) /
+                   static_cast<double>(total_free);
+}
+
+Arena::Arena(std::int64_t capacity, std::int64_t alignment,
+             AllocPolicy policy)
+    : capacity_(capacity), alignment_(alignment), policy_(policy) {
+  RAPID_CHECK(capacity >= 0, "negative capacity");
+  RAPID_CHECK(alignment > 0, "alignment must be positive");
+  if (capacity_ > 0) free_[0] = capacity_;
+  stats_.capacity = capacity_;
+}
+
+std::int64_t Arena::rounded(std::int64_t size) const {
+  RAPID_CHECK(size >= 0, "negative allocation size");
+  if (size == 0) size = 1;  // distinct address per object
+  return (size + alignment_ - 1) / alignment_ * alignment_;
+}
+
+Offset Arena::allocate(std::int64_t size) {
+  const std::int64_t need = rounded(size);
+  auto chosen = free_.end();
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < need) continue;
+    if (policy_ == AllocPolicy::kFirstFit) {
+      chosen = it;
+      break;
+    }
+    if (chosen == free_.end() || it->second < chosen->second) {
+      chosen = it;
+      if (it->second == need) break;  // exact fit cannot be beaten
+    }
+  }
+  if (chosen == free_.end()) {
+    ++stats_.failed_allocs;
+    return kNullOffset;
+  }
+  const Offset offset = chosen->first;
+  const std::int64_t remainder = chosen->second - need;
+  free_.erase(chosen);
+  if (remainder > 0) free_[offset + need] = remainder;
+  live_[offset] = need;
+  stats_.in_use += need;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  ++stats_.num_allocs;
+  return offset;
+}
+
+bool Arena::can_allocate(std::int64_t size) const {
+  const std::int64_t need = rounded(size);
+  for (const auto& [offset, block] : free_) {
+    (void)offset;
+    if (block >= need) return true;
+  }
+  return false;
+}
+
+void Arena::deallocate(Offset offset) {
+  auto it = live_.find(offset);
+  RAPID_CHECK(it != live_.end(),
+              cat("deallocate of unknown offset ", offset));
+  const std::int64_t size = it->second;
+  live_.erase(it);
+  stats_.in_use -= size;
+  ++stats_.num_frees;
+  // Insert and coalesce with neighbors.
+  auto [pos, inserted] = free_.emplace(offset, size);
+  RAPID_CHECK(inserted, "free list corruption");
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+    }
+  }
+}
+
+std::int64_t Arena::allocation_size(Offset offset) const {
+  auto it = live_.find(offset);
+  RAPID_CHECK(it != live_.end(), cat("unknown allocation at ", offset));
+  return it->second;
+}
+
+const ArenaStats& Arena::stats() const {
+  stats_.largest_free_block = 0;
+  for (const auto& [offset, block] : free_) {
+    (void)offset;
+    stats_.largest_free_block =
+        std::max(stats_.largest_free_block, block);
+  }
+  return stats_;
+}
+
+void Arena::check_invariants() const {
+  std::int64_t free_total = 0;
+  Offset prev_end = -1;
+  for (const auto& [offset, size] : free_) {
+    RAPID_CHECK(size > 0, "empty free block");
+    RAPID_CHECK(offset >= 0 && offset + size <= capacity_,
+                "free block out of range");
+    RAPID_CHECK(offset > prev_end,
+                "free blocks overlap or are not coalesced");
+    prev_end = offset + size;  // strict > above forbids adjacency too
+    free_total += size;
+  }
+  std::int64_t live_total = 0;
+  for (const auto& [offset, size] : live_) {
+    RAPID_CHECK(offset >= 0 && offset + size <= capacity_,
+                "live block out of range");
+    live_total += size;
+  }
+  RAPID_CHECK(free_total + live_total == capacity_,
+              cat("bytes not conserved: free ", free_total, " + live ",
+                  live_total, " != capacity ", capacity_));
+  RAPID_CHECK(live_total == stats_.in_use, "in_use stat drifted");
+}
+
+}  // namespace rapid::mem

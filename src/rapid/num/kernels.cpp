@@ -1,0 +1,165 @@
+#include "rapid/num/kernels.hpp"
+
+#include <cmath>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::num {
+
+void potrf_lower(double* a, std::int64_t ld, std::int64_t n) {
+  RAPID_CHECK(ld >= n && n >= 0, "potrf: bad dimensions");
+  for (std::int64_t j = 0; j < n; ++j) {
+    double diag = a[j * ld + j];
+    for (std::int64_t k = 0; k < j; ++k) {
+      diag -= a[k * ld + j] * a[k * ld + j];
+    }
+    RAPID_CHECK(diag > 0.0,
+                cat("potrf: non-positive pivot ", diag, " at column ", j));
+    const double root = std::sqrt(diag);
+    a[j * ld + j] = root;
+    const double inv = 1.0 / root;
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      double v = a[j * ld + i];
+      for (std::int64_t k = 0; k < j; ++k) {
+        v -= a[k * ld + i] * a[k * ld + j];
+      }
+      a[j * ld + i] = v * inv;
+    }
+  }
+}
+
+void trsm_right_lower_transpose(const double* l, std::int64_t ldl, double* b,
+                                std::int64_t ldb, std::int64_t m,
+                                std::int64_t n) {
+  // Solve X * L^T = B column by column of X: column j of X depends on
+  // earlier columns since (X L^T)(:,j) = sum_{k>=j} X(:,k) L(j,k)... using
+  // L lower: (L^T)(k,j) = L(j,k), nonzero for k <= j. So
+  // B(:,j) = sum_{k<=j} X(:,k) * L(j,k)  =>  process j ascending.
+  for (std::int64_t j = 0; j < n; ++j) {
+    const double inv = 1.0 / l[j * ldl + j];
+    for (std::int64_t k = 0; k < j; ++k) {
+      const double ljk = l[k * ldl + j];
+      if (ljk == 0.0) continue;
+      for (std::int64_t i = 0; i < m; ++i) {
+        b[j * ldb + i] -= b[k * ldb + i] * ljk;
+      }
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+      b[j * ldb + i] *= inv;
+    }
+  }
+}
+
+void trsm_left_unit_lower(const double* l, std::int64_t ldl, double* x,
+                          std::int64_t ldx, std::int64_t m, std::int64_t n) {
+  // Forward substitution with unit diagonal, per column of X.
+  for (std::int64_t j = 0; j < n; ++j) {
+    double* col = x + j * ldx;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const double xi = col[i];
+      if (xi == 0.0) continue;
+      for (std::int64_t r = i + 1; r < m; ++r) {
+        col[r] -= l[i * ldl + r] * xi;
+      }
+    }
+  }
+}
+
+void gemm_minus_abt(const double* a, std::int64_t lda, const double* b,
+                    std::int64_t ldb, double* c, std::int64_t ldc,
+                    std::int64_t m, std::int64_t n, std::int64_t k) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double bjk = b[kk * ldb + j];
+      if (bjk == 0.0) continue;
+      const double* acol = a + kk * lda;
+      double* ccol = c + j * ldc;
+      for (std::int64_t i = 0; i < m; ++i) {
+        ccol[i] -= acol[i] * bjk;
+      }
+    }
+  }
+}
+
+void gemm_minus_ab(const double* a, std::int64_t lda, const double* b,
+                   std::int64_t ldb, double* c, std::int64_t ldc,
+                   std::int64_t m, std::int64_t n, std::int64_t k) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double bkj = b[j * ldb + kk];
+      if (bkj == 0.0) continue;
+      const double* acol = a + kk * lda;
+      double* ccol = c + j * ldc;
+      for (std::int64_t i = 0; i < m; ++i) {
+        ccol[i] -= acol[i] * bkj;
+      }
+    }
+  }
+}
+
+void getrf_panel(double* a, std::int64_t ld, std::int64_t m, std::int64_t w,
+                 std::int32_t* pivots) {
+  RAPID_CHECK(m >= w && w >= 0, "getrf_panel: need m >= w");
+  for (std::int64_t j = 0; j < w; ++j) {
+    // Pivot search in column j, rows [j, m).
+    std::int64_t piv = j;
+    double best = std::abs(a[j * ld + j]);
+    for (std::int64_t i = j + 1; i < m; ++i) {
+      const double v = std::abs(a[j * ld + i]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    RAPID_CHECK(best > 0.0, cat("getrf: singular panel column ", j));
+    pivots[j] = static_cast<std::int32_t>(piv);
+    if (piv != j) {
+      for (std::int64_t c = 0; c < w; ++c) {
+        std::swap(a[c * ld + j], a[c * ld + piv]);
+      }
+    }
+    const double inv = 1.0 / a[j * ld + j];
+    for (std::int64_t i = j + 1; i < m; ++i) {
+      a[j * ld + i] *= inv;
+    }
+    for (std::int64_t c = j + 1; c < w; ++c) {
+      const double ujc = a[c * ld + j];
+      if (ujc == 0.0) continue;
+      for (std::int64_t i = j + 1; i < m; ++i) {
+        a[c * ld + i] -= a[j * ld + i] * ujc;
+      }
+    }
+  }
+}
+
+void apply_pivots(double* a, std::int64_t ld, std::int64_t n,
+                  std::int64_t row_offset,
+                  std::span<const std::int32_t> pivots) {
+  for (std::size_t j = 0; j < pivots.size(); ++j) {
+    const std::int64_t r1 = row_offset + static_cast<std::int64_t>(j);
+    const std::int64_t r2 = row_offset + pivots[j];
+    if (r1 == r2) continue;
+    for (std::int64_t c = 0; c < n; ++c) {
+      std::swap(a[c * ld + r1], a[c * ld + r2]);
+    }
+  }
+}
+
+double flops_potrf(std::int64_t n) {
+  return static_cast<double>(n) * n * n / 3.0;
+}
+
+double flops_trsm(std::int64_t m, std::int64_t n) {
+  return static_cast<double>(m) * n * n;
+}
+
+double flops_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return 2.0 * static_cast<double>(m) * n * k;
+}
+
+double flops_getrf_panel(std::int64_t m, std::int64_t w) {
+  return static_cast<double>(m) * w * w;
+}
+
+}  // namespace rapid::num

@@ -1,0 +1,59 @@
+// Dense column-major kernels used by the block factorization task bodies.
+// These are the BLAS-3 style routines the paper's tasks execute (DGEMM /
+// DTRSM / DPOTRF / panel DGETRF), written from scratch — no external BLAS.
+//
+// All matrices are column-major with an explicit leading dimension (ld),
+// operating on raw double pointers into data-object buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rapid::num {
+
+/// In-place Cholesky of the lower triangle of the n×n matrix A (ld >= n).
+/// The strictly upper triangle is not referenced. Throws rapid::Error if a
+/// non-positive pivot appears (matrix not SPD).
+void potrf_lower(double* a, std::int64_t ld, std::int64_t n);
+
+/// B := B * L^{-T} for the n×n lower-triangular L (unit_diag=false), with B
+/// m×n. This is the Cholesky "scale" operation: L_ik = A_ik * L_kk^{-T}.
+void trsm_right_lower_transpose(const double* l, std::int64_t ldl,
+                                double* b, std::int64_t ldb, std::int64_t m,
+                                std::int64_t n);
+
+/// X := L^{-1} * X for the m×m lower-triangular L with unit diagonal, X is
+/// m×n. This is the LU "U-panel" solve.
+void trsm_left_unit_lower(const double* l, std::int64_t ldl, double* x,
+                          std::int64_t ldx, std::int64_t m, std::int64_t n);
+
+/// C := C - A * B^T, with A m×k, B n×k, C m×n.
+void gemm_minus_abt(const double* a, std::int64_t lda, const double* b,
+                    std::int64_t ldb, double* c, std::int64_t ldc,
+                    std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// C := C - A * B, with A m×k, B k×n, C m×n.
+void gemm_minus_ab(const double* a, std::int64_t lda, const double* b,
+                   std::int64_t ldb, double* c, std::int64_t ldc,
+                   std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Partial-pivoting LU of an m×w panel (m >= w), in place: unit-lower L
+/// below the diagonal, U on and above. pivots[j] receives the panel-local
+/// row index (0-based, >= j) swapped into position j. Row swaps span all w
+/// panel columns. Throws rapid::Error on an exactly singular column.
+void getrf_panel(double* a, std::int64_t ld, std::int64_t m, std::int64_t w,
+                 std::int32_t* pivots);
+
+/// Applies panel pivots (as produced by getrf_panel, rows relative to
+/// `row_offset` within the target) to an m×n block: for j ascending,
+/// swap rows (row_offset + j) and (row_offset + pivots[j]).
+void apply_pivots(double* a, std::int64_t ld, std::int64_t n,
+                  std::int64_t row_offset, std::span<const std::int32_t> pivots);
+
+/// Flop counts used for task weights (match the kernel loops above).
+double flops_potrf(std::int64_t n);
+double flops_trsm(std::int64_t m, std::int64_t n);
+double flops_gemm(std::int64_t m, std::int64_t n, std::int64_t k);
+double flops_getrf_panel(std::int64_t m, std::int64_t w);
+
+}  // namespace rapid::num

@@ -1,0 +1,150 @@
+#include "rapid/num/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapid/num/kernels.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::num {
+
+std::vector<double> dense_cholesky(std::vector<double> a, std::int64_t n) {
+  RAPID_CHECK(static_cast<std::int64_t>(a.size()) == n * n,
+              "dense_cholesky: size mismatch");
+  potrf_lower(a.data(), n, n);
+  // Zero the strictly upper triangle so the result is exactly L.
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < j; ++i) {
+      a[j * n + i] = 0.0;
+    }
+  }
+  return a;
+}
+
+DenseLu dense_lu(std::vector<double> a, std::int64_t n) {
+  RAPID_CHECK(static_cast<std::int64_t>(a.size()) == n * n,
+              "dense_lu: size mismatch");
+  DenseLu out;
+  out.piv.assign(static_cast<std::size_t>(n), 0);
+  // Right-looking LU, one column at a time (w = n panel).
+  getrf_panel(a.data(), n, n, n, out.piv.data());
+  out.lu = std::move(a);
+  return out;
+}
+
+double cholesky_residual(const sparse::CscMatrix& a,
+                         const std::vector<double>& l_dense) {
+  const std::int64_t n = a.n_cols();
+  std::vector<double> prod(static_cast<std::size_t>(n * n), 0.0);
+  // prod = L * L^T.
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double ljk = l_dense[k * n + j];
+      if (ljk == 0.0) continue;
+      for (std::int64_t i = 0; i < n; ++i) {
+        prod[j * n + i] += l_dense[k * n + i] * ljk;
+      }
+    }
+  }
+  const std::vector<double> dense_a = a.to_dense();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < prod.size(); ++i) {
+    const double d = prod[i] - dense_a[i];
+    num += d * d;
+    den += dense_a[i] * dense_a[i];
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
+}
+
+double lu_residual(const sparse::CscMatrix& a, const std::vector<double>& lu,
+                   const std::vector<std::int32_t>& piv) {
+  const std::int64_t n = a.n_cols();
+  std::vector<double> pa = a.to_dense();
+  // Apply the pivot sequence to A's rows, in factorization order.
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t r = piv[j];
+    if (r == j) continue;
+    for (std::int64_t c = 0; c < n; ++c) {
+      std::swap(pa[c * n + j], pa[c * n + r]);
+    }
+  }
+  // prod = L * U from the packed factor.
+  std::vector<double> prod(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t j = k; j < n; ++j) {
+      const double ukj = lu[j * n + k];  // U(k, j)
+      if (ukj == 0.0) continue;
+      prod[j * n + k] += ukj;  // L(k,k) = 1 contribution
+      for (std::int64_t i = k + 1; i < n; ++i) {
+        prod[j * n + i] += lu[k * n + i] * ukj;  // L(i,k) * U(k,j)
+      }
+    }
+  }
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = prod[i] - pa[i];
+    num += d * d;
+  }
+  for (double v : a.values) den += v * v;
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
+}
+
+std::vector<double> cholesky_solve(const std::vector<double>& l,
+                                   std::int64_t n, std::vector<double> b) {
+  RAPID_CHECK(static_cast<std::int64_t>(b.size()) == n, "rhs size mismatch");
+  // Forward: L y = b.
+  for (std::int64_t j = 0; j < n; ++j) {
+    b[j] /= l[j * n + j];
+    const double yj = b[j];
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      b[i] -= l[j * n + i] * yj;
+    }
+  }
+  // Backward: L^T x = y.
+  for (std::int64_t j = n - 1; j >= 0; --j) {
+    double v = b[j];
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      v -= l[j * n + i] * b[i];
+    }
+    b[j] = v / l[j * n + j];
+  }
+  return b;
+}
+
+std::vector<double> lu_solve(const std::vector<double>& lu,
+                             const std::vector<std::int32_t>& piv,
+                             std::int64_t n, std::vector<double> b) {
+  RAPID_CHECK(static_cast<std::int64_t>(b.size()) == n, "rhs size mismatch");
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (piv[j] != j) std::swap(b[j], b[piv[j]]);
+  }
+  // L y = Pb (unit lower).
+  for (std::int64_t j = 0; j < n; ++j) {
+    const double yj = b[j];
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      b[i] -= lu[j * n + i] * yj;
+    }
+  }
+  // U x = y.
+  for (std::int64_t j = n - 1; j >= 0; --j) {
+    b[j] /= lu[j * n + j];
+    const double xj = b[j];
+    for (std::int64_t i = 0; i < j; ++i) {
+      b[i] -= lu[j * n + i] * xj;
+    }
+  }
+  return b;
+}
+
+double max_rel_error(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  RAPID_CHECK(x.size() == y.size(), "size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double scale = std::max({std::abs(x[i]), std::abs(y[i]), 1.0});
+    worst = std::max(worst, std::abs(x[i] - y[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace rapid::num

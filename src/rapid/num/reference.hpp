@@ -1,0 +1,47 @@
+// Reference sequential solvers and verification utilities. Tests compare
+// the runtime-produced factors against these; the benches use them for the
+// S1 sequential-space accounting only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::num {
+
+/// Dense column-major n×n Cholesky; returns L (lower, ld = n). Input is a
+/// dense column-major copy of an SPD matrix.
+std::vector<double> dense_cholesky(std::vector<double> a, std::int64_t n);
+
+/// Dense LU with partial pivoting: factors in place (L unit-lower, U upper)
+/// and returns the pivot sequence (LAPACK getrf convention: at step j, rows
+/// j and piv[j] were swapped).
+struct DenseLu {
+  std::vector<double> lu;  // packed L\U, column-major, ld = n
+  std::vector<std::int32_t> piv;
+};
+DenseLu dense_lu(std::vector<double> a, std::int64_t n);
+
+/// ‖A − L·Lᵀ‖_F / ‖A‖_F with dense L.
+double cholesky_residual(const sparse::CscMatrix& a,
+                         const std::vector<double>& l_dense);
+
+/// ‖P·A − L·U‖_F / ‖A‖_F with a packed dense LU and pivot sequence.
+double lu_residual(const sparse::CscMatrix& a, const std::vector<double>& lu,
+                   const std::vector<std::int32_t>& piv);
+
+/// Solves A x = b given dense L (Cholesky). Returns x.
+std::vector<double> cholesky_solve(const std::vector<double>& l,
+                                   std::int64_t n, std::vector<double> b);
+
+/// Solves A x = b given packed dense LU + pivots. Returns x.
+std::vector<double> lu_solve(const std::vector<double>& lu,
+                             const std::vector<std::int32_t>& piv,
+                             std::int64_t n, std::vector<double> b);
+
+/// Max-norm relative error between two vectors.
+double max_rel_error(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace rapid::num

@@ -1,0 +1,56 @@
+#include "rapid/num/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/ordering.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::num {
+
+namespace {
+
+sparse::Index scaled(sparse::Index full, double scale) {
+  RAPID_CHECK(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  return std::max<sparse::Index>(
+      4, static_cast<sparse::Index>(std::lround(full * scale)));
+}
+
+}  // namespace
+
+Workload bcsstk15_like(double scale) {
+  const sparse::Index s = scaled(16, scale);
+  sparse::CscMatrix a = sparse::grid_laplacian_3d(s, s, s);
+  const auto perm = sparse::nested_dissection_3d(s, s, s);
+  return Workload{"bcsstk15-like", a.permuted_symmetric(perm), true};
+}
+
+Workload bcsstk24_like(double scale) {
+  const sparse::Index s = scaled(60, scale);
+  sparse::CscMatrix a = sparse::grid_laplacian_2d(s, s, /*stencil_points=*/9);
+  const auto perm = sparse::nested_dissection_2d(s, s);
+  return Workload{"bcsstk24-like", a.permuted_symmetric(perm), true};
+}
+
+Workload bcsstk33_like(double scale) {
+  const sparse::Index sx = scaled(20, scale);
+  const sparse::Index sy = scaled(20, scale);
+  const sparse::Index sz = scaled(16, scale);
+  sparse::CscMatrix a = sparse::grid_laplacian_3d(sx, sy, sz);
+  const auto perm = sparse::nested_dissection_3d(sx, sy, sz);
+  return Workload{"bcsstk33-like", a.permuted_symmetric(perm), true};
+}
+
+Workload goodwin_like(double scale, std::uint64_t seed) {
+  const sparse::Index sx = scaled(86, scale);
+  const sparse::Index sy = scaled(85, scale);
+  Rng rng(seed);
+  sparse::CscMatrix a =
+      sparse::convection_diffusion_2d(sx, sy, /*drop_prob=*/0.08, rng);
+  const auto perm = sparse::nested_dissection_2d(sx, sy);
+  return Workload{"goodwin-like", a.permuted_symmetric(perm), false};
+}
+
+}  // namespace rapid::num

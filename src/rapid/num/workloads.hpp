@@ -1,0 +1,39 @@
+// Named problem instances standing in for the paper's Harwell-Boeing
+// matrices (DESIGN.md §2 documents each substitution). `scale` in (0, 1]
+// shrinks the grid linearly so tests and CI-speed bench runs use the same
+// generators as the full-size experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::num {
+
+struct Workload {
+  std::string name;
+  sparse::CscMatrix matrix;
+  bool spd = false;
+};
+
+/// BCSSTK15 stand-in (paper: n = 3948 structural stiffness matrix):
+/// 3-D 7-point grid Laplacian, nested-dissection ordered. Full scale uses a
+/// 16×16×16 grid (n = 4096).
+Workload bcsstk15_like(double scale = 1.0);
+
+/// BCSSTK24 stand-in (paper: n = 3562): 2-D 9-point grid Laplacian,
+/// nested-dissection ordered. Full scale uses 60×60 (n = 3600).
+Workload bcsstk24_like(double scale = 1.0);
+
+/// BCSSTK33 stand-in (paper: n = 8738, used up to 6080 columns): larger
+/// 3-D grid, nested-dissection ordered. Full scale uses 20×20×16 (n = 6400).
+Workload bcsstk33_like(double scale = 1.0);
+
+/// "goodwin" stand-in (paper: n = 7320, fluid mechanics, unsymmetric):
+/// convection-diffusion operator with structural asymmetry and strong
+/// off-diagonal winds, nested-dissection ordered. Full scale uses 86×85
+/// (n = 7310).
+Workload goodwin_like(double scale = 1.0, std::uint64_t seed = 42);
+
+}  // namespace rapid::num

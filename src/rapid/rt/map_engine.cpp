@@ -1,0 +1,142 @@
+#include "rapid/rt/map_engine.hpp"
+
+#include <algorithm>
+
+#include "rapid/support/str.hpp"
+
+namespace rapid::rt {
+
+ProcMemory::ProcMemory(const RunPlan& plan, ProcId proc, std::int64_t capacity,
+                       std::int64_t alignment, mem::AllocPolicy policy)
+    : plan_(plan), proc_(proc), arena_(capacity, alignment, policy) {
+  const ProcPlan& pp = plan.procs[proc];
+  for (DataId d : pp.permanents) {
+    const mem::Offset off = arena_.allocate(plan.graph->data(d).size_bytes);
+    if (off == mem::kNullOffset) {
+      throw NonExecutableError(
+          cat("processor ", proc_, ": permanent objects (",
+              pp.permanent_bytes, " bytes) exceed capacity ", capacity));
+    }
+    offsets_.emplace(d, off);
+  }
+  vol_state_.assign(pp.volatiles.size(), VolState::kUnallocated);
+  for (std::size_t i = 0; i < pp.volatiles.size(); ++i) {
+    vol_index_.emplace(pp.volatiles[i].object, static_cast<std::int32_t>(i));
+  }
+}
+
+bool ProcMemory::needs_map(std::int32_t pos) const {
+  return pos < static_cast<std::int32_t>(plan_.procs[proc_].order.size()) &&
+         pos >= alloc_upto_;
+}
+
+MapResult ProcMemory::perform_map(std::int32_t pos) {
+  const ProcPlan& pp = plan_.procs[proc_];
+  MapResult result;
+
+  // 1. Free every volatile object whose last access precedes `pos`. The
+  // dead points were computed statically by the liveness analysis; freed
+  // objects are never reallocated (the "allocated once" rule, §3.2).
+  for (auto it = allocated_by_last_pos_.begin();
+       it != allocated_by_last_pos_.end() && it->first < pos;) {
+    const DataId d = it->second;
+    arena_.deallocate(offsets_.at(d));
+    offsets_.erase(d);
+    vol_state_[vol_index_.at(d)] = VolState::kFreed;
+    result.freed.push_back(d);
+    it = allocated_by_last_pos_.erase(it);
+  }
+
+  // 2. Allocate forward along the execution chain.
+  RAPID_CHECK(alloc_upto_ <= pos, "MAP ran behind the allocated prefix");
+  std::int32_t k = pos;
+  const auto n = static_cast<std::int32_t>(pp.order.size());
+  for (; k < n; ++k) {
+    const TaskRuntimePlan& tp = plan_.tasks[pp.order[k]];
+    std::vector<DataId> just_allocated;
+    bool fits = true;
+    for (DataId d : tp.volatile_accesses) {
+      const std::int32_t vi = vol_index_.at(d);
+      if (vol_state_[vi] == VolState::kAllocated) continue;
+      RAPID_CHECK(vol_state_[vi] == VolState::kUnallocated,
+                  cat("volatile ", plan_.graph->data(d).name,
+                      " accessed after its dead point"));
+      const mem::Offset off =
+          arena_.allocate(plan_.graph->data(d).size_bytes);
+      if (off == mem::kNullOffset) {
+        fits = false;
+        break;
+      }
+      offsets_.emplace(d, off);
+      vol_state_[vi] = VolState::kAllocated;
+      just_allocated.push_back(d);
+    }
+    if (!fits) {
+      // Roll back this task's partial allocations; the next MAP sits right
+      // before it.
+      for (DataId d : just_allocated) {
+        arena_.deallocate(offsets_.at(d));
+        offsets_.erase(d);
+        vol_state_[vol_index_.at(d)] = VolState::kUnallocated;
+      }
+      break;
+    }
+    for (DataId d : just_allocated) {
+      allocated_by_last_pos_.emplace(
+          pp.volatiles[vol_index_.at(d)].last_pos, d);
+      result.allocated.push_back(d);
+    }
+  }
+  if (k == pos) {
+    throw NonExecutableError(
+        cat("processor ", proc_, ": cannot allocate volatile inputs of task ",
+            plan_.graph->task(pp.order[pos]).name, " at position ", pos,
+            " even after freeing all dead objects (capacity ",
+            arena_.capacity(), " bytes)"));
+  }
+  alloc_upto_ = k;
+  result.alloc_upto = k;
+
+  // 3. Assemble address packages, one per owner processor.
+  std::map<ProcId, AddrPackage> by_owner;
+  for (DataId d : result.allocated) {
+    const ProcId owner = plan_.graph->data(d).owner;
+    AddrPackage& pkg = by_owner[owner];
+    pkg.reader = proc_;
+    pkg.entries.emplace_back(d, offsets_.at(d));
+  }
+  for (auto& [owner, pkg] : by_owner) {
+    result.packages.emplace_back(owner, std::move(pkg));
+  }
+  return result;
+}
+
+void ProcMemory::preallocate_all() {
+  const ProcPlan& pp = plan_.procs[proc_];
+  for (std::size_t i = 0; i < pp.volatiles.size(); ++i) {
+    const DataId d = pp.volatiles[i].object;
+    const mem::Offset off = arena_.allocate(plan_.graph->data(d).size_bytes);
+    if (off == mem::kNullOffset) {
+      throw NonExecutableError(
+          cat("processor ", proc_, ": preallocated volatile space does not "
+              "fit in capacity ", arena_.capacity(), " bytes"));
+    }
+    offsets_.emplace(d, off);
+    vol_state_[i] = VolState::kAllocated;
+  }
+  alloc_upto_ = static_cast<std::int32_t>(pp.order.size());
+}
+
+mem::Offset ProcMemory::offset_of(DataId d) const {
+  const auto it = offsets_.find(d);
+  RAPID_CHECK(it != offsets_.end(),
+              cat("object ", plan_.graph->data(d).name,
+                  " is not live on processor ", proc_));
+  return it->second;
+}
+
+bool ProcMemory::is_allocated(DataId d) const {
+  return offsets_.count(d) != 0;
+}
+
+}  // namespace rapid::rt

@@ -1,0 +1,85 @@
+// Per-processor memory state plus the Memory Allocation Point procedure
+// (paper §3.3), shared verbatim by the simulator and the threaded executor:
+//   1. free volatile objects that are dead at the current position,
+//   2. allocate volatile space forward along the execution chain, stopping
+//      before the first task whose objects no longer fit (that position is
+//      the next MAP),
+//   3. assemble address packages for the owners of the newly allocated
+//      volatiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rapid/mem/arena.hpp"
+#include "rapid/rt/plan.hpp"
+#include "rapid/rt/report.hpp"
+
+namespace rapid::rt {
+
+/// One address package: (object, offset in the reader's arena) entries for
+/// a single owner processor.
+struct AddrPackage {
+  ProcId reader = graph::kInvalidProc;  // who allocated the buffers
+  std::vector<std::pair<DataId, mem::Offset>> entries;
+};
+
+struct MapResult {
+  std::vector<DataId> freed;
+  std::vector<DataId> allocated;
+  /// Address packages grouped by destination owner processor.
+  std::vector<std::pair<ProcId, AddrPackage>> packages;
+  /// Tasks [0, alloc_upto) now have all volatile inputs allocated; the next
+  /// MAP fires when execution reaches alloc_upto.
+  std::int32_t alloc_upto = 0;
+};
+
+class ProcMemory {
+ public:
+  /// Allocates all permanent objects up front; throws NonExecutableError if
+  /// they alone exceed the capacity. `alignment` is 1 by default so that
+  /// capacity semantics match Def. 5 byte-for-byte (the simulator's mode);
+  /// the threaded executor passes 8 because its buffers hold doubles — all
+  /// of its objects have sizes that are multiples of 8, so accounting is
+  /// unchanged.
+  ProcMemory(const RunPlan& plan, ProcId proc, std::int64_t capacity,
+             std::int64_t alignment = 1,
+             mem::AllocPolicy policy = mem::AllocPolicy::kFirstFit);
+
+  /// True when execution at `pos` has crossed the allocated prefix, i.e. a
+  /// MAP must run before the task at `pos` starts.
+  bool needs_map(std::int32_t pos) const;
+
+  /// Runs the MAP at `pos`. Throws NonExecutableError if even the current
+  /// task's objects cannot be allocated after freeing every dead volatile
+  /// (the schedule is non-executable under this capacity, Def. 6).
+  MapResult perform_map(std::int32_t pos);
+
+  /// Baseline (original RAPID) mode: allocates every volatile object at
+  /// once; throws NonExecutableError if the total does not fit.
+  void preallocate_all();
+
+  /// Arena offset of a live object (permanent or allocated volatile).
+  mem::Offset offset_of(DataId d) const;
+  bool is_allocated(DataId d) const;
+
+  std::int64_t peak_bytes() const { return arena_.stats().peak_in_use; }
+  const mem::Arena& arena() const { return arena_; }
+
+ private:
+  enum class VolState : std::uint8_t { kUnallocated, kAllocated, kFreed };
+
+  const RunPlan& plan_;
+  const ProcId proc_;
+  mem::Arena arena_;
+
+  std::unordered_map<DataId, mem::Offset> offsets_;  // live objects
+  std::unordered_map<DataId, std::int32_t> vol_index_;  // -> plan volatiles
+  std::vector<VolState> vol_state_;   // parallel to plan volatiles
+  std::multimap<std::int32_t, DataId> allocated_by_last_pos_;
+  std::int32_t alloc_upto_ = 0;
+};
+
+}  // namespace rapid::rt

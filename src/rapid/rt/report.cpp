@@ -1,0 +1,28 @@
+#include "rapid/rt/report.hpp"
+
+#include <algorithm>
+
+namespace rapid::rt {
+
+double RunReport::avg_maps() const {
+  if (maps_per_proc.empty()) return 0.0;
+  double total = 0.0;
+  for (std::int32_t m : maps_per_proc) total += m;
+  return total / static_cast<double>(maps_per_proc.size());
+}
+
+std::int64_t RunReport::peak_bytes() const {
+  std::int64_t peak = 0;
+  for (std::int64_t b : peak_bytes_per_proc) peak = std::max(peak, b);
+  return peak;
+}
+
+double RunReport::idle_fraction() const {
+  const double total =
+      parallel_time_us * static_cast<double>(maps_per_proc.size());
+  if (total <= 0.0) return 0.0;
+  const double busy = compute_us + send_us + map_us;
+  return std::max(0.0, 1.0 - busy / total);
+}
+
+}  // namespace rapid::rt

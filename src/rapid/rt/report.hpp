@@ -1,0 +1,83 @@
+// Run configuration and result reporting shared by both executors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rapid/machine/params.hpp"
+#include "rapid/mem/arena.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+
+/// Thrown when a schedule cannot execute under the configured capacity
+/// (paper Def. 6: MIN_MEM exceeds the per-processor memory). The bench
+/// harnesses render this as the paper's "∞" entries.
+class NonExecutableError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when the protocol stops making progress. Theorem 1 says this
+/// never happens for dependence-complete graphs; hitting it indicates a bug
+/// (or a deliberately broken protocol in the fault-injection tests).
+class ProtocolDeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct RunConfig {
+  /// Memory available on each processor for data objects (bytes).
+  std::int64_t capacity_per_proc = 0;
+  /// true: the paper's active memory management (MAPs, address packages,
+  /// recycling). false: the original-RAPID baseline — all volatile space
+  /// preallocated, all addresses known at start, no management overhead.
+  bool active_memory = true;
+  /// Cost model for the simulator (the threaded executor measures
+  /// wall-clock instead).
+  machine::MachineParams params;
+  /// Volatile-space placement policy. Best-fit shrinks the fragmentation
+  /// margin above MIN_MEM that mixed-size workloads need (the "special
+  /// memory allocator" question from the paper's §6).
+  mem::AllocPolicy alloc_policy = mem::AllocPolicy::kFirstFit;
+  /// Address-package slots per (source, destination) pair. The paper's
+  /// design is 1 ("we will not support address buffering in order to avoid
+  /// the overhead of buffer managing"); larger values let a MAP finish
+  /// without waiting for slow consumers — an ablatable design choice.
+  std::int32_t mailbox_slots = 1;
+};
+
+struct RunReport {
+  bool executable = true;
+  /// Why the run was not executable (empty when executable).
+  std::string failure;
+
+  /// Modeled (simulator) or measured (threaded) parallel time, µs.
+  double parallel_time_us = 0.0;
+
+  std::vector<std::int32_t> maps_per_proc;
+  std::vector<std::int64_t> peak_bytes_per_proc;
+
+  std::int64_t content_messages = 0;
+  std::int64_t content_bytes = 0;
+  std::int64_t flag_messages = 0;
+  std::int64_t addr_packages = 0;
+  std::int64_t addr_entries = 0;
+  std::int64_t suspended_sends = 0;  // sends that had to wait for an address
+  std::int64_t tasks_executed = 0;
+
+  /// Simulator-only time breakdown, summed across processors (µs): task
+  /// execution, sender-side message occupancy, and MAP/address machinery.
+  /// parallel_time_us × p − (sum of these) is idle/blocked time.
+  double compute_us = 0.0;
+  double send_us = 0.0;
+  double map_us = 0.0;
+
+  double avg_maps() const;
+  std::int64_t peak_bytes() const;
+  /// Fraction of total processor-time spent idle or blocked (simulator).
+  double idle_fraction() const;
+};
+
+}  // namespace rapid::rt

@@ -1,0 +1,354 @@
+#include "rapid/rt/sim_executor.hpp"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "rapid/machine/event_queue.hpp"
+#include "rapid/rt/map_engine.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::rt {
+
+namespace {
+
+using machine::SimTime;
+
+class Simulator {
+ public:
+  Simulator(const RunPlan& plan, const RunConfig& config)
+      : plan_(plan), config_(config), params_(config.params) {
+    const auto p = static_cast<std::size_t>(plan.num_procs);
+    procs_.resize(p);
+    epoch_remaining_.resize(static_cast<std::size_t>(plan.graph->num_data()));
+    current_version_.assign(static_cast<std::size_t>(plan.graph->num_data()),
+                            0);
+    for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+      const ObjectPlan& obj = plan.objects[d];
+      epoch_remaining_[d].resize(obj.epochs.size());
+      for (std::size_t v = 0; v < obj.epochs.size(); ++v) {
+        epoch_remaining_[d][v] =
+            static_cast<std::int32_t>(obj.epochs[v].size());
+      }
+    }
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      ProcState& ps = procs_[q];
+      ps.memory = std::make_unique<ProcMemory>(plan, q,
+                                               config.capacity_per_proc,
+                                               /*alignment=*/1,
+                                               config.alloc_policy);
+      ps.received_version.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), -1);
+      ps.mailbox_in_flight.assign(p, 0);
+      if (!config.active_memory) {
+        ps.memory->preallocate_all();
+        // Baseline: every reader address is known from the start.
+        for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+          if (plan.graph->data(d).owner != q) continue;
+          for (const auto& dests : plan.objects[d].sends_by_version) {
+            for (ProcId dest : dests) ps.known_addrs.emplace(d, dest);
+          }
+        }
+      }
+    }
+  }
+
+  RunReport run() {
+    RunReport report;
+    report.maps_per_proc.assign(static_cast<std::size_t>(plan_.num_procs), 0);
+    report.peak_bytes_per_proc.assign(
+        static_cast<std::size_t>(plan_.num_procs), 0);
+    report_ = &report;
+    try {
+      for (ProcId q = 0; q < plan_.num_procs; ++q) {
+        for (const ContentSend& s : plan_.procs[q].initial_sends) {
+          trigger_send(q, s);
+        }
+        queue_.schedule_at(0.0, [this, q] { advance(q); });
+      }
+      report.parallel_time_us = queue_.run();
+      check_all_finished();
+    } catch (const NonExecutableError& e) {
+      report.executable = false;
+      report.failure = e.what();
+    }
+    for (ProcId q = 0; q < plan_.num_procs; ++q) {
+      report.maps_per_proc[q] = procs_[q].maps;
+      report.peak_bytes_per_proc[q] = procs_[q].memory->peak_bytes();
+    }
+    return report;
+  }
+
+ private:
+  struct ProcState {
+    std::unique_ptr<ProcMemory> memory;
+    std::int32_t pos = 0;
+    SimTime busy_until = 0.0;
+    bool executing = false;
+    bool in_map = false;
+    std::int32_t maps = 0;
+
+    std::vector<std::int32_t> received_version;  // per object, -1 = nothing
+    std::unordered_set<TaskId> flags_received;
+    std::vector<std::int32_t> mailbox_in_flight;  // per source proc
+    std::set<std::pair<DataId, ProcId>> known_addrs;  // owner side
+    std::deque<ContentSend> suspended;
+    std::deque<std::pair<ProcId, AddrPackage>> pending_packages;
+    // Delivered address packages not yet consumed: RA runs only at state
+    // transitions (paper Figure 3(b)), never mid-task — this is where the
+    // scheme's real stalls come from.
+    std::deque<std::pair<ProcId, AddrPackage>> inbox;
+  };
+
+  std::int32_t num_tasks_of(ProcId q) const {
+    return static_cast<std::int32_t>(plan_.procs[q].order.size());
+  }
+
+  bool task_ready(ProcId q, TaskId t) const {
+    const ProcState& ps = procs_[q];
+    const TaskRuntimePlan& tp = plan_.tasks[t];
+    for (const RemoteRead& rr : tp.remote_reads) {
+      if (ps.received_version[rr.object] < rr.version) return false;
+    }
+    for (TaskId u : tp.remote_sync_preds) {
+      if (!ps.flags_received.count(u)) return false;
+    }
+    return true;
+  }
+
+  /// The processor's main state machine; re-entered by wake events.
+  void advance(ProcId q) {
+    ProcState& ps = procs_[q];
+    if (ps.executing) return;
+    if (queue_.now() < ps.busy_until) {
+      queue_.schedule_at(ps.busy_until, [this, q] { advance(q); });
+      return;
+    }
+    service_ra_cq(q);  // RA then CQ, as in every non-EXE state
+    if (queue_.now() < ps.busy_until) {  // CQ dispatches charged time
+      queue_.schedule_at(ps.busy_until, [this, q] { advance(q); });
+      return;
+    }
+    // MAP state: start one, or continue draining its address packages.
+    if (config_.active_memory && (ps.in_map || ps.memory->needs_map(ps.pos))) {
+      if (!ps.in_map) {
+        const MapResult map = ps.memory->perform_map(ps.pos);  // may throw
+        ++ps.maps;
+        const double cost =
+            params_.map_base_us +
+            params_.map_per_object_us *
+                static_cast<double>(map.freed.size() + map.allocated.size());
+        report_->map_us += cost;
+        ps.busy_until = queue_.now() + cost;
+        for (auto& pkg : map.packages) ps.pending_packages.push_back(pkg);
+        ps.in_map = true;
+        queue_.schedule_at(ps.busy_until, [this, q] { advance(q); });
+        return;
+      }
+      // Send the assembled packages sequentially; a full destination slot
+      // blocks us here (we are woken by the consumption event).
+      while (!ps.pending_packages.empty()) {
+        const auto& [dest, pkg] = ps.pending_packages.front();
+        if (procs_[dest].mailbox_in_flight[q] >=
+            config_.mailbox_slots) {
+          return;  // destination slots full: blocked in MAP
+        }
+        send_addr_package(q, dest, pkg);
+        ps.pending_packages.pop_front();
+      }
+      ps.in_map = false;
+      if (queue_.now() < ps.busy_until) {
+        queue_.schedule_at(ps.busy_until, [this, q] { advance(q); });
+        return;
+      }
+    }
+    if (ps.pos >= num_tasks_of(q)) return;  // END: passive, CQ event-driven
+    const TaskId t = plan_.procs[q].order[ps.pos];
+    if (!task_ready(q, t)) return;  // REC: woken by arrivals
+    // EXE.
+    ps.executing = true;
+    const double task_time = params_.task_time_us(plan_.graph->task(t).flops);
+    report_->compute_us += task_time;
+    ps.busy_until = queue_.now() + task_time;
+    queue_.schedule_at(ps.busy_until, [this, q] { complete_task(q); });
+  }
+
+  void complete_task(ProcId q) {
+    ProcState& ps = procs_[q];
+    const TaskId t = plan_.procs[q].order[ps.pos];
+    ps.executing = false;
+    ++ps.pos;
+    ++report_->tasks_executed;
+    const TaskRuntimePlan& tp = plan_.tasks[t];
+    // SND: completion flags for kept anti/output edges (zero-byte puts into
+    // preallocated control space — never need an address).
+    for (ProcId dest : tp.flag_dests) {
+      ps.busy_until += params_.send_overhead_us(8);
+      report_->send_us += params_.send_overhead_us(8);
+      ++report_->flag_messages;
+      const SimTime arrive = ps.busy_until + params_.rma_latency_us;
+      queue_.schedule_at(arrive, [this, dest, t] {
+        procs_[dest].flags_received.insert(t);
+        wake(dest);
+      });
+    }
+    // Epoch countdown; completed versions trigger content sends.
+    for (const auto& [d, v] : tp.epoch_memberships) {
+      if (--epoch_remaining_[d][static_cast<std::size_t>(v) - 1] == 0) {
+        RAPID_CHECK(current_version_[d] == v - 1,
+                    "object versions completed out of order");
+        current_version_[d] = v;
+        for (ProcId dest :
+             plan_.objects[d].sends_by_version[static_cast<std::size_t>(v)]) {
+          trigger_send(q, ContentSend{d, v, dest});
+        }
+      }
+    }
+    queue_.schedule_at(std::max(queue_.now(), ps.busy_until),
+                       [this, q] { advance(q); });
+  }
+
+  void trigger_send(ProcId q, const ContentSend& s) {
+    ProcState& ps = procs_[q];
+    if (config_.active_memory) {
+      // Address-table lookup + suspended-queue bookkeeping per message.
+      ps.busy_until =
+          std::max(queue_.now(), ps.busy_until) + params_.addr_lookup_us;
+      report_->map_us += params_.addr_lookup_us;
+    }
+    if (!ps.known_addrs.count({s.object, s.dest})) {
+      RAPID_CHECK(config_.active_memory,
+                  "baseline mode must know every address");
+      ps.suspended.push_back(s);
+      ++report_->suspended_sends;
+      return;
+    }
+    transmit(q, s);
+  }
+
+  void transmit(ProcId q, const ContentSend& s) {
+    // Data consistency (Theorem 1): a suspended message can never be
+    // overtaken by a later write of the same object.
+    RAPID_CHECK(current_version_[s.object] == s.version,
+                cat("content of ", plan_.graph->data(s.object).name,
+                    " advanced to version ", current_version_[s.object],
+                    " before version ", s.version, " was sent"));
+    ProcState& ps = procs_[q];
+    const std::int64_t bytes = plan_.graph->data(s.object).size_bytes;
+    ps.busy_until =
+        std::max(queue_.now(), ps.busy_until) + params_.send_overhead_us(bytes);
+    report_->send_us += params_.send_overhead_us(bytes);
+    ++report_->content_messages;
+    report_->content_bytes += bytes;
+    const SimTime arrive = ps.busy_until + params_.rma_latency_us;
+    const DataId d = s.object;
+    const std::int32_t v = s.version;
+    const ProcId dest = s.dest;
+    queue_.schedule_at(arrive, [this, dest, d, v] {
+      auto& rv = procs_[dest].received_version[d];
+      rv = std::max(rv, v);
+      wake(dest);
+    });
+  }
+
+  void send_addr_package(ProcId q, ProcId dest, const AddrPackage& pkg) {
+    ProcState& ps = procs_[q];
+    ++procs_[dest].mailbox_in_flight[q];
+    const double pkg_cost =
+        params_.rma_overhead_us +
+        params_.addr_entry_us * static_cast<double>(pkg.entries.size());
+    ps.busy_until = std::max(queue_.now(), ps.busy_until) + pkg_cost;
+    report_->map_us += pkg_cost;
+    ++report_->addr_packages;
+    report_->addr_entries += static_cast<std::int64_t>(pkg.entries.size());
+    const SimTime arrive = ps.busy_until + params_.rma_latency_us;
+    queue_.schedule_at(arrive, [this, q, dest, pkg] {
+      // Delivery into the destination slot; consumption waits for the
+      // destination's next RA service round.
+      procs_[dest].inbox.emplace_back(q, pkg);
+      wake(dest);
+    });
+  }
+
+  /// RA: absorb delivered packages, free the slots (waking senders blocked
+  /// in MAP), then CQ: dispatch suspended sends with now-known addresses.
+  void service_ra_cq(ProcId q) {
+    ProcState& ps = procs_[q];
+    while (!ps.inbox.empty()) {
+      const auto [src, pkg] = ps.inbox.front();
+      ps.inbox.pop_front();
+      for (const auto& [d, offset] : pkg.entries) {
+        (void)offset;  // the simulator tracks knowledge, not raw addresses
+        ps.known_addrs.emplace(d, pkg.reader);
+      }
+      --ps.mailbox_in_flight[src];
+      ps.busy_until = std::max(queue_.now(), ps.busy_until) + params_.poll_us;
+      queue_.schedule_after(params_.poll_us, [this, src = src] {
+        advance(src);
+      });
+    }
+    for (auto it = ps.suspended.begin(); it != ps.suspended.end();) {
+      if (ps.known_addrs.count({it->object, it->dest})) {
+        transmit(q, *it);
+        it = ps.suspended.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Arrival-driven wake-up; the poll charge models one RA+CQ round.
+  void wake(ProcId q) {
+    queue_.schedule_after(params_.poll_us, [this, q] { advance(q); });
+  }
+
+  void check_all_finished() const {
+    for (ProcId q = 0; q < plan_.num_procs; ++q) {
+      const ProcState& ps = procs_[q];
+      if (ps.pos < num_tasks_of(q) || !ps.suspended.empty() ||
+          !ps.pending_packages.empty()) {
+        std::string dump;
+        for (ProcId r = 0; r < plan_.num_procs; ++r) {
+          const ProcState& rs = procs_[r];
+          dump += cat("\n  P", r, ": pos ", rs.pos, "/", num_tasks_of(r),
+                      rs.in_map ? " [in MAP]" : "", ", suspended ",
+                      rs.suspended.size(), ", pending packages ",
+                      rs.pending_packages.size());
+          if (rs.pos < num_tasks_of(r)) {
+            dump += cat(", waiting on ",
+                        plan_.graph->task(plan_.procs[r].order[rs.pos]).name);
+          }
+        }
+        throw ProtocolDeadlockError(
+            cat("protocol stopped with unfinished work:", dump));
+      }
+    }
+  }
+
+  const RunPlan& plan_;
+  const RunConfig& config_;
+  const machine::MachineParams& params_;
+  machine::EventQueue queue_;
+  std::vector<ProcState> procs_;
+  std::vector<std::vector<std::int32_t>> epoch_remaining_;
+  std::vector<std::int32_t> current_version_;
+  RunReport* report_ = nullptr;
+};
+
+}  // namespace
+
+RunReport simulate(const RunPlan& plan, const RunConfig& config) {
+  try {
+    Simulator sim(plan, config);
+    return sim.run();
+  } catch (const NonExecutableError& e) {
+    RunReport report;
+    report.executable = false;
+    report.failure = e.what();
+    return report;
+  }
+}
+
+}  // namespace rapid::rt

@@ -1,0 +1,32 @@
+// Discrete-event executor: runs the active-memory-management protocol on a
+// modeled distributed-memory machine (rapid::machine) and reports modeled
+// parallel time, MAP counts, peak memory and message traffic. This is the
+// instrument behind every timing table in the paper reproduction.
+//
+// Protocol states map onto the paper's Figure 3(b):
+//   REC — a processor whose next task's remote inputs have not arrived is
+//         idle; arrival events wake it (the DES equivalent of polling, a
+//         poll_us charge models the RA/CQ service round).
+//   EXE — a busy interval ending in a completion event.
+//   SND — completion handlers charge the sender for flag and content puts;
+//         content sends without a known remote address join the suspended
+//         queue (dispatched by CQ when the address package is consumed).
+//   MAP — perform_map() plus sequential address-package sends; a full
+//         destination mailbox slot blocks the sender until the consumption
+//         event frees it.
+//   END — a processor past its last task stays passive; its remaining
+//         suspended sends are dispatched by arrival-driven CQ service.
+#pragma once
+
+#include "rapid/rt/plan.hpp"
+#include "rapid/rt/report.hpp"
+
+namespace rapid::rt {
+
+/// Runs the plan under the config on the simulated machine. Never throws
+/// for capacity exhaustion — that is reported via RunReport::executable.
+/// Throws ProtocolDeadlockError if the protocol wedges (Theorem 1 says it
+/// cannot on valid inputs).
+RunReport simulate(const RunPlan& plan, const RunConfig& config);
+
+}  // namespace rapid::rt

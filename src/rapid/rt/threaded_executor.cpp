@@ -1,0 +1,455 @@
+#include "rapid/rt/threaded_executor.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rapid/rt/map_engine.hpp"
+#include "rapid/support/stopwatch.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::rt {
+
+namespace {
+
+struct PendingSend {
+  ContentSend send;
+};
+
+}  // namespace
+
+struct ThreadedExecutor::Impl {
+  const RunPlan& plan;
+  const RunConfig config;  // by value: callers often pass temporaries
+  ObjectInit init;
+  TaskBody body;
+  ThreadedOptions options;
+
+  /// Per-processor shared state: remote threads deposit data, flags and
+  /// address packages here under the mutex; the heap memcpy happens under
+  /// the same lock so the version publish orders after the payload.
+  struct Shared {
+    std::mutex m;
+    std::vector<std::int32_t> received_version;  // per object, -1 = none
+    std::unordered_set<TaskId> flags;
+    std::vector<std::deque<AddrPackage>> mailbox;  // per source proc
+    std::vector<std::byte> heap;
+  };
+
+  /// Per-processor private state, touched only by its own thread.
+  struct Private {
+    std::unique_ptr<ProcMemory> memory;
+    std::int32_t pos = 0;
+    std::int32_t maps = 0;
+    // Owner-side: (object, dest) -> offset in the dest heap.
+    std::map<std::pair<DataId, ProcId>, mem::Offset> known_addrs;
+    std::deque<ContentSend> suspended;
+    std::vector<std::int32_t> epoch_remaining;  // flattened, see epoch_base
+    std::vector<std::int32_t> current_version;  // per owned object
+  };
+
+  std::vector<std::unique_ptr<Shared>> shared;
+  std::vector<Private> priv;
+  std::vector<std::size_t> epoch_base;  // per object, into epoch_remaining
+
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<int> quiescent_count{0};
+  std::mutex error_m;
+  std::string error_text;
+  bool non_executable = false;
+
+  // Counters (relaxed; exact totals gathered after join).
+  std::atomic<std::int64_t> content_messages{0}, content_bytes{0},
+      flag_messages{0}, addr_packages{0}, addr_entries{0}, suspended_sends{0},
+      tasks_executed{0};
+
+  Impl(const RunPlan& plan_, const RunConfig& config_, ObjectInit init_,
+       TaskBody body_, ThreadedOptions options_)
+      : plan(plan_),
+        config(config_),
+        init(std::move(init_)),
+        body(std::move(body_)),
+        options(options_) {}
+
+  void fail(std::string what, bool capacity_failure) {
+    {
+      std::lock_guard<std::mutex> lock(error_m);
+      if (error_text.empty()) {
+        error_text = std::move(what);
+        non_executable = capacity_failure;
+      }
+    }
+    abort.store(true, std::memory_order_release);
+  }
+
+  void bump_progress() {
+    progress.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- owner-side sending ----------------------------------------------
+
+  void transmit(ProcId q, const ContentSend& s) {
+    Private& me = priv[q];
+    RAPID_CHECK(me.current_version[s.object] == s.version,
+                cat("object ", plan.graph->data(s.object).name,
+                    " overwritten before version ", s.version, " was sent"));
+    const auto it = me.known_addrs.find({s.object, s.dest});
+    RAPID_CHECK(it != me.known_addrs.end(), "transmit without address");
+    const std::int64_t size = plan.graph->data(s.object).size_bytes;
+    const mem::Offset src_off = me.memory->offset_of(s.object);
+    Shared& src_shared = *shared[q];
+    Shared& dst = *shared[s.dest];
+    {
+      std::lock_guard<std::mutex> lock(dst.m);
+      if (size > 0) {
+        std::memcpy(dst.heap.data() + it->second,
+                    src_shared.heap.data() + src_off,
+                    static_cast<std::size_t>(size));
+      }
+      auto& rv = dst.received_version[s.object];
+      rv = std::max(rv, s.version);
+    }
+    content_messages.fetch_add(1, std::memory_order_relaxed);
+    content_bytes.fetch_add(size, std::memory_order_relaxed);
+    bump_progress();
+  }
+
+  void trigger_send(ProcId q, const ContentSend& s) {
+    Private& me = priv[q];
+    if (me.known_addrs.count({s.object, s.dest})) {
+      transmit(q, s);
+    } else {
+      RAPID_CHECK(config.active_memory, "baseline must know every address");
+      me.suspended.push_back(s);
+      suspended_sends.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void send_flag(ProcId dest, TaskId t) {
+    Shared& dst = *shared[dest];
+    {
+      std::lock_guard<std::mutex> lock(dst.m);
+      dst.flags.insert(t);
+    }
+    flag_messages.fetch_add(1, std::memory_order_relaxed);
+    bump_progress();
+  }
+
+  // ---- RA / CQ -----------------------------------------------------------
+
+  /// RA: consume address packages from my mailbox slots. CQ: dispatch
+  /// suspended sends whose addresses became known.
+  void service_ra_cq(ProcId q) {
+    Private& me = priv[q];
+    std::vector<AddrPackage> consumed;
+    {
+      Shared& mine = *shared[q];
+      std::lock_guard<std::mutex> lock(mine.m);
+      for (auto& slot : mine.mailbox) {
+        while (!slot.empty()) {
+          consumed.push_back(std::move(slot.front()));
+          slot.pop_front();
+        }
+      }
+    }
+    for (const AddrPackage& pkg : consumed) {
+      for (const auto& [d, offset] : pkg.entries) {
+        me.known_addrs.emplace(std::make_pair(d, pkg.reader), offset);
+      }
+      bump_progress();
+    }
+    for (auto it = me.suspended.begin(); it != me.suspended.end();) {
+      if (me.known_addrs.count({it->object, it->dest})) {
+        transmit(q, *it);
+        it = me.suspended.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Blocking send of one address package (MAP state): spins on the
+  /// destination slot, servicing RA/CQ like the paper requires.
+  bool send_addr_package_blocking(ProcId q, ProcId dest,
+                                  const AddrPackage& pkg) {
+    while (!abort.load(std::memory_order_acquire)) {
+      {
+        Shared& dst = *shared[dest];
+        std::lock_guard<std::mutex> lock(dst.m);
+        if (static_cast<std::int32_t>(dst.mailbox[q].size()) <
+            config.mailbox_slots) {
+          dst.mailbox[q].push_back(pkg);
+          addr_packages.fetch_add(1, std::memory_order_relaxed);
+          addr_entries.fetch_add(
+              static_cast<std::int64_t>(pkg.entries.size()),
+              std::memory_order_relaxed);
+          bump_progress();
+          return true;
+        }
+      }
+      service_ra_cq(q);
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+  // ---- readiness ---------------------------------------------------------
+
+  bool task_ready(ProcId q, TaskId t) {
+    const TaskRuntimePlan& tp = plan.tasks[t];
+    Shared& mine = *shared[q];
+    std::lock_guard<std::mutex> lock(mine.m);
+    for (const RemoteRead& rr : tp.remote_reads) {
+      if (mine.received_version[rr.object] < rr.version) return false;
+    }
+    for (TaskId u : tp.remote_sync_preds) {
+      if (!mine.flags.count(u)) return false;
+    }
+    return true;
+  }
+
+  // ---- worker ------------------------------------------------------------
+
+  class Resolver final : public ObjectResolver {
+   public:
+    Resolver(Impl& impl, ProcId proc) : impl_(impl), proc_(proc) {}
+
+    std::span<const std::byte> read(DataId d) const override {
+      const std::int64_t size = impl_.plan.graph->data(d).size_bytes;
+      const mem::Offset off = impl_.priv[proc_].memory->offset_of(d);
+      return {impl_.shared[proc_]->heap.data() + off,
+              static_cast<std::size_t>(size)};
+    }
+
+    std::span<std::byte> write(DataId d) override {
+      RAPID_CHECK(impl_.plan.graph->data(d).owner == proc_,
+                  cat("task on processor ", proc_, " writing non-owned ",
+                      impl_.plan.graph->data(d).name));
+      const std::int64_t size = impl_.plan.graph->data(d).size_bytes;
+      const mem::Offset off = impl_.priv[proc_].memory->offset_of(d);
+      return {impl_.shared[proc_]->heap.data() + off,
+              static_cast<std::size_t>(size)};
+    }
+
+   private:
+    Impl& impl_;
+    ProcId proc_;
+  };
+
+  void complete_task(ProcId q, TaskId t) {
+    Private& me = priv[q];
+    const TaskRuntimePlan& tp = plan.tasks[t];
+    for (ProcId dest : tp.flag_dests) send_flag(dest, t);
+    for (const auto& [d, v] : tp.epoch_memberships) {
+      auto& remaining = me.epoch_remaining[epoch_base[d] +
+                                           static_cast<std::size_t>(v) - 1];
+      if (--remaining == 0) {
+        RAPID_CHECK(me.current_version[d] == v - 1,
+                    "versions completed out of order");
+        me.current_version[d] = v;
+        for (ProcId dest :
+             plan.objects[d].sends_by_version[static_cast<std::size_t>(v)]) {
+          trigger_send(q, ContentSend{d, v, dest});
+        }
+      }
+    }
+    tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    bump_progress();
+  }
+
+  void worker(ProcId q) {
+    try {
+      Private& me = priv[q];
+      const ProcPlan& pp = plan.procs[q];
+      // Initialize owned objects, then issue version-0 sends (they suspend
+      // in active mode until reader addresses arrive).
+      Resolver resolver(*this, q);
+      for (DataId d : pp.permanents) {
+        if (init) init(d, resolver.write(d));
+      }
+      for (const ContentSend& s : pp.initial_sends) trigger_send(q, s);
+
+      const auto n = static_cast<std::int32_t>(pp.order.size());
+      bool counted_quiescent = false;
+      while (!abort.load(std::memory_order_acquire)) {
+        if (me.pos < n) {
+          if (config.active_memory && me.memory->needs_map(me.pos)) {
+            // MAP state.
+            const MapResult map = me.memory->perform_map(me.pos);
+            ++me.maps;
+            for (const auto& [dest, pkg] : map.packages) {
+              if (!send_addr_package_blocking(q, dest, pkg)) return;
+            }
+            bump_progress();
+            continue;
+          }
+          const TaskId t = pp.order[me.pos];
+          if (task_ready(q, t)) {
+            body(t, resolver);  // EXE
+            ++me.pos;
+            complete_task(q, t);  // SND
+          } else {
+            service_ra_cq(q);  // REC
+            std::this_thread::yield();
+          }
+          continue;
+        }
+        // END: drain, then wait for global quiescence.
+        service_ra_cq(q);
+        if (!counted_quiescent && me.suspended.empty()) {
+          counted_quiescent = true;
+          quiescent_count.fetch_add(1, std::memory_order_acq_rel);
+        }
+        if (quiescent_count.load(std::memory_order_acquire) ==
+            plan.num_procs) {
+          return;
+        }
+        std::this_thread::yield();
+      }
+    } catch (const NonExecutableError& e) {
+      fail(e.what(), /*capacity_failure=*/true);
+    } catch (const std::exception& e) {
+      fail(cat("processor ", q, ": ", e.what()), /*capacity_failure=*/false);
+    }
+  }
+};
+
+ThreadedExecutor::ThreadedExecutor(const RunPlan& plan, const RunConfig& config,
+                                   ObjectInit init, TaskBody body,
+                                   ThreadedOptions options)
+    : impl_(std::make_unique<Impl>(plan, config, std::move(init),
+                                   std::move(body), options)) {}
+
+ThreadedExecutor::~ThreadedExecutor() = default;
+
+RunReport ThreadedExecutor::run() {
+  Impl& impl = *impl_;
+  const RunPlan& plan = impl.plan;
+  RunReport report;
+  report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
+  report.peak_bytes_per_proc.assign(static_cast<std::size_t>(plan.num_procs),
+                                    0);
+
+  // Set up heaps and memory managers; capacity failures surface here or at
+  // the first MAP inside a worker.
+  impl.shared.clear();
+  impl.priv.clear();
+  impl.priv.resize(static_cast<std::size_t>(plan.num_procs));
+  impl.epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
+  try {
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      auto sh = std::make_unique<Impl::Shared>();
+      sh->received_version.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), -1);
+      sh->mailbox.resize(static_cast<std::size_t>(plan.num_procs));
+      sh->heap.resize(static_cast<std::size_t>(impl.config.capacity_per_proc));
+      impl.shared.push_back(std::move(sh));
+      Impl::Private& pr = impl.priv[q];
+      pr.memory = std::make_unique<ProcMemory>(
+          plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
+          impl.config.alloc_policy);
+      if (!impl.config.active_memory) pr.memory->preallocate_all();
+      pr.current_version.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), 0);
+    }
+  } catch (const NonExecutableError& e) {
+    report.executable = false;
+    report.failure = e.what();
+    return report;
+  }
+  // Flattened epoch counters (owner-private: every writer of an object runs
+  // on its owner).
+  std::size_t total_epochs = 0;
+  for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+    impl.epoch_base[d] = total_epochs;
+    total_epochs += plan.objects[d].epochs.size();
+  }
+  for (ProcId q = 0; q < plan.num_procs; ++q) {
+    impl.priv[q].epoch_remaining.assign(total_epochs, 0);
+  }
+  for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+    const ProcId owner = plan.graph->data(d).owner;
+    for (std::size_t v = 0; v < plan.objects[d].epochs.size(); ++v) {
+      impl.priv[owner].epoch_remaining[impl.epoch_base[d] + v] =
+          static_cast<std::int32_t>(plan.objects[d].epochs[v].size());
+    }
+  }
+  // Baseline: owners learn every reader address before the threads start.
+  if (!impl.config.active_memory) {
+    for (ProcId reader = 0; reader < plan.num_procs; ++reader) {
+      for (const sched::VolatileLifetime& v : plan.procs[reader].volatiles) {
+        const ProcId owner = plan.graph->data(v.object).owner;
+        impl.priv[owner].known_addrs.emplace(
+            std::make_pair(v.object, reader),
+            impl.priv[reader].memory->offset_of(v.object));
+      }
+    }
+  }
+
+  impl.abort.store(false);
+  impl.quiescent_count.store(0);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(plan.num_procs));
+  for (ProcId q = 0; q < plan.num_procs; ++q) {
+    threads.emplace_back([&impl, q] { impl.worker(q); });
+  }
+  // Watchdog: abort if no global progress for options.watchdog_seconds.
+  {
+    std::uint64_t last = impl.progress.load();
+    Stopwatch since_progress;
+    while (impl.quiescent_count.load(std::memory_order_acquire) <
+               plan.num_procs &&
+           !impl.abort.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::uint64_t now = impl.progress.load();
+      if (now != last) {
+        last = now;
+        since_progress.reset();
+      } else if (since_progress.seconds() > impl.options.watchdog_seconds) {
+        impl.fail("watchdog: no protocol progress", false);
+      }
+    }
+  }
+  for (auto& th : threads) th.join();
+  report.parallel_time_us = wall.seconds() * 1e6;
+
+  if (!impl.error_text.empty()) {
+    if (impl.non_executable) {
+      report.executable = false;
+      report.failure = impl.error_text;
+    } else {
+      throw ProtocolDeadlockError(impl.error_text);
+    }
+  }
+  for (ProcId q = 0; q < plan.num_procs; ++q) {
+    report.maps_per_proc[q] = impl.priv[q].maps;
+    report.peak_bytes_per_proc[q] = impl.priv[q].memory->peak_bytes();
+  }
+  report.content_messages = impl.content_messages.load();
+  report.content_bytes = impl.content_bytes.load();
+  report.flag_messages = impl.flag_messages.load();
+  report.addr_packages = impl.addr_packages.load();
+  report.addr_entries = impl.addr_entries.load();
+  report.suspended_sends = impl.suspended_sends.load();
+  report.tasks_executed = impl.tasks_executed.load();
+  return report;
+}
+
+std::vector<std::byte> ThreadedExecutor::read_object(DataId d) const {
+  const Impl& impl = *impl_;
+  const ProcId owner = impl.plan.graph->data(d).owner;
+  const std::int64_t size = impl.plan.graph->data(d).size_bytes;
+  const mem::Offset off = impl.priv[owner].memory->offset_of(d);
+  const auto* base = impl.shared[owner]->heap.data() + off;
+  return std::vector<std::byte>(base, base + size);
+}
+
+}  // namespace rapid::rt

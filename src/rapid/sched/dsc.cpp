@@ -1,0 +1,182 @@
+#include "rapid/sched/dsc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::sched {
+
+namespace {
+
+/// Union-find for the owner-closure pass.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) { parent[find(a)] = find(b); }
+  std::vector<std::int32_t> parent;
+};
+
+}  // namespace
+
+Clustering dsc_clusters(const graph::TaskGraph& graph,
+                        const machine::MachineParams& params) {
+  return dsc_clusters(graph, params, nullptr);
+}
+
+Clustering dsc_clusters(const graph::TaskGraph& graph,
+                        const machine::MachineParams& params,
+                        DscStats* stats) {
+  const auto n = static_cast<std::size_t>(graph.num_tasks());
+  // blevel with a uniform (processor-agnostic) communication estimate: at
+  // clustering time placement is unknown, so every edge is priced as remote.
+  std::vector<double> blevel(n, 0.0);
+  {
+    const auto order = graph.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const graph::TaskId t = *it;
+      double best = 0.0;
+      for (std::int32_t ei : graph.out_edges(t)) {
+        const graph::Edge& e = graph.edges()[ei];
+        best = std::max(
+            best, arrival_delay_us(params, edge_bytes(graph, e)) +
+                      blevel[e.dst]);
+      }
+      blevel[t] = params.task_time_us(graph.task(t).flops) + best;
+    }
+  }
+
+  std::vector<std::int32_t> cluster_of_task(n, -1);
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> cluster_ready;  // finish time of each cluster's tail
+
+  // Free list ordered by dominant-sequence priority (tlevel + blevel ~ here
+  // approximated by blevel at release + realized pred finishes).
+  std::vector<std::int32_t> pending(n, 0);
+  struct Entry {
+    double priority;
+    graph::TaskId task;
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return task > other.task;
+    }
+  };
+  std::priority_queue<Entry> free_tasks;
+  std::vector<double> release_tlevel(n, 0.0);
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    pending[t] = static_cast<std::int32_t>(graph.in_edges(t).size());
+    if (pending[t] == 0) free_tasks.push(Entry{blevel[t], t});
+  }
+
+  double makespan = 0.0;
+  std::size_t scheduled = 0;
+  while (!free_tasks.empty()) {
+    const graph::TaskId t = free_tasks.top().task;
+    free_tasks.pop();
+    ++scheduled;
+    // Candidate placements: a new cluster, or appended to a predecessor's
+    // cluster (which zeroes that predecessor's edge).
+    double best_start = 0.0;
+    std::int32_t best_cluster = -1;  // -1 = new cluster
+    {
+      // New-cluster start: all incoming edges remote.
+      for (std::int32_t ei : graph.in_edges(t)) {
+        const graph::Edge& e = graph.edges()[ei];
+        best_start = std::max(
+            best_start, finish[e.src] + arrival_delay_us(
+                                            params, edge_bytes(graph, e)));
+      }
+    }
+    std::set<std::int32_t> tried;
+    for (std::int32_t ei : graph.in_edges(t)) {
+      const std::int32_t c = cluster_of_task[graph.edges()[ei].src];
+      if (!tried.insert(c).second) continue;
+      // Start when appended to cluster c: after the cluster's tail, with
+      // same-cluster edges zeroed.
+      double start = cluster_ready[c];
+      for (std::int32_t ej : graph.in_edges(t)) {
+        const graph::Edge& e = graph.edges()[ej];
+        const double comm =
+            cluster_of_task[e.src] == c
+                ? 0.0
+                : arrival_delay_us(params, edge_bytes(graph, e));
+        start = std::max(start, finish[e.src] + comm);
+      }
+      if (start < best_start) {
+        best_start = start;
+        best_cluster = c;
+      }
+    }
+    if (best_cluster == -1) {
+      best_cluster = static_cast<std::int32_t>(cluster_ready.size());
+      cluster_ready.push_back(0.0);
+    }
+    cluster_of_task[t] = best_cluster;
+    finish[t] = best_start + params.task_time_us(graph.task(t).flops);
+    cluster_ready[best_cluster] = finish[t];
+    makespan = std::max(makespan, finish[t]);
+    for (std::int32_t ei : graph.out_edges(t)) {
+      const graph::TaskId v = graph.edges()[ei].dst;
+      release_tlevel[v] = std::max(release_tlevel[v], finish[t]);
+      if (--pending[v] == 0) {
+        free_tasks.push(Entry{release_tlevel[v] + blevel[v], v});
+      }
+    }
+  }
+  RAPID_CHECK(scheduled == n, "DSC left tasks unscheduled (cycle?)");
+  const auto raw_clusters = static_cast<std::int32_t>(cluster_ready.size());
+
+  // Owner-closure: writers of one object must share a cluster.
+  UnionFind uf(cluster_ready.size());
+  for (graph::DataId d = 0; d < graph.num_data(); ++d) {
+    const auto writers = graph.writers(d);
+    for (std::size_t i = 1; i < writers.size(); ++i) {
+      uf.unite(cluster_of_task[writers[0]], cluster_of_task[writers[i]]);
+    }
+  }
+  // Also tasks writing several objects already share a cluster by
+  // construction (single task), but their objects' other writers may not —
+  // the union above covers it transitively.
+
+  Clustering out;
+  out.cluster_of_task.assign(n, -1);
+  out.cluster_of_data.assign(static_cast<std::size_t>(graph.num_data()), -1);
+  std::vector<std::int32_t> renumber(cluster_ready.size(), -1);
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const std::int32_t root = uf.find(cluster_of_task[t]);
+    if (renumber[root] == -1) renumber[root] = out.num_clusters++;
+    out.cluster_of_task[t] = renumber[root];
+  }
+  out.cluster_flops.assign(static_cast<std::size_t>(out.num_clusters), 0.0);
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    out.cluster_flops[out.cluster_of_task[t]] += graph.task(t).flops;
+  }
+  for (graph::DataId d = 0; d < graph.num_data(); ++d) {
+    const auto writers = graph.writers(d);
+    if (!writers.empty()) {
+      out.cluster_of_data[d] = out.cluster_of_task[writers.front()];
+    } else if (!graph.readers(d).empty()) {
+      out.cluster_of_data[d] = out.cluster_of_task[graph.readers(d).front()];
+    }
+  }
+  if (stats != nullptr) {
+    stats->raw_clusters = raw_clusters;
+    stats->closed_clusters = out.num_clusters;
+    stats->estimated_makespan = makespan;
+  }
+  return out;
+}
+
+}  // namespace rapid::sched

@@ -1,0 +1,36 @@
+// Dominant Sequence Clustering (Yang & Gerasoulis [21]), the paper's other
+// stage-one option ("tasks are clustered to exploit data locality using DSC
+// or the owner-compute rule"). This is the standard simplified DSC: free
+// tasks are examined in dominant-sequence order (tlevel + blevel); each is
+// appended to the predecessor cluster that minimizes its start time (zeroing
+// that incoming edge) or opens a new cluster if no merge helps.
+//
+// The runtime requires every writer of an object to live on one processor
+// (owner-compute), so the raw DSC clusters are closed under "shares a
+// written object" before they are returned — DSC chooses locality, the
+// closure keeps the execution model sound.
+#pragma once
+
+#include "rapid/machine/params.hpp"
+#include "rapid/sched/mapping.hpp"
+
+namespace rapid::sched {
+
+/// DSC clustering with owner-closure. The result plugs into
+/// map_clusters_lpt() exactly like owner_compute_clusters().
+Clustering dsc_clusters(const graph::TaskGraph& graph,
+                        const machine::MachineParams& params);
+
+/// Raw cluster count before the owner-closure merge (exposed for tests and
+/// diagnostics: closure can only reduce the count).
+struct DscStats {
+  std::int32_t raw_clusters = 0;
+  std::int32_t closed_clusters = 0;
+  double estimated_makespan = 0.0;  // unbounded-processor schedule length
+};
+
+Clustering dsc_clusters(const graph::TaskGraph& graph,
+                        const machine::MachineParams& params,
+                        DscStats* stats);
+
+}  // namespace rapid::sched

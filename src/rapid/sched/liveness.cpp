@@ -1,0 +1,85 @@
+#include "rapid/sched/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::sched {
+
+std::int64_t LivenessTable::min_mem() const {
+  std::int64_t worst = 0;
+  for (const ProcLiveness& p : procs) worst = std::max(worst, p.peak_bytes);
+  return worst;
+}
+
+std::int64_t LivenessTable::tot_mem() const {
+  std::int64_t worst = 0;
+  for (const ProcLiveness& p : procs) worst = std::max(worst, p.total_bytes);
+  return worst;
+}
+
+LivenessTable analyze_liveness(const graph::TaskGraph& graph,
+                               const Schedule& schedule) {
+  LivenessTable out;
+  out.procs.resize(static_cast<std::size_t>(schedule.num_procs));
+
+  // Permanent bytes per owner.
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    const ProcId owner = graph.data(d).owner;
+    RAPID_CHECK(owner >= 0 && owner < schedule.num_procs,
+                "object without valid owner");
+    out.procs[owner].permanent_bytes += graph.data(d).size_bytes;
+  }
+
+  // Volatile lifetimes per processor.
+  for (ProcId p = 0; p < schedule.num_procs; ++p) {
+    std::map<DataId, VolatileLifetime> live;
+    const auto& order = schedule.order[p];
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      for (DataId d : graph.task(order[pos]).accesses()) {
+        if (graph.data(d).owner == p) continue;  // permanent elsewhere
+        auto [it, inserted] = live.try_emplace(
+            d, VolatileLifetime{d, static_cast<std::int32_t>(pos),
+                                static_cast<std::int32_t>(pos),
+                                graph.data(d).size_bytes});
+        if (!inserted) it->second.last_pos = static_cast<std::int32_t>(pos);
+      }
+    }
+    ProcLiveness& proc = out.procs[p];
+    proc.volatiles.reserve(live.size());
+    for (auto& [d, lifetime] : live) proc.volatiles.push_back(lifetime);
+    std::sort(proc.volatiles.begin(), proc.volatiles.end(),
+              [](const VolatileLifetime& a, const VolatileLifetime& b) {
+                if (a.first_pos != b.first_pos) return a.first_pos < b.first_pos;
+                return a.object < b.object;
+              });
+    // Sweep: alive volume per position.
+    std::vector<std::int64_t> delta(order.size() + 1, 0);
+    std::int64_t vol_total = 0;
+    for (const VolatileLifetime& v : proc.volatiles) {
+      delta[v.first_pos] += v.size_bytes;
+      delta[v.last_pos + 1] -= v.size_bytes;
+      vol_total += v.size_bytes;
+    }
+    std::int64_t alive = 0, peak = 0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      alive += delta[pos];
+      peak = std::max(peak, alive);
+    }
+    proc.peak_bytes = proc.permanent_bytes + peak;
+    proc.total_bytes = proc.permanent_bytes + vol_total;
+  }
+  return out;
+}
+
+double memory_scalability(const graph::TaskGraph& graph,
+                          const Schedule& schedule) {
+  const LivenessTable table = analyze_liveness(graph, schedule);
+  const std::int64_t s1 = graph.sequential_space();
+  const std::int64_t sp = table.min_mem();
+  if (sp == 0) return 1.0;
+  return static_cast<double>(s1) / static_cast<double>(sp);
+}
+
+}  // namespace rapid::sched

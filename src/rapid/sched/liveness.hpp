@@ -1,0 +1,55 @@
+// Liveness ("dead point") analysis of a schedule (paper Def. 4-6): for each
+// processor, the first/last positions at which each volatile object is
+// accessed. MAPs free an object once execution passes its last access; the
+// same table yields MEM_REQ / MIN_MEM and the no-recycling footprint TOT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rapid/sched/schedule.hpp"
+
+namespace rapid::sched {
+
+struct VolatileLifetime {
+  DataId object = graph::kInvalidData;
+  std::int32_t first_pos = 0;  // first accessing position on this processor
+  std::int32_t last_pos = 0;   // last accessing position (inclusive)
+  std::int64_t size_bytes = 0;
+};
+
+struct ProcLiveness {
+  /// Volatile objects of this processor (paper Def. 3), sorted by first_pos.
+  std::vector<VolatileLifetime> volatiles;
+  /// Total size of this processor's permanent objects. Matches Def. 5:
+  /// permanent space counts for the whole run.
+  std::int64_t permanent_bytes = 0;
+  /// Max over schedule positions of permanent + alive volatile bytes
+  /// (= max_w MEM_REQ(T_w, P_x)).
+  std::int64_t peak_bytes = 0;
+  /// permanent + sum of all volatile sizes (no recycling).
+  std::int64_t total_bytes = 0;
+};
+
+struct LivenessTable {
+  std::vector<ProcLiveness> procs;
+
+  /// MIN_MEM of the schedule (paper Def. 5).
+  std::int64_t min_mem() const;
+  /// TOT: the no-recycling footprint used as the 100% reference in the
+  /// paper's experiments (max over processors of permanent + volatile).
+  std::int64_t tot_mem() const;
+};
+
+/// Requires schedule.validate(graph)-clean input. Permanent objects are
+/// those owned by the processor; every other accessed object is volatile
+/// there (Def. 3).
+LivenessTable analyze_liveness(const graph::TaskGraph& graph,
+                               const Schedule& schedule);
+
+/// Memory scalability ratio S1 / S_p of a schedule (Figure 7's metric),
+/// where S_p = MIN_MEM.
+double memory_scalability(const graph::TaskGraph& graph,
+                          const Schedule& schedule);
+
+}  // namespace rapid::sched

@@ -1,0 +1,137 @@
+#include "rapid/sched/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::sched {
+
+void assign_owners_cyclic(graph::TaskGraph& graph, int num_procs) {
+  RAPID_CHECK(num_procs > 0, "num_procs must be positive");
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    graph.set_owner(d, static_cast<ProcId>(d % num_procs));
+  }
+}
+
+namespace {
+
+/// Union-find over data objects.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::int32_t find(std::int32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::int32_t a, std::int32_t b) { parent[find(a)] = find(b); }
+  std::vector<std::int32_t> parent;
+};
+
+}  // namespace
+
+Clustering owner_compute_clusters(const graph::TaskGraph& graph) {
+  UnionFind uf(static_cast<std::size_t>(graph.num_data()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const auto& writes = graph.task(t).writes;
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+      uf.unite(writes[0], writes[i]);
+    }
+  }
+  Clustering out;
+  out.cluster_of_task.assign(static_cast<std::size_t>(graph.num_tasks()), -1);
+  out.cluster_of_data.assign(static_cast<std::size_t>(graph.num_data()), -1);
+  // Number clusters densely over written-object roots.
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    if (graph.writers(d).empty() && graph.readers(d).empty()) continue;
+    const std::int32_t root = uf.find(d);
+    if (out.cluster_of_data[root] == -1) {
+      out.cluster_of_data[root] = out.num_clusters++;
+    }
+    out.cluster_of_data[d] = out.cluster_of_data[root];
+  }
+  out.cluster_flops.assign(static_cast<std::size_t>(out.num_clusters), 0.0);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const graph::Task& task = graph.task(t);
+    const DataId anchor =
+        !task.writes.empty() ? task.writes.front() : task.reads.front();
+    out.cluster_of_task[t] = out.cluster_of_data[anchor];
+    RAPID_CHECK(out.cluster_of_task[t] >= 0, "task in no cluster");
+    out.cluster_flops[out.cluster_of_task[t]] += task.flops;
+  }
+  return out;
+}
+
+std::vector<ProcId> map_clusters_lpt(graph::TaskGraph& graph,
+                                     const Clustering& clustering,
+                                     int num_procs) {
+  RAPID_CHECK(num_procs > 0, "num_procs must be positive");
+  std::vector<std::int32_t> by_weight(
+      static_cast<std::size_t>(clustering.num_clusters));
+  std::iota(by_weight.begin(), by_weight.end(), 0);
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              if (clustering.cluster_flops[a] != clustering.cluster_flops[b])
+                return clustering.cluster_flops[a] >
+                       clustering.cluster_flops[b];
+              return a < b;
+            });
+  std::vector<double> load(static_cast<std::size_t>(num_procs), 0.0);
+  std::vector<ProcId> proc_of_cluster(
+      static_cast<std::size_t>(clustering.num_clusters), 0);
+  for (std::int32_t c : by_weight) {
+    const auto lightest = static_cast<ProcId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    proc_of_cluster[c] = lightest;
+    load[lightest] += clustering.cluster_flops[c];
+  }
+  // Stamp owners: every touched object follows its cluster.
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    if (clustering.cluster_of_data[d] >= 0) {
+      graph.set_owner(d, proc_of_cluster[clustering.cluster_of_data[d]]);
+    } else {
+      graph.set_owner(d, static_cast<ProcId>(d % num_procs));
+    }
+  }
+  std::vector<ProcId> proc_of_task(
+      static_cast<std::size_t>(graph.num_tasks()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    proc_of_task[t] = proc_of_cluster[clustering.cluster_of_task[t]];
+  }
+  return proc_of_task;
+}
+
+std::vector<ProcId> owner_compute_tasks(const graph::TaskGraph& graph,
+                                        int num_procs) {
+  RAPID_CHECK(num_procs > 0, "num_procs must be positive");
+  std::vector<ProcId> proc_of_task(static_cast<std::size_t>(graph.num_tasks()),
+                                   graph::kInvalidProc);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const graph::Task& task = graph.task(t);
+    ProcId proc = graph::kInvalidProc;
+    for (DataId d : task.writes) {
+      const ProcId owner = graph.data(d).owner;
+      RAPID_CHECK(owner >= 0 && owner < num_procs,
+                  cat("object ", graph.data(d).name, " has no valid owner"));
+      RAPID_CHECK(proc == graph::kInvalidProc || proc == owner,
+                  cat("task ", task.name,
+                      " writes objects with different owners; owner-compute "
+                      "mapping is ambiguous"));
+      proc = owner;
+    }
+    if (proc == graph::kInvalidProc) {
+      const ProcId owner = graph.data(task.reads.front()).owner;
+      RAPID_CHECK(owner >= 0 && owner < num_procs, "unowned read object");
+      proc = owner;
+    }
+    proc_of_task[t] = proc;
+  }
+  return proc_of_task;
+}
+
+}  // namespace rapid::sched

@@ -1,0 +1,49 @@
+// Stage one of the paper's two-stage scheduling: cluster tasks for locality
+// (owner-compute rule) and map clusters to processors for load balance.
+// The factorization builders in rapid::num assign owners directly with the
+// paper's cyclic mappings; the generic path here serves arbitrary task
+// graphs registered through the public API.
+#pragma once
+
+#include <vector>
+
+#include "rapid/graph/task_graph.hpp"
+
+namespace rapid::sched {
+
+using graph::DataId;
+using graph::ProcId;
+using graph::TaskId;
+
+/// Assigns owner = (id mod p) to every data object (the paper's cyclic
+/// mapping used in the Figure 2 example).
+void assign_owners_cyclic(graph::TaskGraph& graph, int num_procs);
+
+/// Owner-compute clustering: tasks that modify the same object belong to
+/// one cluster; a task writing several objects merges their clusters
+/// (union-find). Tasks that write nothing join the cluster of their first
+/// read object.
+struct Clustering {
+  std::vector<std::int32_t> cluster_of_task;
+  std::vector<std::int32_t> cluster_of_data;  // -1 if object is untouched
+  std::int32_t num_clusters = 0;
+  std::vector<double> cluster_flops;
+};
+
+Clustering owner_compute_clusters(const graph::TaskGraph& graph);
+
+/// Maps clusters to processors by longest-processing-time-first on cluster
+/// flops (load balancing criterion), then stamps object owners on the graph
+/// and returns proc_of_task.
+std::vector<ProcId> map_clusters_lpt(graph::TaskGraph& graph,
+                                     const Clustering& clustering,
+                                     int num_procs);
+
+/// When object owners are already assigned (cyclic / 2-D grid mappings from
+/// the application), derive proc_of_task by the owner-compute rule: a task
+/// runs on the owner of the objects it writes (all writes must agree);
+/// read-only tasks run on the owner of their first read.
+std::vector<ProcId> owner_compute_tasks(const graph::TaskGraph& graph,
+                                        int num_procs);
+
+}  // namespace rapid::sched

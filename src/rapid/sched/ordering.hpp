@@ -1,0 +1,71 @@
+// Stage two of the paper's scheduling: ordering the tasks of each processor.
+// Three policies share one deterministic list-scheduling simulation:
+//
+//  - RCP  (baseline, [20]): ready task with the longest critical path
+//    (bottom level including communication delays) first. Time-efficient,
+//    memory-oblivious.
+//  - MPO  (§4.1, Figure 4): ready task with the highest memory priority
+//    first — the fraction of the task's objects already resident on the
+//    processor (permanent-local or previously allocated volatiles) — with
+//    critical path as the tie-break.
+//  - DTS  (§4.2): tasks execute slice by slice following a topological
+//    order of the DCG's strongly connected components; critical path breaks
+//    ties inside a slice. Optional slice merging (Figure 6) fuses
+//    consecutive slices while their summed volatile demand fits the budget.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rapid/graph/dcg.hpp"
+#include "rapid/machine/params.hpp"
+#include "rapid/sched/schedule.hpp"
+
+namespace rapid::sched {
+
+/// Bottom level of each task: longest path to an exit, where node weight is
+/// the task's modeled execution time and cross-processor edges add the full
+/// message arrival delay. This is the "critical path priority" of the paper.
+std::vector<double> bottom_levels(const graph::TaskGraph& graph,
+                                  const std::vector<ProcId>& proc_of_task,
+                                  const machine::MachineParams& params);
+
+/// Message arrival delay used consistently by the ordering simulation and
+/// the run-time simulator: RMA overhead + latency + payload streaming.
+double arrival_delay_us(const machine::MachineParams& params,
+                        std::int64_t bytes);
+
+/// Payload size of a dependence edge: the written object for true edges,
+/// a small flag for anti/output synchronization edges.
+std::int64_t edge_bytes(const graph::TaskGraph& graph, const graph::Edge& e);
+
+Schedule schedule_rcp(const graph::TaskGraph& graph,
+                      const std::vector<ProcId>& proc_of_task, int num_procs,
+                      const machine::MachineParams& params);
+
+Schedule schedule_mpo(const graph::TaskGraph& graph,
+                      const std::vector<ProcId>& proc_of_task, int num_procs,
+                      const machine::MachineParams& params);
+
+/// DTS. If volatile_budget is set, consecutive slices are merged while the
+/// sum of their per-slice volatile demands H(R, L) stays within the budget
+/// (Figure 6); pass capacity_per_proc − max-permanent-bytes.
+Schedule schedule_dts(const graph::TaskGraph& graph,
+                      const std::vector<ProcId>& proc_of_task, int num_procs,
+                      const machine::MachineParams& params,
+                      std::optional<std::int64_t> volatile_budget = {});
+
+/// H(R, L) for every slice: max over processors of the summed sizes of
+/// distinct volatile objects that the slice's tasks access there (Def. 7).
+std::vector<std::int64_t> slice_volatile_demand(
+    const graph::TaskGraph& graph, const graph::SliceDecomposition& slices,
+    const std::vector<ProcId>& proc_of_task, int num_procs);
+
+/// Figure 6 greedy merge. Returns the merged slice index for every task.
+/// merged_count receives the number of merged slices.
+std::vector<std::int32_t> merge_slices(
+    const graph::TaskGraph& graph, const graph::SliceDecomposition& slices,
+    const std::vector<ProcId>& proc_of_task, int num_procs,
+    std::int64_t volatile_budget, std::int32_t* merged_count = nullptr);
+
+}  // namespace rapid::sched

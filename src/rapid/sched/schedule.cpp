@@ -1,0 +1,82 @@
+#include "rapid/sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::sched {
+
+void Schedule::rebuild_index(TaskId num_tasks) {
+  RAPID_CHECK(static_cast<int>(order.size()) == num_procs,
+              "order size != num_procs");
+  proc_of_task.assign(static_cast<std::size_t>(num_tasks),
+                      graph::kInvalidProc);
+  pos_of_task.assign(static_cast<std::size_t>(num_tasks), -1);
+  for (ProcId p = 0; p < num_procs; ++p) {
+    for (std::size_t i = 0; i < order[p].size(); ++i) {
+      const TaskId t = order[p][i];
+      RAPID_CHECK(t >= 0 && t < num_tasks, cat("unknown task ", t));
+      RAPID_CHECK(proc_of_task[t] == graph::kInvalidProc,
+                  cat("task ", t, " scheduled twice"));
+      proc_of_task[t] = p;
+      pos_of_task[t] = static_cast<std::int32_t>(i);
+    }
+  }
+  for (TaskId t = 0; t < num_tasks; ++t) {
+    RAPID_CHECK(proc_of_task[t] != graph::kInvalidProc,
+                cat("task ", t, " not scheduled"));
+  }
+}
+
+void Schedule::validate(const graph::TaskGraph& graph) const {
+  RAPID_CHECK(num_procs > 0, "no processors");
+  RAPID_CHECK(static_cast<TaskId>(proc_of_task.size()) == graph.num_tasks(),
+              "index not built (call rebuild_index)");
+  // Same-processor dependences must go forward in the order; cross-processor
+  // ones are handled by messages at run time.
+  for (const graph::Edge& e : graph.edges()) {
+    if (e.redundant) continue;
+    if (proc_of_task[e.src] != proc_of_task[e.dst]) continue;
+    RAPID_CHECK(pos_of_task[e.src] < pos_of_task[e.dst],
+                cat("schedule violates local dependence ",
+                    graph.task(e.src).name, " -> ", graph.task(e.dst).name,
+                    " on processor ", proc_of_task[e.src]));
+  }
+  // Owner-compute: every writer of an object runs on its owner.
+  for (DataId d = 0; d < graph.num_data(); ++d) {
+    for (TaskId w : graph.writers(d)) {
+      RAPID_CHECK(proc_of_task[w] == graph.data(d).owner,
+                  cat("task ", graph.task(w).name, " writes ",
+                      graph.data(d).name, " but is not on its owner"));
+    }
+  }
+}
+
+std::string Schedule::gantt(const graph::TaskGraph& graph, int width) const {
+  if (predicted_makespan <= 0.0) return "(no predicted times)\n";
+  std::string out;
+  const double scale = static_cast<double>(width) / predicted_makespan;
+  for (ProcId p = 0; p < num_procs; ++p) {
+    out += cat("P", p, " |");
+    std::string lane(static_cast<std::size_t>(width) + 1, ' ');
+    for (TaskId t : order[p]) {
+      const int begin =
+          static_cast<int>(std::floor(predicted_start[t] * scale));
+      const int end = std::max(
+          begin + 1, static_cast<int>(std::ceil(predicted_finish[t] * scale)));
+      const std::string& name = graph.task(t).name;
+      for (int c = begin; c < end && c <= width; ++c) {
+        const std::size_t k = static_cast<std::size_t>(c - begin);
+        lane[c] = k < name.size() ? name[k] : '=';
+      }
+    }
+    out += lane;
+    out += "\n";
+  }
+  out += cat("makespan: ", fixed(predicted_makespan, 1), " us\n");
+  return out;
+}
+
+}  // namespace rapid::sched

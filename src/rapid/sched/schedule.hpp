@@ -1,0 +1,46 @@
+// Static schedules (paper Def. 1): an execution order of tasks on each
+// processor, plus a unique owner processor per data object (stored on the
+// TaskGraph's DataObjects). Predicted times come from the list-scheduling
+// simulation that produced the order; the run-time numbers come from the
+// executors in rapid::rt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rapid/graph/task_graph.hpp"
+
+namespace rapid::sched {
+
+using graph::DataId;
+using graph::ProcId;
+using graph::TaskId;
+
+struct Schedule {
+  int num_procs = 0;
+  /// order[p] = tasks of processor p in execution order.
+  std::vector<std::vector<TaskId>> order;
+  /// Derived indexes (rebuild_index()).
+  std::vector<ProcId> proc_of_task;
+  std::vector<std::int32_t> pos_of_task;
+
+  /// Predicted by the ordering simulation (microseconds).
+  std::vector<double> predicted_start;
+  std::vector<double> predicted_finish;
+  double predicted_makespan = 0.0;
+
+  /// Fills proc_of_task / pos_of_task from order; checks every task appears
+  /// exactly once.
+  void rebuild_index(TaskId num_tasks);
+
+  /// Verifies the schedule against the graph: every task placed, every
+  /// same-processor dependence edge goes forward in the order, and every
+  /// writer of an object sits on the object's owner (owner-compute).
+  /// Throws rapid::Error with a diagnostic on violation.
+  void validate(const graph::TaskGraph& graph) const;
+
+  /// ASCII Gantt chart of predicted times (for debugging / examples).
+  std::string gantt(const graph::TaskGraph& graph, int width = 78) const;
+};
+
+}  // namespace rapid::sched

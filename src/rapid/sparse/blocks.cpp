@@ -1,0 +1,80 @@
+#include "rapid/sparse/blocks.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::sparse {
+
+BlockLayout::BlockLayout(Index n_, Index block_size_)
+    : n(n_), block_size(block_size_) {
+  RAPID_CHECK(n >= 0, "negative n");
+  RAPID_CHECK(block_size > 0, "block_size must be positive");
+  num_blocks = (n + block_size - 1) / block_size;
+}
+
+Index BlockLayout::block_of(Index index) const {
+  RAPID_CHECK(index >= 0 && index < n, "index out of range");
+  return index / block_size;
+}
+
+Index BlockLayout::block_begin(Index block) const {
+  RAPID_CHECK(block >= 0 && block < num_blocks, "block out of range");
+  return block * block_size;
+}
+
+Index BlockLayout::block_end(Index block) const {
+  return std::min(n, block_begin(block) + block_size);
+}
+
+Index BlockLayout::block_width(Index block) const {
+  return block_end(block) - block_begin(block);
+}
+
+CscPattern project_to_blocks(const CscPattern& scalar, const BlockLayout& rows,
+                             const BlockLayout& cols) {
+  RAPID_CHECK(scalar.n_rows == rows.n && scalar.n_cols == cols.n,
+              "layout does not match pattern shape");
+  CscPattern out;
+  out.n_rows = rows.num_blocks;
+  out.n_cols = cols.num_blocks;
+  out.col_ptr.push_back(0);
+  std::vector<Index> mark(static_cast<std::size_t>(rows.num_blocks), -1);
+  std::vector<Index> col;
+  for (Index bj = 0; bj < cols.num_blocks; ++bj) {
+    col.clear();
+    for (Index j = cols.block_begin(bj); j < cols.block_end(bj); ++j) {
+      for (Index k = scalar.col_ptr[j]; k < scalar.col_ptr[j + 1]; ++k) {
+        const Index bi = rows.block_of(scalar.row_idx[k]);
+        if (mark[bi] != bj) {
+          mark[bi] = bj;
+          col.push_back(bi);
+        }
+      }
+    }
+    std::sort(col.begin(), col.end());
+    out.row_idx.insert(out.row_idx.end(), col.begin(), col.end());
+    out.col_ptr.push_back(static_cast<Index>(out.row_idx.size()));
+  }
+  return out;
+}
+
+std::vector<std::vector<Index>> block_nnz_counts(const CscPattern& scalar,
+                                                 const BlockLayout& rows,
+                                                 const BlockLayout& cols) {
+  RAPID_CHECK(scalar.n_rows == rows.n && scalar.n_cols == cols.n,
+              "layout does not match pattern shape");
+  std::vector<std::vector<Index>> counts(
+      static_cast<std::size_t>(rows.num_blocks),
+      std::vector<Index>(static_cast<std::size_t>(cols.num_blocks), 0));
+  for (Index j = 0; j < scalar.n_cols; ++j) {
+    const Index bj = cols.block_of(j);
+    for (Index k = scalar.col_ptr[j]; k < scalar.col_ptr[j + 1]; ++k) {
+      ++counts[rows.block_of(scalar.row_idx[k])][bj];
+    }
+  }
+  return counts;
+}
+
+}  // namespace rapid::sparse

@@ -1,0 +1,43 @@
+// Block partitioning: projects a scalar fill pattern onto a uniform block
+// grid. The paper's 2-D block Cholesky treats each nonzero block of the
+// factor as a data object; the 1-D column-block LU treats each column block
+// as one. Both builders in rapid::num consume BlockLayout + BlockPattern.
+#pragma once
+
+#include <vector>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::sparse {
+
+/// Uniform partition of [0, n) into blocks of width `block_size` (the last
+/// block may be narrower).
+struct BlockLayout {
+  Index n = 0;
+  Index block_size = 0;
+  Index num_blocks = 0;
+
+  BlockLayout() = default;
+  BlockLayout(Index n_, Index block_size_);
+
+  Index block_of(Index index) const;
+  Index block_begin(Index block) const;
+  Index block_end(Index block) const;  // exclusive
+  Index block_width(Index block) const;
+};
+
+/// Block-level projection of a scalar pattern: block (I, J) is present iff
+/// some scalar (i, j) with i in block I, j in block J is present.
+/// Result is a CscPattern over the num_blocks × num_blocks grid.
+CscPattern project_to_blocks(const CscPattern& scalar,
+                             const BlockLayout& rows,
+                             const BlockLayout& cols);
+
+/// Scalar nnz count per block for a pattern projection — used to size the
+/// data objects (a block data object stores only its structural nonzeros,
+/// matching RAPID's irregular object sizes).
+std::vector<std::vector<Index>> block_nnz_counts(const CscPattern& scalar,
+                                                 const BlockLayout& rows,
+                                                 const BlockLayout& cols);
+
+}  // namespace rapid::sparse

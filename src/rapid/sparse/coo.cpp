@@ -1,0 +1,54 @@
+#include "rapid/sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::sparse {
+
+CooBuilder::CooBuilder(Index n_rows, Index n_cols)
+    : n_rows_(n_rows), n_cols_(n_cols) {
+  RAPID_CHECK(n_rows >= 0 && n_cols >= 0, "negative dimensions");
+}
+
+void CooBuilder::add(Index row, Index col, double value) {
+  RAPID_CHECK(row >= 0 && row < n_rows_ && col >= 0 && col < n_cols_,
+              cat("triplet (", row, ",", col, ") out of range"));
+  rows_.push_back(row);
+  cols_.push_back(col);
+  vals_.push_back(value);
+}
+
+CscMatrix CooBuilder::to_csc() const {
+  std::vector<std::size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cols_[a] != cols_[b]) return cols_[a] < cols_[b];
+    return rows_[a] < rows_[b];
+  });
+  CscMatrix out;
+  out.pattern.n_rows = n_rows_;
+  out.pattern.n_cols = n_cols_;
+  out.pattern.col_ptr.assign(static_cast<std::size_t>(n_cols_) + 1, 0);
+  Index cur_col = -1;
+  Index cur_row = -1;
+  for (std::size_t k : order) {
+    if (cols_[k] == cur_col && rows_[k] == cur_row) {
+      out.values.back() += vals_[k];  // duplicate: accumulate
+      continue;
+    }
+    cur_col = cols_[k];
+    cur_row = rows_[k];
+    out.pattern.row_idx.push_back(cur_row);
+    out.values.push_back(vals_[k]);
+    ++out.pattern.col_ptr[static_cast<std::size_t>(cur_col) + 1];
+  }
+  for (Index j = 0; j < n_cols_; ++j) {
+    out.pattern.col_ptr[j + 1] += out.pattern.col_ptr[j];
+  }
+  return out;
+}
+
+}  // namespace rapid::sparse

@@ -1,0 +1,33 @@
+// Coordinate-format builder: the generators accumulate triplets here and
+// compress once. Duplicate entries are summed (finite-element style).
+#pragma once
+
+#include <vector>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::sparse {
+
+class CooBuilder {
+ public:
+  CooBuilder(Index n_rows, Index n_cols);
+
+  /// Accumulates value at (row, col); duplicates sum at compression time.
+  void add(Index row, Index col, double value);
+
+  Index n_rows() const { return n_rows_; }
+  Index n_cols() const { return n_cols_; }
+  std::size_t num_triplets() const { return rows_.size(); }
+
+  /// Compresses to CSC, summing duplicates. The builder stays usable.
+  CscMatrix to_csc() const;
+
+ private:
+  Index n_rows_;
+  Index n_cols_;
+  std::vector<Index> rows_;
+  std::vector<Index> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace rapid::sparse

@@ -1,0 +1,223 @@
+#include "rapid/sparse/csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::sparse {
+
+void CscPattern::validate() const {
+  RAPID_CHECK(n_rows >= 0 && n_cols >= 0, "negative dimensions");
+  RAPID_CHECK(static_cast<Index>(col_ptr.size()) == n_cols + 1,
+              cat("col_ptr size ", col_ptr.size(), " != n_cols+1 ",
+                  n_cols + 1));
+  RAPID_CHECK(col_ptr.front() == 0, "col_ptr must start at 0");
+  RAPID_CHECK(col_ptr.back() == nnz(), "col_ptr must end at nnz");
+  for (Index j = 0; j < n_cols; ++j) {
+    RAPID_CHECK(col_ptr[j] <= col_ptr[j + 1],
+                cat("col_ptr not monotone at column ", j));
+    for (Index k = col_ptr[j]; k < col_ptr[j + 1]; ++k) {
+      RAPID_CHECK(row_idx[k] >= 0 && row_idx[k] < n_rows,
+                  cat("row index out of range in column ", j));
+      if (k > col_ptr[j]) {
+        RAPID_CHECK(row_idx[k - 1] < row_idx[k],
+                    cat("rows not sorted/unique in column ", j));
+      }
+    }
+  }
+}
+
+bool CscPattern::contains(Index row, Index col) const {
+  RAPID_CHECK(col >= 0 && col < n_cols, "column out of range");
+  const auto begin = row_idx.begin() + col_ptr[col];
+  const auto end = row_idx.begin() + col_ptr[col + 1];
+  return std::binary_search(begin, end, row);
+}
+
+CscPattern CscPattern::transposed() const {
+  CscPattern out;
+  out.n_rows = n_cols;
+  out.n_cols = n_rows;
+  out.col_ptr.assign(static_cast<std::size_t>(n_rows) + 1, 0);
+  out.row_idx.resize(row_idx.size());
+  for (Index k = 0; k < nnz(); ++k) {
+    ++out.col_ptr[row_idx[k] + 1];
+  }
+  for (Index i = 0; i < n_rows; ++i) {
+    out.col_ptr[i + 1] += out.col_ptr[i];
+  }
+  std::vector<Index> next(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  for (Index j = 0; j < n_cols; ++j) {
+    for (Index k = col_ptr[j]; k < col_ptr[j + 1]; ++k) {
+      out.row_idx[next[row_idx[k]]++] = j;
+    }
+  }
+  return out;
+}
+
+CscPattern CscPattern::union_with(const CscPattern& other) const {
+  RAPID_CHECK(n_rows == other.n_rows && n_cols == other.n_cols,
+              "union_with: shape mismatch");
+  CscPattern out;
+  out.n_rows = n_rows;
+  out.n_cols = n_cols;
+  out.col_ptr.reserve(static_cast<std::size_t>(n_cols) + 1);
+  out.col_ptr.push_back(0);
+  out.row_idx.reserve(row_idx.size() + other.row_idx.size());
+  for (Index j = 0; j < n_cols; ++j) {
+    std::set_union(row_idx.begin() + col_ptr[j],
+                   row_idx.begin() + col_ptr[j + 1],
+                   other.row_idx.begin() + other.col_ptr[j],
+                   other.row_idx.begin() + other.col_ptr[j + 1],
+                   std::back_inserter(out.row_idx));
+    out.col_ptr.push_back(static_cast<Index>(out.row_idx.size()));
+  }
+  return out;
+}
+
+CscPattern CscPattern::lower_triangle() const {
+  CscPattern out;
+  out.n_rows = n_rows;
+  out.n_cols = n_cols;
+  out.col_ptr.push_back(0);
+  for (Index j = 0; j < n_cols; ++j) {
+    for (Index k = col_ptr[j]; k < col_ptr[j + 1]; ++k) {
+      if (row_idx[k] >= j) out.row_idx.push_back(row_idx[k]);
+    }
+    out.col_ptr.push_back(static_cast<Index>(out.row_idx.size()));
+  }
+  return out;
+}
+
+CscPattern CscPattern::with_full_diagonal() const {
+  CscPattern out;
+  out.n_rows = n_rows;
+  out.n_cols = n_cols;
+  out.col_ptr.push_back(0);
+  for (Index j = 0; j < n_cols; ++j) {
+    bool seen_diag = false;
+    for (Index k = col_ptr[j]; k < col_ptr[j + 1]; ++k) {
+      if (!seen_diag && row_idx[k] > j && j < n_rows) {
+        out.row_idx.push_back(j);
+        seen_diag = true;
+      }
+      if (row_idx[k] == j) seen_diag = true;
+      out.row_idx.push_back(row_idx[k]);
+    }
+    if (!seen_diag && j < n_rows) out.row_idx.push_back(j);
+    out.col_ptr.push_back(static_cast<Index>(out.row_idx.size()));
+  }
+  return out;
+}
+
+void CscMatrix::validate() const {
+  pattern.validate();
+  RAPID_CHECK(values.size() == static_cast<std::size_t>(pattern.nnz()),
+              "values size != nnz");
+}
+
+double CscMatrix::at(Index row, Index col) const {
+  RAPID_CHECK(col >= 0 && col < n_cols(), "column out of range");
+  const auto begin = pattern.row_idx.begin() + pattern.col_ptr[col];
+  const auto end = pattern.row_idx.begin() + pattern.col_ptr[col + 1];
+  const auto it = std::lower_bound(begin, end, row);
+  if (it == end || *it != row) return 0.0;
+  return values[static_cast<std::size_t>(it - pattern.row_idx.begin())];
+}
+
+std::vector<double> CscMatrix::multiply(const std::vector<double>& x) const {
+  RAPID_CHECK(static_cast<Index>(x.size()) == n_cols(),
+              "multiply: size mismatch");
+  std::vector<double> y(static_cast<std::size_t>(n_rows()), 0.0);
+  for (Index j = 0; j < n_cols(); ++j) {
+    const double xj = x[j];
+    for (Index k = pattern.col_ptr[j]; k < pattern.col_ptr[j + 1]; ++k) {
+      y[pattern.row_idx[k]] += values[k] * xj;
+    }
+  }
+  return y;
+}
+
+std::vector<double> CscMatrix::multiply_transpose(
+    const std::vector<double>& x) const {
+  RAPID_CHECK(static_cast<Index>(x.size()) == n_rows(),
+              "multiply_transpose: size mismatch");
+  std::vector<double> y(static_cast<std::size_t>(n_cols()), 0.0);
+  for (Index j = 0; j < n_cols(); ++j) {
+    double acc = 0.0;
+    for (Index k = pattern.col_ptr[j]; k < pattern.col_ptr[j + 1]; ++k) {
+      acc += values[k] * x[pattern.row_idx[k]];
+    }
+    y[j] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CscMatrix::to_dense() const {
+  std::vector<double> dense(
+      static_cast<std::size_t>(n_rows()) * static_cast<std::size_t>(n_cols()),
+      0.0);
+  for (Index j = 0; j < n_cols(); ++j) {
+    for (Index k = pattern.col_ptr[j]; k < pattern.col_ptr[j + 1]; ++k) {
+      dense[static_cast<std::size_t>(j) * n_rows() + pattern.row_idx[k]] =
+          values[k];
+    }
+  }
+  return dense;
+}
+
+CscMatrix CscMatrix::permuted_symmetric(const std::vector<Index>& perm) const {
+  RAPID_CHECK(n_rows() == n_cols(), "permuted_symmetric needs square matrix");
+  const Index n = n_cols();
+  RAPID_CHECK(static_cast<Index>(perm.size()) == n, "perm size mismatch");
+  std::vector<Index> inv(static_cast<std::size_t>(n), -1);
+  for (Index i = 0; i < n; ++i) {
+    RAPID_CHECK(perm[i] >= 0 && perm[i] < n && inv[perm[i]] == -1,
+                "perm is not a permutation");
+    inv[perm[i]] = i;
+  }
+  // Build triplets in the permuted frame, then compress.
+  struct Entry {
+    Index row;
+    double value;
+  };
+  std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    const Index new_j = inv[j];
+    for (Index k = pattern.col_ptr[j]; k < pattern.col_ptr[j + 1]; ++k) {
+      cols[new_j].push_back(Entry{inv[pattern.row_idx[k]], values[k]});
+    }
+  }
+  CscMatrix out;
+  out.pattern.n_rows = n;
+  out.pattern.n_cols = n;
+  out.pattern.col_ptr.push_back(0);
+  for (Index j = 0; j < n; ++j) {
+    std::sort(cols[j].begin(), cols[j].end(),
+              [](const Entry& a, const Entry& b) { return a.row < b.row; });
+    for (const Entry& e : cols[j]) {
+      out.pattern.row_idx.push_back(e.row);
+      out.values.push_back(e.value);
+    }
+    out.pattern.col_ptr.push_back(static_cast<Index>(out.values.size()));
+  }
+  return out;
+}
+
+double CscMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : values) acc += v * v;
+  return std::sqrt(acc);
+}
+
+CscPattern make_empty_pattern(Index n_rows, Index n_cols) {
+  CscPattern p;
+  p.n_rows = n_rows;
+  p.n_cols = n_cols;
+  p.col_ptr.assign(static_cast<std::size_t>(n_cols) + 1, 0);
+  return p;
+}
+
+}  // namespace rapid::sparse

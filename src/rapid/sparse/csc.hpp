@@ -1,0 +1,79 @@
+// Compressed sparse column storage. The whole repo standardizes on CSC
+// because both factorization substrates (left/right-looking Cholesky, 1-D
+// column-block LU) are column-driven.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rapid::sparse {
+
+using Index = std::int32_t;
+
+/// Structure-only CSC: column pointers + row indices, rows sorted within
+/// each column. Invariants are enforced by validate().
+struct CscPattern {
+  Index n_rows = 0;
+  Index n_cols = 0;
+  std::vector<Index> col_ptr;  // size n_cols + 1
+  std::vector<Index> row_idx;  // size nnz, sorted per column
+
+  Index nnz() const { return static_cast<Index>(row_idx.size()); }
+
+  /// Throws rapid::Error if any invariant is violated (monotone col_ptr,
+  /// sorted unique rows in range).
+  void validate() const;
+
+  /// True if (row, col) is present. O(log nnz(col)).
+  bool contains(Index row, Index col) const;
+
+  /// Structural transpose.
+  CscPattern transposed() const;
+
+  /// Pattern of this ∪ other (same shape required).
+  CscPattern union_with(const CscPattern& other) const;
+
+  /// Pattern restricted to the lower triangle (row >= col), diagonal kept.
+  CscPattern lower_triangle() const;
+
+  /// Pattern with a full diagonal added.
+  CscPattern with_full_diagonal() const;
+
+  bool operator==(const CscPattern& other) const = default;
+};
+
+/// Numeric CSC matrix: pattern plus one value per structural nonzero.
+struct CscMatrix {
+  CscPattern pattern;
+  std::vector<double> values;  // size pattern.nnz()
+
+  Index n_rows() const { return pattern.n_rows; }
+  Index n_cols() const { return pattern.n_cols; }
+  Index nnz() const { return pattern.nnz(); }
+
+  void validate() const;
+
+  /// Value at (row, col), 0.0 if not structurally present.
+  double at(Index row, Index col) const;
+
+  /// y = A * x (sizes checked).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// y = A^T * x.
+  std::vector<double> multiply_transpose(const std::vector<double>& x) const;
+
+  /// Dense copy in column-major order, n_rows * n_cols entries.
+  std::vector<double> to_dense() const;
+
+  /// Symmetric permutation B = P A P^T where perm[new] = old.
+  /// Requires square A.
+  CscMatrix permuted_symmetric(const std::vector<Index>& perm) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+};
+
+/// An empty pattern of the given shape.
+CscPattern make_empty_pattern(Index n_rows, Index n_cols);
+
+}  // namespace rapid::sparse

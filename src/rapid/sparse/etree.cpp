@@ -1,0 +1,97 @@
+#include "rapid/sparse/etree.hpp"
+
+#include <algorithm>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::sparse {
+
+std::vector<Index> elimination_tree(const CscPattern& a) {
+  RAPID_CHECK(a.n_rows == a.n_cols, "etree needs a square pattern");
+  const Index n = a.n_cols;
+  std::vector<Index> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Index> ancestor(static_cast<std::size_t>(n), -1);
+  // Process the union pattern symmetrically: for column j, walk every
+  // row index i < j in column j (upper triangle) and also every entry
+  // (j, i) with i < j found via the transpose; to avoid materializing the
+  // transpose, we pre-union the pattern with its transpose.
+  const CscPattern sym = a.union_with(a.transposed());
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = sym.col_ptr[j]; k < sym.col_ptr[j + 1]; ++k) {
+      Index i = sym.row_idx[k];
+      if (i >= j) continue;
+      // Walk from i up the current forest to the root, compressing.
+      while (i != -1 && i < j) {
+        const Index next = ancestor[i];
+        ancestor[i] = j;
+        if (next == -1) {
+          parent[i] = j;
+          break;
+        }
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Index> postorder(const std::vector<Index>& parent) {
+  const Index n = static_cast<Index>(parent.size());
+  // Build child lists (sorted by construction: children pushed in index
+  // order).
+  std::vector<Index> head(static_cast<std::size_t>(n), -1);
+  std::vector<Index> next(static_cast<std::size_t>(n), -1);
+  for (Index v = n - 1; v >= 0; --v) {
+    if (parent[v] != -1) {
+      RAPID_CHECK(parent[v] >= 0 && parent[v] < n, "bad parent index");
+      next[v] = head[parent[v]];
+      head[parent[v]] = v;
+    }
+  }
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<Index> stack;
+  for (Index root = 0; root < n; ++root) {
+    if (parent[root] != -1) continue;
+    // Iterative DFS emitting postorder.
+    stack.push_back(root);
+    std::vector<Index> emit_stack;
+    while (!stack.empty()) {
+      const Index v = stack.back();
+      stack.pop_back();
+      emit_stack.push_back(v);
+      for (Index c = head[v]; c != -1; c = next[c]) {
+        stack.push_back(c);
+      }
+    }
+    // emit_stack holds a reverse-postorder of the subtree; children were
+    // pushed in increasing order so reversing yields children-first with
+    // stable child order.
+    std::reverse(emit_stack.begin(), emit_stack.end());
+    order.insert(order.end(), emit_stack.begin(), emit_stack.end());
+  }
+  RAPID_CHECK(static_cast<Index>(order.size()) == n,
+              "postorder: parent[] contains a cycle");
+  return order;
+}
+
+std::vector<Index> tree_depths(const std::vector<Index>& parent) {
+  const Index n = static_cast<Index>(parent.size());
+  std::vector<Index> depth(static_cast<std::size_t>(n), -1);
+  for (Index v = 0; v < n; ++v) {
+    // Walk up until a known depth or a root, then unwind.
+    Index u = v;
+    std::vector<Index> path;
+    while (u != -1 && depth[u] == -1) {
+      path.push_back(u);
+      u = parent[u];
+    }
+    Index base = (u == -1) ? -1 : depth[u];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      depth[*it] = ++base;
+    }
+  }
+  return depth;
+}
+
+}  // namespace rapid::sparse

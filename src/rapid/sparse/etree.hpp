@@ -1,0 +1,24 @@
+// Elimination tree of a symmetric (or symmetrized) sparse pattern, plus the
+// postordering used to derive supernode/slice structure. Liu's algorithm
+// with path compression, O(nnz · α(n)).
+#pragma once
+
+#include <vector>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::sparse {
+
+/// parent[j] = etree parent of column j, or -1 for roots. The input is
+/// interpreted symmetrically (only entries with row < col are consulted in
+/// the upper triangle of A ∪ Aᵀ).
+std::vector<Index> elimination_tree(const CscPattern& a);
+
+/// Postorder of a forest given parent[] (children visited before parents,
+/// ties by child index). Returns order with order[k] = vertex at position k.
+std::vector<Index> postorder(const std::vector<Index>& parent);
+
+/// depth[j] = distance from j to its root (roots have depth 0).
+std::vector<Index> tree_depths(const std::vector<Index>& parent);
+
+}  // namespace rapid::sparse

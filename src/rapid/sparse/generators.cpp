@@ -1,0 +1,166 @@
+#include "rapid/sparse/generators.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "rapid/sparse/coo.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::sparse {
+
+namespace {
+
+Index grid_id(Index x, Index y, Index nx) { return y * nx + x; }
+
+}  // namespace
+
+CscMatrix grid_laplacian_2d(Index nx, Index ny, int stencil_points) {
+  RAPID_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  RAPID_CHECK(stencil_points == 5 || stencil_points == 9,
+              "stencil must be 5 or 9 points");
+  const Index n = nx * ny;
+  CooBuilder coo(n, n);
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      const Index center = grid_id(x, y, nx);
+      int degree = 0;
+      auto couple = [&](Index ox, Index oy, double w) {
+        const Index xx = x + ox;
+        const Index yy = y + oy;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) return;
+        coo.add(grid_id(xx, yy, nx), center, -w);
+        ++degree;
+      };
+      couple(-1, 0, 1.0);
+      couple(1, 0, 1.0);
+      couple(0, -1, 1.0);
+      couple(0, 1, 1.0);
+      if (stencil_points == 9) {
+        couple(-1, -1, 0.5);
+        couple(1, -1, 0.5);
+        couple(-1, 1, 0.5);
+        couple(1, 1, 0.5);
+      }
+      coo.add(center, center, static_cast<double>(degree) + 1.0);
+    }
+  }
+  return coo.to_csc();
+}
+
+CscMatrix grid_laplacian_3d(Index nx, Index ny, Index nz) {
+  RAPID_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  const Index n = nx * ny * nz;
+  CooBuilder coo(n, n);
+  auto id = [&](Index x, Index y, Index z) { return (z * ny + y) * nx + x; };
+  for (Index z = 0; z < nz; ++z) {
+    for (Index y = 0; y < ny; ++y) {
+      for (Index x = 0; x < nx; ++x) {
+        const Index center = id(x, y, z);
+        int degree = 0;
+        auto couple = [&](Index ox, Index oy, Index oz) {
+          const Index xx = x + ox, yy = y + oy, zz = z + oz;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz)
+            return;
+          coo.add(id(xx, yy, zz), center, -1.0);
+          ++degree;
+        };
+        couple(-1, 0, 0);
+        couple(1, 0, 0);
+        couple(0, -1, 0);
+        couple(0, 1, 0);
+        couple(0, 0, -1);
+        couple(0, 0, 1);
+        coo.add(center, center, static_cast<double>(degree) + 1.0);
+      }
+    }
+  }
+  return coo.to_csc();
+}
+
+CscMatrix convection_diffusion_2d(Index nx, Index ny, double drop_prob,
+                                  Rng& rng) {
+  RAPID_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  RAPID_CHECK(drop_prob >= 0.0 && drop_prob < 1.0, "drop_prob in [0,1)");
+  const Index n = nx * ny;
+  CooBuilder coo(n, n);
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      const Index center = grid_id(x, y, nx);
+      // Per-cell wind: magnitude spans orders of magnitude so that the
+      // numerically largest entry in a column is often off-diagonal and
+      // partial pivoting genuinely reorders rows.
+      const double wind_u = rng.next_double(-1.0, 1.0) *
+                            std::pow(10.0, rng.next_double(-1.0, 2.0));
+      const double wind_v = rng.next_double(-1.0, 1.0) *
+                            std::pow(10.0, rng.next_double(-1.0, 2.0));
+      double diag = 4.0;
+      auto couple = [&](Index ox, Index oy, double w) {
+        const Index xx = x + ox;
+        const Index yy = y + oy;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) return;
+        if (rng.next_bool(drop_prob)) return;  // structural asymmetry
+        coo.add(grid_id(xx, yy, nx), center, w);
+        diag += std::abs(w) * 0.25;
+      };
+      // Upwind discretization: convection adds to one side only.
+      couple(-1, 0, -1.0 - (wind_u > 0 ? wind_u : 0.0));
+      couple(1, 0, -1.0 - (wind_u < 0 ? -wind_u : 0.0));
+      couple(0, -1, -1.0 - (wind_v > 0 ? wind_v : 0.0));
+      couple(0, 1, -1.0 - (wind_v < 0 ? -wind_v : 0.0));
+      coo.add(center, center, diag);
+    }
+  }
+  return coo.to_csc();
+}
+
+CscMatrix random_banded(Index n, Index bandwidth, double density, Rng& rng) {
+  RAPID_CHECK(n > 0, "n must be positive");
+  RAPID_CHECK(bandwidth >= 0 && bandwidth < n, "bandwidth out of range");
+  RAPID_CHECK(density > 0.0 && density <= 1.0, "density in (0,1]");
+  CooBuilder coo(n, n);
+  for (Index j = 0; j < n; ++j) {
+    double col_sum = 0.0;
+    const Index lo = std::max<Index>(0, j - bandwidth);
+    const Index hi = std::min<Index>(n - 1, j + bandwidth);
+    for (Index i = lo; i <= hi; ++i) {
+      if (i == j) continue;
+      if (!rng.next_bool(density)) continue;
+      const double v = rng.next_double(-1.0, 1.0);
+      coo.add(i, j, v);
+      col_sum += std::abs(v);
+    }
+    coo.add(j, j, col_sum + 1.0 + rng.next_double());
+  }
+  return coo.to_csc();
+}
+
+CscMatrix make_diagonally_dominant(const CscMatrix& a) {
+  RAPID_CHECK(a.n_rows() == a.n_cols(), "needs a square matrix");
+  const Index n = a.n_cols();
+  std::vector<double> offdiag_sum(static_cast<std::size_t>(n), 0.0);
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = a.pattern.col_ptr[j]; k < a.pattern.col_ptr[j + 1]; ++k) {
+      if (a.pattern.row_idx[k] != j) {
+        offdiag_sum[a.pattern.row_idx[k]] += std::abs(a.values[k]);
+      }
+    }
+  }
+  double shift = 0.0;
+  for (double s : offdiag_sum) shift = std::max(shift, s);
+  shift += 1.0;
+  CooBuilder coo(n, n);
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = a.pattern.col_ptr[j]; k < a.pattern.col_ptr[j + 1]; ++k) {
+      coo.add(a.pattern.row_idx[k], j, a.values[k]);
+    }
+    coo.add(j, j, shift);
+  }
+  return coo.to_csc();
+}
+
+std::vector<double> rhs_for_unit_solution(const CscMatrix& a) {
+  std::vector<double> ones(static_cast<std::size_t>(a.n_cols()), 1.0);
+  return a.multiply(ones);
+}
+
+}  // namespace rapid::sparse

@@ -1,0 +1,42 @@
+// Synthetic matrix generators standing in for the paper's Harwell-Boeing
+// inputs (see DESIGN.md §2). The SPD generators model BCSSTK15/24/33-style
+// structural-engineering matrices (FEM grid discretizations, banded after
+// reordering); the unsymmetric generator models the "goodwin" fluid-dynamics
+// matrix (convection-diffusion, structurally unsymmetric, pivoting-relevant).
+#pragma once
+
+#include "rapid/sparse/csc.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::sparse {
+
+/// 2-D grid Laplacian on an nx × ny grid. stencil_points must be 5 or 9.
+/// Diagonally dominant SPD (diagonal = degree + 1).
+CscMatrix grid_laplacian_2d(Index nx, Index ny, int stencil_points = 5);
+
+/// 3-D 7-point grid Laplacian on nx × ny × nz; SPD.
+CscMatrix grid_laplacian_3d(Index nx, Index ny, Index nz);
+
+/// Unsymmetric convection-diffusion operator on an nx × ny grid:
+/// 5-point diffusion plus upwinded convection with random per-cell wind,
+/// plus structural asymmetry (each off-diagonal coupling independently
+/// dropped with probability drop_prob). Values vary over orders of
+/// magnitude so partial pivoting actually reorders rows.
+CscMatrix convection_diffusion_2d(Index nx, Index ny, double drop_prob,
+                                  Rng& rng);
+
+/// Random banded unsymmetric matrix: entries within |i-j| <= bandwidth kept
+/// with probability density; strong diagonal so reference LU stays stable
+/// while partial pivoting still permutes rows.
+CscMatrix random_banded(Index n, Index bandwidth, double density, Rng& rng);
+
+/// Returns A shifted to strict diagonal dominance:
+/// out = A + (max_row_offdiag_sum + 1) I restricted to A's pattern plus a
+/// full diagonal. Used to make arbitrary symmetric patterns SPD.
+CscMatrix make_diagonally_dominant(const CscMatrix& a);
+
+/// A deterministic right-hand side b = A * ones, so the exact solution of
+/// A x = b is the all-ones vector. Used by solver round-trip tests.
+std::vector<double> rhs_for_unit_solution(const CscMatrix& a);
+
+}  // namespace rapid::sparse

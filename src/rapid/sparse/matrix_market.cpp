@@ -1,0 +1,116 @@
+#include "rapid/sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "rapid/sparse/coo.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::sparse {
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return text;
+}
+
+}  // namespace
+
+CscMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  // Header.
+  RAPID_CHECK(std::getline(in, line), "empty Matrix Market stream");
+  ++line_no;
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  RAPID_CHECK(banner == "%%matrixmarket",
+              cat("line 1: expected %%MatrixMarket banner, got '", line, "'"));
+  RAPID_CHECK(object == "matrix", cat("unsupported object '", object, "'"));
+  RAPID_CHECK(format == "coordinate",
+              cat("unsupported format '", format, "' (only coordinate)"));
+  RAPID_CHECK(field == "real" || field == "integer" || field == "pattern",
+              cat("unsupported field '", field, "'"));
+  RAPID_CHECK(symmetry == "general" || symmetry == "symmetric",
+              cat("unsupported symmetry '", symmetry, "'"));
+  const bool pattern_only = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  Index n_rows = 0, n_cols = 0;
+  long long nnz = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    RAPID_CHECK(static_cast<bool>(sizes >> n_rows >> n_cols >> nnz),
+                cat("line ", line_no, ": malformed size line '", line, "'"));
+    break;
+  }
+  RAPID_CHECK(n_rows > 0 && n_cols > 0,
+              cat("line ", line_no, ": missing or empty size line"));
+
+  CooBuilder coo(n_rows, n_cols);
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long row = 0, col = 0;
+    double value = 1.0;
+    RAPID_CHECK(static_cast<bool>(entry >> row >> col),
+                cat("line ", line_no, ": malformed entry '", line, "'"));
+    if (!pattern_only) {
+      RAPID_CHECK(static_cast<bool>(entry >> value),
+                  cat("line ", line_no, ": missing value in '", line, "'"));
+    }
+    RAPID_CHECK(row >= 1 && row <= n_rows && col >= 1 && col <= n_cols,
+                cat("line ", line_no, ": index out of range in '", line, "'"));
+    coo.add(static_cast<Index>(row - 1), static_cast<Index>(col - 1), value);
+    if (symmetric && row != col) {
+      coo.add(static_cast<Index>(col - 1), static_cast<Index>(row - 1),
+              value);
+    }
+    ++seen;
+  }
+  RAPID_CHECK(seen == nnz,
+              cat("expected ", nnz, " entries, found ", seen));
+  return coo.to_csc();
+}
+
+CscMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  RAPID_CHECK(in.good(), cat("cannot open '", path, "'"));
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& matrix) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by rapid97\n";
+  out << matrix.n_rows() << " " << matrix.n_cols() << " " << matrix.nnz()
+      << "\n";
+  out.precision(17);
+  for (Index j = 0; j < matrix.n_cols(); ++j) {
+    for (Index k = matrix.pattern.col_ptr[j]; k < matrix.pattern.col_ptr[j + 1];
+         ++k) {
+      out << (matrix.pattern.row_idx[k] + 1) << " " << (j + 1) << " "
+          << matrix.values[k] << "\n";
+    }
+  }
+  RAPID_CHECK(out.good(), "write failure");
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const CscMatrix& matrix) {
+  std::ofstream out(path);
+  RAPID_CHECK(out.good(), cat("cannot open '", path, "' for writing"));
+  write_matrix_market(out, matrix);
+}
+
+}  // namespace rapid::sparse

@@ -1,0 +1,30 @@
+// Matrix Market (.mtx) I/O, so downstream users can run the pipeline on
+// their own matrices (including the original Harwell-Boeing/SuiteSparse
+// instances the paper used, converted to Matrix Market form).
+//
+// Supported: `matrix coordinate real|integer|pattern general|symmetric`.
+// Pattern entries get value 1.0; symmetric files are expanded to both
+// triangles. Writing always emits `coordinate real general`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::sparse {
+
+/// Parses a Matrix Market stream. Throws rapid::Error with a line-numbered
+/// message on malformed input.
+CscMatrix read_matrix_market(std::istream& in);
+
+/// Convenience: open + parse a file.
+CscMatrix read_matrix_market_file(const std::string& path);
+
+/// Serializes in coordinate-real-general form (1-based indices).
+void write_matrix_market(std::ostream& out, const CscMatrix& matrix);
+
+void write_matrix_market_file(const std::string& path,
+                              const CscMatrix& matrix);
+
+}  // namespace rapid::sparse

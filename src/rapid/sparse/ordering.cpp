@@ -1,0 +1,270 @@
+#include "rapid/sparse/ordering.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::sparse {
+
+namespace {
+
+/// Adjacency of the symmetrized pattern, diagonal removed.
+std::vector<std::vector<Index>> symmetric_adjacency(const CscPattern& a) {
+  RAPID_CHECK(a.n_rows == a.n_cols, "RCM needs a square pattern");
+  const Index n = a.n_cols;
+  std::vector<std::vector<Index>> adj(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      const Index i = a.row_idx[k];
+      if (i == j) continue;
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+/// BFS from start; returns (last vertex visited, eccentricity, visit count).
+struct BfsResult {
+  Index last = -1;
+  Index depth = 0;
+  Index visited = 0;
+};
+
+BfsResult bfs(const std::vector<std::vector<Index>>& adj, Index start,
+              std::vector<Index>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::queue<Index> queue;
+  queue.push(start);
+  level[start] = 0;
+  BfsResult res;
+  res.last = start;
+  while (!queue.empty()) {
+    const Index u = queue.front();
+    queue.pop();
+    ++res.visited;
+    res.last = u;
+    res.depth = level[u];
+    for (Index v : adj[u]) {
+      if (level[v] == -1) {
+        level[v] = level[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return res;
+}
+
+/// George-Liu pseudo-peripheral vertex: repeat BFS from the farthest vertex
+/// until the eccentricity stops growing.
+Index pseudo_peripheral(const std::vector<std::vector<Index>>& adj,
+                        Index start, std::vector<Index>& level) {
+  Index current = start;
+  BfsResult res = bfs(adj, current, level);
+  for (int iter = 0; iter < 8; ++iter) {
+    const BfsResult next = bfs(adj, res.last, level);
+    if (next.depth <= res.depth) break;
+    current = res.last;
+    res = next;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<Index> reverse_cuthill_mckee(const CscPattern& a) {
+  const Index n = a.n_cols;
+  const auto adj = symmetric_adjacency(a);
+  std::vector<Index> degree(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    degree[i] = static_cast<Index>(adj[i].size());
+  }
+  std::vector<Index> level(static_cast<std::size_t>(n), -1);
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (Index seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    const Index root = pseudo_peripheral(adj, seed, level);
+    // Cuthill-McKee BFS from root with neighbors sorted by degree.
+    std::queue<Index> queue;
+    queue.push(root);
+    placed[root] = true;
+    while (!queue.empty()) {
+      const Index u = queue.front();
+      queue.pop();
+      order.push_back(u);
+      std::vector<Index> next;
+      for (Index v : adj[u]) {
+        if (!placed[v]) {
+          placed[v] = true;
+          next.push_back(v);
+        }
+      }
+      std::sort(next.begin(), next.end(), [&](Index x, Index y) {
+        if (degree[x] != degree[y]) return degree[x] < degree[y];
+        return x < y;
+      });
+      for (Index v : next) queue.push(v);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<Index> identity_permutation(Index n) {
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[i] = i;
+  return perm;
+}
+
+std::vector<Index> invert_permutation(const std::vector<Index>& perm) {
+  std::vector<Index> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    RAPID_CHECK(perm[i] >= 0 && static_cast<std::size_t>(perm[i]) < perm.size(),
+                "invalid permutation entry");
+    RAPID_CHECK(inv[perm[i]] == -1, "duplicate permutation entry");
+    inv[perm[i]] = static_cast<Index>(i);
+  }
+  return inv;
+}
+
+namespace {
+
+/// Recursive dissection of an axis-aligned box; emits old indices in nested
+/// dissection order. `id` maps grid coordinates to old indices.
+template <typename IdFn>
+void dissect_box(std::array<Index, 3> lo, std::array<Index, 3> hi,
+                 Index leaf_size, const IdFn& id, std::vector<Index>& order) {
+  const Index dx = hi[0] - lo[0];
+  const Index dy = hi[1] - lo[1];
+  const Index dz = hi[2] - lo[2];
+  const Index cells = dx * dy * dz;
+  if (cells <= 0) return;
+  const Index longest = std::max({dx, dy, dz});
+  if (cells <= leaf_size || longest < 3) {
+    for (Index z = lo[2]; z < hi[2]; ++z) {
+      for (Index y = lo[1]; y < hi[1]; ++y) {
+        for (Index x = lo[0]; x < hi[0]; ++x) {
+          order.push_back(id(x, y, z));
+        }
+      }
+    }
+    return;
+  }
+  int axis = 0;
+  if (dy == longest) axis = 1;
+  if (dz == longest) axis = 2;
+  const Index cut = lo[axis] + (hi[axis] - lo[axis]) / 2;
+  auto left_hi = hi, right_lo = lo, sep_lo = lo, sep_hi = hi;
+  left_hi[axis] = cut;
+  right_lo[axis] = cut + 1;
+  sep_lo[axis] = cut;
+  sep_hi[axis] = cut + 1;
+  dissect_box(lo, left_hi, leaf_size, id, order);
+  dissect_box(right_lo, hi, leaf_size, id, order);
+  dissect_box(sep_lo, sep_hi, leaf_size, id, order);
+}
+
+}  // namespace
+
+std::vector<Index> nested_dissection_2d(Index nx, Index ny, Index leaf_size) {
+  RAPID_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(nx) * ny);
+  dissect_box({0, 0, 0}, {nx, ny, 1}, leaf_size,
+              [nx](Index x, Index y, Index) { return y * nx + x; }, order);
+  return order;
+}
+
+std::vector<Index> nested_dissection_3d(Index nx, Index ny, Index nz,
+                                        Index leaf_size) {
+  RAPID_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(nx) * ny * nz);
+  dissect_box({0, 0, 0}, {nx, ny, nz}, leaf_size,
+              [nx, ny](Index x, Index y, Index z) {
+                return (z * ny + y) * nx + x;
+              },
+              order);
+  return order;
+}
+
+std::vector<Index> minimum_degree(const CscPattern& a) {
+  RAPID_CHECK(a.n_rows == a.n_cols, "minimum degree needs a square pattern");
+  const Index n = a.n_cols;
+  // Elimination-graph adjacency as sorted vectors (diagonal removed).
+  std::vector<std::vector<Index>> adj = symmetric_adjacency(a);
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  // Degree buckets for O(1)-ish min extraction; degrees only change for the
+  // eliminated vertex's neighborhood each round.
+  std::vector<Index> degree(static_cast<std::size_t>(n));
+  const Index max_bucket = n;  // degrees are < n
+  std::vector<std::vector<Index>> bucket(
+      static_cast<std::size_t>(max_bucket) + 1);
+  for (Index v = 0; v < n; ++v) {
+    degree[v] = static_cast<Index>(adj[v].size());
+    bucket[degree[v]].push_back(v);
+  }
+  std::vector<Index> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<Index> merged;
+  Index cursor = 0;
+  while (static_cast<Index>(order.size()) < n) {
+    // Find the lowest non-empty bucket with a live entry at the stated
+    // degree (entries go stale when degrees change; skip those lazily).
+    while (cursor <= max_bucket && bucket[cursor].empty()) ++cursor;
+    RAPID_CHECK(cursor <= max_bucket, "degree buckets exhausted early");
+    const Index v = bucket[cursor].back();
+    bucket[cursor].pop_back();
+    if (eliminated[v] || degree[v] != cursor) continue;  // stale entry
+    eliminated[v] = true;
+    order.push_back(v);
+    // Clique the live neighborhood of v.
+    std::vector<Index> live;
+    for (Index u : adj[v]) {
+      if (!eliminated[u]) live.push_back(u);
+    }
+    for (Index u : live) {
+      // new adj[u] = (adj[u] \ {v, eliminated}) ∪ (live \ {u}).
+      merged.clear();
+      merged.reserve(adj[u].size() + live.size());
+      for (Index w : adj[u]) {
+        if (!eliminated[w]) merged.push_back(w);
+      }
+      for (Index w : live) {
+        if (w != u) merged.push_back(w);
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      adj[u] = merged;
+      const Index new_degree = static_cast<Index>(adj[u].size());
+      if (new_degree != degree[u]) {
+        degree[u] = new_degree;
+        bucket[new_degree].push_back(u);
+        cursor = std::min(cursor, new_degree);
+      }
+    }
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+  }
+  return order;
+}
+
+Index bandwidth(const CscPattern& a) {
+  Index bw = 0;
+  for (Index j = 0; j < a.n_cols; ++j) {
+    for (Index k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      bw = std::max(bw, std::abs(a.row_idx[k] - j));
+    }
+  }
+  return bw;
+}
+
+}  // namespace rapid::sparse

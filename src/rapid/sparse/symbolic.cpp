@@ -1,0 +1,194 @@
+#include "rapid/sparse/symbolic.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "rapid/sparse/etree.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::sparse {
+
+namespace {
+
+/// Column-merge symbolic Cholesky on a symmetric pattern `sym` (both
+/// triangles present, full diagonal). struct(L_j) = rows ≥ j of column j of
+/// A, merged with struct(L_c) \ {c} for every etree child c of j.
+SymbolicFactor symbolic_cholesky_symmetric(const CscPattern& sym) {
+  const Index n = sym.n_cols;
+  SymbolicFactor out;
+  out.etree_parent = elimination_tree(sym);
+
+  // Child lists.
+  std::vector<std::vector<Index>> children(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) {
+    if (out.etree_parent[v] != -1) children[out.etree_parent[v]].push_back(v);
+  }
+
+  std::vector<std::vector<Index>> l_cols(static_cast<std::size_t>(n));
+  std::vector<Index> mark(static_cast<std::size_t>(n), -1);
+  for (Index j = 0; j < n; ++j) {
+    auto& col = l_cols[j];
+    mark[j] = j;
+    col.push_back(j);
+    for (Index k = sym.col_ptr[j]; k < sym.col_ptr[j + 1]; ++k) {
+      const Index i = sym.row_idx[k];
+      if (i > j && mark[i] != j) {
+        mark[i] = j;
+        col.push_back(i);
+      }
+    }
+    for (Index c : children[j]) {
+      for (Index i : l_cols[c]) {
+        if (i > j && mark[i] != j) {
+          mark[i] = j;
+          col.push_back(i);
+        }
+      }
+      // The child's pattern is only needed by its parent; release it to
+      // keep symbolic memory O(|L|) rather than O(n·height).
+      l_cols[c].shrink_to_fit();
+    }
+    std::sort(col.begin(), col.end());
+  }
+
+  out.l_pattern.n_rows = n;
+  out.l_pattern.n_cols = n;
+  out.l_pattern.col_ptr.push_back(0);
+  for (Index j = 0; j < n; ++j) {
+    out.l_pattern.row_idx.insert(out.l_pattern.row_idx.end(),
+                                 l_cols[j].begin(), l_cols[j].end());
+    out.l_pattern.col_ptr.push_back(
+        static_cast<Index>(out.l_pattern.row_idx.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+SymbolicFactor symbolic_cholesky(const CscPattern& a) {
+  RAPID_CHECK(a.n_rows == a.n_cols, "symbolic_cholesky needs square pattern");
+  const CscPattern sym =
+      a.union_with(a.transposed()).with_full_diagonal();
+  return symbolic_cholesky_symmetric(sym);
+}
+
+SymbolicFactor symbolic_lu_static(const CscPattern& a) {
+  return symbolic_cholesky(a);
+}
+
+CscPattern ata_pattern(const CscPattern& a) {
+  // Column j of AᵀA has a nonzero at row i iff columns i and j of A share a
+  // row. Build via the transpose: rows of A indexed by column lists.
+  const CscPattern at = a.transposed();
+  const Index n = a.n_cols;
+  CscPattern out;
+  out.n_rows = n;
+  out.n_cols = n;
+  out.col_ptr.push_back(0);
+  std::vector<Index> mark(static_cast<std::size_t>(n), -1);
+  std::vector<Index> col;
+  for (Index j = 0; j < n; ++j) {
+    col.clear();
+    for (Index k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      const Index r = a.row_idx[k];
+      for (Index k2 = at.col_ptr[r]; k2 < at.col_ptr[r + 1]; ++k2) {
+        const Index i = at.row_idx[k2];
+        if (mark[i] != j) {
+          mark[i] = j;
+          col.push_back(i);
+        }
+      }
+    }
+    std::sort(col.begin(), col.end());
+    out.row_idx.insert(out.row_idx.end(), col.begin(), col.end());
+    out.col_ptr.push_back(static_cast<Index>(out.row_idx.size()));
+  }
+  return out;
+}
+
+SymbolicFactor symbolic_lu_george_ng(const CscPattern& a) {
+  return symbolic_cholesky(ata_pattern(a));
+}
+
+CscPattern symbolic_lu_bound_pivoting(const CscPattern& a) {
+  RAPID_CHECK(a.n_rows == a.n_cols, "LU bound needs a square pattern");
+  const Index n = a.n_cols;
+  const Index words = (n + 63) / 64;
+  // rows[i] = bitset over columns of the current structural bound of row i.
+  std::vector<std::uint64_t> rows(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(words), 0);
+  auto set_bit = [&](Index i, Index j) {
+    rows[static_cast<std::size_t>(i) * words + j / 64] |= 1ull << (j % 64);
+  };
+  auto test_bit = [&](Index i, Index j) {
+    return (rows[static_cast<std::size_t>(i) * words + j / 64] >>
+            (j % 64)) & 1ull;
+  };
+  for (Index j = 0; j < n; ++j) {
+    set_bit(j, j);  // structurally nonzero diagonal assumed/added
+    for (Index k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      set_bit(a.row_idx[k], j);
+    }
+  }
+
+  // Closure: at step k the pivot may be any candidate row (bit k set), and
+  // the subsequent full-row swap can relocate every value a candidate row
+  // holds — including already-computed L columns — to any other candidate
+  // position. All candidates therefore inherit the union of the candidates'
+  // FULL patterns. A row position i is final after step i (later steps only
+  // touch rows > k), so the final bit state is the bound on struct(L + U).
+  std::vector<std::uint64_t> unioned(static_cast<std::size_t>(words));
+  std::vector<Index> candidates;
+  for (Index k = 0; k < n; ++k) {
+    candidates.clear();
+    for (Index i = k; i < n; ++i) {
+      if (test_bit(i, k)) candidates.push_back(i);
+    }
+    RAPID_CHECK(!candidates.empty(), "diagonal lost during closure");
+    std::fill(unioned.begin(), unioned.end(), 0);
+    for (Index i : candidates) {
+      const std::uint64_t* row =
+          rows.data() + static_cast<std::size_t>(i) * words;
+      for (Index w = 0; w < words; ++w) unioned[w] |= row[w];
+    }
+    for (Index i : candidates) {
+      std::uint64_t* row = rows.data() + static_cast<std::size_t>(i) * words;
+      for (Index w = 0; w < words; ++w) row[w] |= unioned[w];
+    }
+  }
+  // Emit the final bit state as a CSC pattern.
+  std::vector<std::vector<Index>> cols(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const std::uint64_t* row =
+        rows.data() + static_cast<std::size_t>(i) * words;
+    for (Index w = 0; w < words; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const Index j = w * 64 + b;
+        if (j < n) cols[j].push_back(i);
+      }
+    }
+  }
+  CscPattern out;
+  out.n_rows = n;
+  out.n_cols = n;
+  out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Index j = 0; j < n; ++j) {
+    std::sort(cols[j].begin(), cols[j].end());
+    out.row_idx.insert(out.row_idx.end(), cols[j].begin(), cols[j].end());
+    out.col_ptr[j + 1] = static_cast<Index>(out.row_idx.size());
+  }
+  return out;
+}
+
+std::vector<Index> column_counts(const SymbolicFactor& f) {
+  std::vector<Index> counts(static_cast<std::size_t>(f.l_pattern.n_cols));
+  for (Index j = 0; j < f.l_pattern.n_cols; ++j) {
+    counts[j] = f.l_pattern.col_ptr[j + 1] - f.l_pattern.col_ptr[j];
+  }
+  return counts;
+}
+
+}  // namespace rapid::sparse

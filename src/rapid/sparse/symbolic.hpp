@@ -1,0 +1,57 @@
+// Symbolic factorization: fill patterns computed at the inspector stage,
+// exactly as RAPID does before building task graphs.
+//
+// For Cholesky we compute the pattern of L by column-merge along the
+// elimination tree. For LU with partial pivoting we provide the *static*
+// symbolic factorization the paper relies on ([6]): a pattern upper bound
+// valid for any pivot sequence, so the task dependence structure can be
+// fixed before numeric execution. Two bounds are offered:
+//  - symmetrized bound: symbolic Cholesky of pattern(A ∪ Aᵀ) — cheap and
+//    what our task-graph builders use by default;
+//  - George–Ng bound: symbolic Cholesky of pattern(AᵀA) — the provable
+//    upper bound for row pivoting, used in validation tests.
+#pragma once
+
+#include <vector>
+
+#include "rapid/sparse/csc.hpp"
+
+namespace rapid::sparse {
+
+struct SymbolicFactor {
+  /// Pattern of L (lower triangular, full diagonal, sorted columns).
+  CscPattern l_pattern;
+  /// Elimination tree parents used to compute it.
+  std::vector<Index> etree_parent;
+
+  Index fill_nnz() const { return l_pattern.nnz(); }
+};
+
+/// Symbolic Cholesky factorization of the symmetrized pattern of A.
+/// Requires square A with a structurally nonzero diagonal (added if absent).
+SymbolicFactor symbolic_cholesky(const CscPattern& a);
+
+/// Static symbolic LU bound via symmetrization: pattern of L and U = Lᵀ
+/// from symbolic Cholesky of pattern(A ∪ Aᵀ).
+SymbolicFactor symbolic_lu_static(const CscPattern& a);
+
+/// George–Ng bound: symbolic Cholesky of pattern(AᵀA). Contains the fill of
+/// LU with any partial-pivoting row order.
+SymbolicFactor symbolic_lu_george_ng(const CscPattern& a);
+
+/// Row-merge static symbolic LU bound (the George–Ng row-merge scheme used
+/// by the paper's static symbolic factorization [6]): simulate elimination
+/// where, at step k, every row that could still hold a nonzero in column k
+/// is a pivot candidate, and all candidates inherit the union of the
+/// candidates' patterns. Safe for ANY partial-pivoting sequence by
+/// construction, for any A with a structurally nonzero diagonal (added if
+/// absent). Returns the full n×n bound on struct(L + U), diagonal included.
+CscPattern symbolic_lu_bound_pivoting(const CscPattern& a);
+
+/// Pattern of AᵀA (square, for the George–Ng bound).
+CscPattern ata_pattern(const CscPattern& a);
+
+/// nnz(L) per column, from a symbolic factor.
+std::vector<Index> column_counts(const SymbolicFactor& f);
+
+}  // namespace rapid::sparse

@@ -1,0 +1,46 @@
+// Error handling primitives shared by every rapid module.
+//
+// RAPID_CHECK is for conditions that indicate caller error or internal
+// invariant violations; it throws rapid::Error (never aborts) so tests can
+// assert on failures. RAPID_ASSERT compiles away in NDEBUG builds and is for
+// hot-path internal invariants only.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rapid {
+
+/// Exception type thrown by all rapid libraries on precondition or
+/// invariant failure. Carries the failing expression and location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace rapid
+
+/// Throws rapid::Error if `expr` is false. `msg` is any expression
+/// convertible to std::string (may be built with rapid::cat()).
+#define RAPID_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::rapid::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                           (msg));                          \
+    }                                                                       \
+  } while (0)
+
+/// Unconditional failure with a message.
+#define RAPID_FAIL(msg) \
+  ::rapid::detail::throw_check_failure("RAPID_FAIL", __FILE__, __LINE__, (msg))
+
+#ifdef NDEBUG
+#define RAPID_ASSERT(expr) ((void)0)
+#else
+#define RAPID_ASSERT(expr) RAPID_CHECK(expr, "debug assertion")
+#endif

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Intended for the
+// runtime's diagnostic traces (protocol state transitions, MAP activity),
+// which tests can raise to kDebug when chasing a protocol bug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rapid {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace rapid
+
+#define RAPID_LOG(level, stream_expr)                          \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::rapid::log_level())) {              \
+      std::ostringstream rapid_log_os;                         \
+      rapid_log_os << stream_expr;                             \
+      ::rapid::detail::log_emit(level, rapid_log_os.str());    \
+    }                                                          \
+  } while (0)
+
+#define RAPID_DEBUG(s) RAPID_LOG(::rapid::LogLevel::kDebug, s)
+#define RAPID_INFO(s) RAPID_LOG(::rapid::LogLevel::kInfo, s)
+#define RAPID_WARN(s) RAPID_LOG(::rapid::LogLevel::kWarn, s)
+#define RAPID_ERROR(s) RAPID_LOG(::rapid::LogLevel::kError, s)

@@ -1,0 +1,90 @@
+// Deterministic, seedable PRNG (xoshiro256**) so every generator, scheduler
+// tie-break and workload in this repo is reproducible across platforms —
+// std::mt19937 distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// reimplemented here. Passes BigCrush; 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's method with
+  /// rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    RAPID_CHECK(bound > 0, "next_below(0)");
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    RAPID_CHECK(lo <= hi, "next_int: empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace rapid

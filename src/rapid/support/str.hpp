@@ -1,0 +1,30 @@
+// String formatting helpers shared by logs, error messages and benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Concatenates stream-printable arguments into a std::string.
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+/// Fixed-precision decimal rendering, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double value, int digits);
+
+/// Renders a ratio as a signed percentage, e.g. pct(0.123) == "+12.3%".
+std::string pct(double ratio, int digits = 1);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Human-readable byte count ("1.50 MB").
+std::string human_bytes(double bytes);
+
+}  // namespace rapid

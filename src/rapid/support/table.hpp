@@ -1,0 +1,32 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// prints the paper's table next to our measured values using this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rapid {
+
+/// Column-aligned text table. Cells are strings; the first added row is the
+/// header. Renders with a separator under the header, e.g.
+///
+///   #procs  ratio
+///   ------  -----
+///   2       1.88
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rapid

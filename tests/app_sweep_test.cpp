@@ -1,0 +1,136 @@
+// Parameterized sweeps over the factorization apps: block size × processor
+// count × ordering, each instance running the full pipeline (graph →
+// schedule → plan → simulator), with threaded numeric verification on the
+// diagonal of the sweep. These catch block-boundary and distribution edge
+// cases (ragged last blocks, single-processor degeneration, more
+// processors than blocks).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rapid/num/cholesky_app.hpp"
+#include "rapid/num/lu_app.hpp"
+#include "rapid/num/reference.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/ordering.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::num {
+namespace {
+
+sparse::CscMatrix spd_matrix() {
+  // 11x11 grid: n = 121, deliberately not divisible by most block sizes.
+  sparse::CscMatrix a = sparse::grid_laplacian_2d(11, 11);
+  return a.permuted_symmetric(sparse::nested_dissection_2d(11, 11));
+}
+
+sparse::CscMatrix unsym_matrix() {
+  Rng rng(31);
+  sparse::CscMatrix a = sparse::convection_diffusion_2d(9, 10, 0.1, rng);
+  return a.permuted_symmetric(sparse::nested_dissection_2d(9, 10));
+}
+
+class CholeskySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  Index block() const { return std::get<0>(GetParam()); }
+  int procs() const { return std::get<1>(GetParam()); }
+  int ordering() const { return std::get<2>(GetParam()); }
+
+  sched::Schedule make_schedule(const graph::TaskGraph& g,
+                                const std::vector<graph::ProcId>& assignment,
+                                const machine::MachineParams& params) const {
+    switch (ordering()) {
+      case 0:
+        return sched::schedule_rcp(g, assignment, procs(), params);
+      case 1:
+        return sched::schedule_mpo(g, assignment, procs(), params);
+      default:
+        return sched::schedule_dts(g, assignment, procs(), params);
+    }
+  }
+};
+
+TEST_P(CholeskySweep, PipelineExecutesAndBoundsHold) {
+  auto app = CholeskyApp::build(spd_matrix(), block(), procs());
+  const auto& g = app.graph();
+  const auto assignment = sched::owner_compute_tasks(g, procs());
+  const auto params = machine::MachineParams::cray_t3d(procs());
+  const auto schedule = make_schedule(g, assignment, params);
+  ASSERT_NO_THROW(schedule.validate(g));
+  const auto liveness = sched::analyze_liveness(g, schedule);
+  const rt::RunPlan plan = rt::build_run_plan(g, schedule);
+  rt::RunConfig config;
+  config.params = params;
+  // Mixed block sizes at the matrix edge can cost a small fragmentation
+  // margin; an eighth above MIN_MEM must always execute.
+  config.capacity_per_proc =
+      liveness.min_mem() + std::max<std::int64_t>(8, liveness.min_mem() / 8);
+  const rt::RunReport report = rt::simulate(plan, config);
+  ASSERT_TRUE(report.executable) << report.failure;
+  EXPECT_EQ(report.tasks_executed, g.num_tasks());
+  // Strictly below MIN_MEM must never execute (Def. 6, one-sided).
+  config.capacity_per_proc = liveness.min_mem() - 8;
+  EXPECT_FALSE(rt::simulate(plan, config).executable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholeskySweep,
+                         ::testing::Combine(::testing::Values(3, 7, 16, 40),
+                                            ::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 1, 2)));
+
+class CholeskyNumericSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CholeskyNumericSweep, ThreadedFactorMatchesReference) {
+  const auto [block, procs] = GetParam();
+  auto app = CholeskyApp::build(spd_matrix(), block, procs);
+  const auto assignment = sched::owner_compute_tasks(app.graph(), procs);
+  const auto params = machine::MachineParams::cray_t3d(procs);
+  const auto schedule =
+      sched::schedule_mpo(app.graph(), assignment, procs, params);
+  const rt::RunPlan plan = rt::build_run_plan(app.graph(), schedule);
+  rt::RunConfig config;
+  config.capacity_per_proc = 1 << 24;
+  rt::ThreadedExecutor exec(plan, config, app.make_init(), app.make_body());
+  ASSERT_TRUE(exec.run().executable);
+  EXPECT_LT(cholesky_residual(app.matrix(), app.extract_l_dense(exec)),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholeskyNumericSweep,
+                         ::testing::Combine(::testing::Values(3, 7, 16),
+                                            ::testing::Values(1, 3, 4)));
+
+class LuSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LuSweep, PipelineExecutesAndNumericsHold) {
+  const auto [block, procs] = GetParam();
+  auto app = LuApp::build(unsym_matrix(), block, procs);
+  const auto& g = app.graph();
+  const auto assignment = sched::owner_compute_tasks(g, procs);
+  const auto params = machine::MachineParams::cray_t3d(procs);
+  const auto schedule = sched::schedule_mpo(g, assignment, procs, params);
+  ASSERT_NO_THROW(schedule.validate(g));
+  const auto liveness = sched::analyze_liveness(g, schedule);
+  rt::RunConfig config;
+  config.capacity_per_proc =
+      liveness.min_mem() + std::max<std::int64_t>(8, liveness.min_mem() / 8);
+  const rt::RunPlan plan = rt::build_run_plan(g, schedule);
+  rt::ThreadedExecutor exec(plan, config, app.make_init(), app.make_body());
+  const rt::RunReport report = exec.run();
+  ASSERT_TRUE(report.executable) << report.failure;
+  const auto extracted = app.extract(exec);
+  EXPECT_LT(lu_residual(app.matrix(), extracted.lu, extracted.piv), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuSweep,
+                         ::testing::Combine(::testing::Values(4, 9, 25),
+                                            ::testing::Values(1, 2, 4, 6)));
+
+}  // namespace
+}  // namespace rapid::num

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "rapid/mem/arena.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::mem {
+namespace {
+
+TEST(Arena, AllocateAndFreeRoundTrip) {
+  Arena arena(1024);
+  const Offset a = arena.allocate(100);
+  ASSERT_NE(a, kNullOffset);
+  EXPECT_EQ(arena.in_use(), 104);  // rounded to alignment 8
+  arena.deallocate(a);
+  EXPECT_EQ(arena.in_use(), 0);
+  arena.check_invariants();
+}
+
+TEST(Arena, ZeroSizeGetsDistinctAddresses) {
+  Arena arena(64);
+  const Offset a = arena.allocate(0);
+  const Offset b = arena.allocate(0);
+  ASSERT_NE(a, kNullOffset);
+  ASSERT_NE(b, kNullOffset);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ExhaustionReturnsNullAndCounts) {
+  Arena arena(64);
+  EXPECT_NE(arena.allocate(64), kNullOffset);
+  EXPECT_EQ(arena.allocate(1), kNullOffset);
+  EXPECT_EQ(arena.stats().failed_allocs, 1);
+}
+
+TEST(Arena, CanAllocateIsNonMutating) {
+  Arena arena(64);
+  EXPECT_TRUE(arena.can_allocate(64));
+  EXPECT_FALSE(arena.can_allocate(65));
+  EXPECT_EQ(arena.in_use(), 0);
+  EXPECT_EQ(arena.stats().failed_allocs, 0);
+}
+
+TEST(Arena, CoalescingAllowsFullReuse) {
+  Arena arena(96);
+  const Offset a = arena.allocate(32);
+  const Offset b = arena.allocate(32);
+  const Offset c = arena.allocate(32);
+  ASSERT_NE(c, kNullOffset);
+  // Free in an order that requires both-side coalescing.
+  arena.deallocate(a);
+  arena.deallocate(c);
+  arena.deallocate(b);
+  arena.check_invariants();
+  EXPECT_EQ(arena.num_free_blocks(), 1u);
+  EXPECT_NE(arena.allocate(96), kNullOffset);
+}
+
+TEST(Arena, FragmentationBlocksLargeAllocation) {
+  Arena arena(128);
+  const Offset a = arena.allocate(32);
+  const Offset b = arena.allocate(32);
+  const Offset c = arena.allocate(32);
+  const Offset d = arena.allocate(32);
+  (void)a;
+  (void)c;
+  arena.deallocate(b);
+  arena.deallocate(d);
+  // 64 bytes free but split in two 32-byte holes.
+  EXPECT_FALSE(arena.can_allocate(64));
+  EXPECT_TRUE(arena.can_allocate(32));
+  EXPECT_GT(arena.stats().fragmentation(), 0.0);
+}
+
+TEST(Arena, DoubleFreeThrows) {
+  Arena arena(64);
+  const Offset a = arena.allocate(8);
+  arena.deallocate(a);
+  EXPECT_THROW(arena.deallocate(a), Error);
+}
+
+TEST(Arena, ForeignOffsetThrows) {
+  Arena arena(64);
+  arena.allocate(8);
+  EXPECT_THROW(arena.deallocate(4), Error);
+  EXPECT_THROW(arena.allocation_size(4), Error);
+}
+
+TEST(Arena, PeakTracksHighWater) {
+  Arena arena(256);
+  const Offset a = arena.allocate(128);
+  const Offset b = arena.allocate(64);
+  arena.deallocate(a);
+  arena.deallocate(b);
+  EXPECT_EQ(arena.stats().peak_in_use, 192);
+  EXPECT_EQ(arena.in_use(), 0);
+}
+
+TEST(Arena, FirstFitReusesEarliestHole) {
+  Arena arena(256);
+  const Offset a = arena.allocate(64);
+  const Offset b = arena.allocate(64);
+  (void)b;
+  arena.deallocate(a);
+  // First fit must place a small allocation into the first hole (offset 0).
+  EXPECT_EQ(arena.allocate(32), 0);
+}
+
+/// Property test: a long random allocate/free trace preserves all
+/// invariants, conserves bytes, and coalescing keeps the free list small.
+TEST(Arena, RandomTraceInvariants) {
+  Rng rng(2024);
+  Arena arena(1 << 16);
+  std::vector<Offset> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.next_bool(0.55)) {
+      const auto size = static_cast<std::int64_t>(rng.next_below(500));
+      const Offset off = arena.allocate(size);
+      if (off != kNullOffset) {
+        live.push_back(off);
+      }
+    } else {
+      const auto idx =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      arena.deallocate(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 97 == 0) arena.check_invariants();
+  }
+  arena.check_invariants();
+  for (Offset off : live) arena.deallocate(off);
+  arena.check_invariants();
+  EXPECT_EQ(arena.in_use(), 0);
+  EXPECT_EQ(arena.num_free_blocks(), 1u);
+}
+
+/// Live allocations never overlap.
+TEST(Arena, AllocationsAreDisjoint) {
+  Rng rng(7);
+  Arena arena(1 << 14);
+  std::map<Offset, std::int64_t> live;
+  for (int step = 0; step < 800; ++step) {
+    const auto size = static_cast<std::int64_t>(1 + rng.next_below(200));
+    const Offset off = arena.allocate(size);
+    if (off == kNullOffset) {
+      if (live.empty()) break;
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      arena.deallocate(it->first);
+      live.erase(it);
+      continue;
+    }
+    live[off] = arena.allocation_size(off);
+    const auto it = live.find(off);
+    if (it != live.begin()) {
+      const auto prev = std::prev(it);
+      ASSERT_LE(prev->first + prev->second, off);
+    }
+    const auto next = std::next(it);
+    if (next != live.end()) {
+      ASSERT_LE(off + it->second, next->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapid::mem

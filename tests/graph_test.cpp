@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/graph/dot.hpp"
+#include "rapid/graph/task_graph.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::graph {
+namespace {
+
+/// Finds the edge between two named tasks, or nullptr.
+const Edge* find_edge(const TaskGraph& g, TaskId src, TaskId dst) {
+  for (const Edge& e : g.edges()) {
+    if (e.src == src && e.dst == dst) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TaskGraph, TrueDependenceFromWriteToRead) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId w = g.add_task("W", {}, {d}, 1.0);
+  const TaskId r = g.add_task("R", {d}, {}, 1.0);
+  g.finalize();
+  const Edge* e = find_edge(g, w, r);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DepKind::kTrue);
+  EXPECT_FALSE(e->redundant);
+}
+
+TEST(TaskGraph, AntiDependenceFromReadToWrite) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  g.add_task("W0", {}, {d}, 1.0);
+  const TaskId r = g.add_task("R", {d}, {}, 1.0);
+  const TaskId w = g.add_task("W1", {}, {d}, 1.0);
+  g.finalize();
+  const Edge* e = find_edge(g, r, w);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DepKind::kAnti);
+}
+
+TEST(TaskGraph, OutputDependenceBetweenWriters) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId w0 = g.add_task("W0", {}, {d}, 1.0);
+  const TaskId w1 = g.add_task("W1", {}, {d}, 1.0);
+  g.finalize();
+  const Edge* e = find_edge(g, w0, w1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DepKind::kOutput);
+}
+
+TEST(TaskGraph, ReadModifyWriteChainsAsTrue) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId a = g.add_task("A", {}, {d}, 1.0);
+  const TaskId b = g.add_task("B", {d}, {d}, 1.0);
+  const TaskId c = g.add_task("C", {d}, {d}, 1.0);
+  g.finalize();
+  const Edge* ab = find_edge(g, a, b);
+  const Edge* bc = find_edge(g, b, c);
+  ASSERT_NE(ab, nullptr);
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(ab->kind, DepKind::kTrue);
+  EXPECT_EQ(bc->kind, DepKind::kTrue);
+}
+
+TEST(TaskGraph, RedundantAntiEdgeIsMarked) {
+  // W0 -> R (true), R -> M (true via object e), M writes d: the anti edge
+  // R -> M for d is subsumed by the true path R -> M.
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const DataId e = g.add_data("e", 8);
+  g.add_task("W0", {}, {d}, 1.0);
+  const TaskId r = g.add_task("R", {d}, {e}, 1.0);
+  const TaskId m = g.add_task("M", {e}, {d}, 1.0);
+  g.finalize();
+  // There are two edges R->M: true on e, anti on d. Anti must be redundant.
+  bool saw_true = false, saw_anti = false;
+  for (const Edge& edge : g.edges()) {
+    if (edge.src != r || edge.dst != m) continue;
+    if (edge.kind == DepKind::kTrue) {
+      saw_true = true;
+      EXPECT_FALSE(edge.redundant);
+    } else {
+      saw_anti = true;
+      EXPECT_TRUE(edge.redundant);
+    }
+  }
+  EXPECT_TRUE(saw_true);
+  EXPECT_TRUE(saw_anti);
+}
+
+TEST(TaskGraph, NonRedundantAntiEdgeIsKept) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  g.add_task("W0", {}, {d}, 1.0);
+  const TaskId r = g.add_task("R", {d}, {}, 1.0);
+  const TaskId w1 = g.add_task("W1", {}, {d}, 1.0);
+  g.finalize();
+  const Edge* e = find_edge(g, r, w1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->redundant);
+  // It must appear in the transformed adjacency.
+  bool in_adjacency = false;
+  for (std::int32_t ei : g.out_edges(r)) {
+    if (g.edges()[ei].dst == w1) in_adjacency = true;
+  }
+  EXPECT_TRUE(in_adjacency);
+}
+
+TEST(TaskGraph, CommutingTasksAreUnordered) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const DataId x = g.add_data("x", 8);
+  const DataId y = g.add_data("y", 8);
+  const TaskId w = g.add_task("W", {}, {d}, 1.0);
+  const TaskId u1 = g.add_task("U1", {d, x}, {d}, 1.0, /*commute_group=*/7);
+  const TaskId u2 = g.add_task("U2", {d, y}, {d}, 1.0, /*commute_group=*/7);
+  const TaskId f = g.add_task("F", {d}, {d}, 1.0);
+  g.finalize();
+  EXPECT_EQ(find_edge(g, u1, u2), nullptr);  // unordered
+  EXPECT_EQ(find_edge(g, u2, u1), nullptr);
+  // Both ordered after W and before F.
+  ASSERT_NE(find_edge(g, w, u1), nullptr);
+  ASSERT_NE(find_edge(g, w, u2), nullptr);
+  ASSERT_NE(find_edge(g, u1, f), nullptr);
+  ASSERT_NE(find_edge(g, u2, f), nullptr);
+}
+
+TEST(TaskGraph, DifferentCommuteGroupsStayOrdered) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId u1 = g.add_task("U1", {d}, {d}, 1.0, 1);
+  const TaskId u2 = g.add_task("U2", {d}, {d}, 1.0, 2);
+  g.finalize();
+  ASSERT_NE(find_edge(g, u1, u2), nullptr);
+}
+
+TEST(TaskGraph, WritersAndReadersInProgramOrder) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId w0 = g.add_task("W0", {}, {d}, 1.0);
+  const TaskId r0 = g.add_task("R0", {d}, {}, 1.0);
+  const TaskId w1 = g.add_task("W1", {d}, {d}, 1.0);
+  g.finalize();
+  const auto writers = g.writers(d);
+  ASSERT_EQ(writers.size(), 2u);
+  EXPECT_EQ(writers[0], w0);
+  EXPECT_EQ(writers[1], w1);
+  const auto readers = g.readers(d);
+  ASSERT_EQ(readers.size(), 2u);
+  EXPECT_EQ(readers[0], r0);
+  EXPECT_EQ(readers[1], w1);  // RMW reads too
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  TaskGraph g = make_paper_figure2_graph();
+  const auto order = g.topological_order();
+  std::vector<std::int32_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : g.edges()) {
+    if (e.redundant) continue;
+    EXPECT_LT(pos[e.src], pos[e.dst]);
+  }
+}
+
+TEST(TaskGraph, PaperFigure2Shape) {
+  const TaskGraph g = make_paper_figure2_graph();
+  EXPECT_EQ(g.num_tasks(), 20);
+  EXPECT_EQ(g.num_data(), 11);
+  EXPECT_EQ(g.sequential_space(), 11);
+  // Cyclic mapping: d1 (index 0) on P0, d2 on P1, ...
+  EXPECT_EQ(g.data(0).owner, 0);
+  EXPECT_EQ(g.data(1).owner, 1);
+}
+
+TEST(TaskGraph, AccessorsValidateIds) {
+  TaskGraph g;
+  g.add_data("d", 8);
+  EXPECT_THROW(g.data(5), Error);
+  EXPECT_THROW(g.task(0), Error);
+  EXPECT_THROW(g.add_task("T", {3}, {}, 1.0), Error);
+}
+
+TEST(TaskGraph, TaskMustAccessSomething) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task("T", {}, {}, 1.0), Error);
+}
+
+TEST(TaskGraph, FinalizeIsRequiredAndOnce) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  g.add_task("T", {}, {d}, 1.0);
+  EXPECT_THROW(g.topological_order(), Error);
+  g.finalize();
+  EXPECT_THROW(g.finalize(), Error);
+  EXPECT_THROW(g.add_data("x", 1), Error);
+}
+
+TEST(TaskGraph, DuplicateAccessesDeduplicated) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const TaskId t = g.add_task("T", {d, d}, {d, d}, 1.0);
+  EXPECT_EQ(g.task(t).reads.size(), 1u);
+  EXPECT_EQ(g.task(t).writes.size(), 1u);
+  EXPECT_EQ(g.task(t).accesses().size(), 1u);
+}
+
+TEST(Dot, RendersTasksClustersAndEdgeStyles) {
+  TaskGraph g = make_paper_figure2_graph();
+  DotOptions options;
+  options.proc_of_task.assign(static_cast<std::size_t>(g.num_tasks()), 0);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    options.proc_of_task[t] = g.data(g.task(t).writes.front()).owner;
+  }
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("digraph task_graph"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("T[1,2]"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // sync edges
+  EXPECT_EQ(dot.find("style=dotted"), std::string::npos);  // hidden subsumed
+  // Balanced braces (parseable by dot).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, ShowRedundantIncludesSubsumedEdges) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  const DataId e = g.add_data("e", 8);
+  g.add_task("W0", {}, {d}, 1.0);
+  g.add_task("R", {d}, {e}, 1.0);
+  g.add_task("M", {e}, {d}, 1.0);
+  g.finalize();
+  DotOptions options;
+  options.show_redundant = true;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(TaskGraph, TotalFlops) {
+  TaskGraph g;
+  const DataId d = g.add_data("d", 8);
+  g.add_task("A", {}, {d}, 2.5);
+  g.add_task("B", {d}, {d}, 1.5);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.total_flops(), 4.0);
+}
+
+}  // namespace
+}  // namespace rapid::graph

@@ -1,0 +1,200 @@
+// Whole-pipeline integration tests on the paper's workload stand-ins:
+// generator -> ordering -> symbolic factorization -> block task graph ->
+// scheduling -> run plan -> simulated / threaded execution, asserting the
+// cross-module invariants and the paper's qualitative findings at small
+// scale. The bench binaries run the same pipeline at full scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/num/cholesky_app.hpp"
+#include "rapid/num/lu_app.hpp"
+#include "rapid/num/reference.hpp"
+#include "rapid/num/workloads.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+
+namespace rapid {
+namespace {
+
+struct Pipeline {
+  graph::TaskGraph* graph;
+  std::vector<graph::ProcId> assignment;
+  machine::MachineParams params;
+
+  Pipeline(graph::TaskGraph& g, int procs)
+      : graph(&g),
+        assignment(sched::owner_compute_tasks(g, procs)),
+        params(machine::MachineParams::cray_t3d(procs)) {}
+
+  sched::Schedule rcp() const {
+    return sched::schedule_rcp(*graph, assignment, params.num_procs, params);
+  }
+  sched::Schedule mpo() const {
+    return sched::schedule_mpo(*graph, assignment, params.num_procs, params);
+  }
+  sched::Schedule dts(std::optional<std::int64_t> budget = {}) const {
+    return sched::schedule_dts(*graph, assignment, params.num_procs, params,
+                               budget);
+  }
+
+  rt::RunReport run(const sched::Schedule& s, std::int64_t capacity,
+                    bool active = true) const {
+    const rt::RunPlan plan = rt::build_run_plan(*graph, s);
+    rt::RunConfig config;
+    config.params = params;
+    config.capacity_per_proc = capacity;
+    config.active_memory = active;
+    return rt::simulate(plan, config);
+  }
+};
+
+TEST(Integration, WorkloadsHaveDocumentedShapes) {
+  EXPECT_EQ(num::bcsstk24_like(0.2).matrix.n_cols(), 144);  // 12x12 grid
+  EXPECT_TRUE(num::bcsstk24_like(0.2).spd);
+  EXPECT_FALSE(num::goodwin_like(0.2).spd);
+  const auto w15 = num::bcsstk15_like(0.25);
+  EXPECT_EQ(w15.matrix.n_cols(), 64);  // 4x4x4
+}
+
+TEST(Integration, CholeskyPipelineMemoryHierarchy) {
+  auto workload = num::bcsstk24_like(0.25);
+  auto app = num::CholeskyApp::build(std::move(workload.matrix), 6, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto rcp = pipe.rcp();
+  const auto mpo = pipe.mpo();
+  const auto dts = pipe.dts();
+  const auto mem = [&](const sched::Schedule& s) {
+    return sched::analyze_liveness(app.graph(), s).min_mem();
+  };
+  // Figure 7's qualitative content at small scale.
+  EXPECT_GE(mem(rcp), mem(mpo));
+  EXPECT_GE(mem(mpo), mem(dts));
+  // And DTS is the slowest by predicted time, RCP the fastest.
+  EXPECT_LE(rcp.predicted_makespan, dts.predicted_makespan + 1e-9);
+}
+
+TEST(Integration, CholeskyOverheadGrowsAsMemoryShrinks) {
+  auto workload = num::bcsstk24_like(0.25);
+  auto app = num::CholeskyApp::build(std::move(workload.matrix), 6, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto rcp = pipe.rcp();
+  const auto liveness = sched::analyze_liveness(app.graph(), rcp);
+  const auto tot = liveness.tot_mem();
+  const rt::RunReport base = pipe.run(rcp, tot, /*active=*/false);
+  ASSERT_TRUE(base.executable);
+  double last_time = base.parallel_time_us;
+  double prev_maps = 0.0;
+  for (double frac : {1.0, 0.75, 0.5}) {
+    const auto capacity = static_cast<std::int64_t>(tot * frac);
+    if (capacity < liveness.min_mem()) break;
+    const rt::RunReport r = pipe.run(rcp, capacity);
+    ASSERT_TRUE(r.executable) << r.failure;
+    EXPECT_GE(r.parallel_time_us, base.parallel_time_us);
+    EXPECT_GE(r.avg_maps(), prev_maps);
+    prev_maps = r.avg_maps();
+    last_time = r.parallel_time_us;
+  }
+  EXPECT_GT(last_time, base.parallel_time_us);
+}
+
+TEST(Integration, LuPipelineRcpIsNotMemoryScalable) {
+  auto workload = num::goodwin_like(0.15);
+  auto app = num::LuApp::build(std::move(workload.matrix), 6, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto rcp = pipe.rcp();
+  const auto dts = pipe.dts();
+  const double s1 = static_cast<double>(app.graph().sequential_space());
+  const double rcp_ratio =
+      s1 / static_cast<double>(
+               sched::analyze_liveness(app.graph(), rcp).min_mem());
+  const double dts_ratio =
+      s1 / static_cast<double>(
+               sched::analyze_liveness(app.graph(), dts).min_mem());
+  // Figure 7(b): DTS's memory reduction ratio beats RCP's on LU.
+  EXPECT_GE(dts_ratio, rcp_ratio);
+}
+
+TEST(Integration, DtsSliceMergingRecoversTime) {
+  auto workload = num::bcsstk24_like(0.25);
+  auto app = num::CholeskyApp::build(std::move(workload.matrix), 6, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto plain = pipe.dts();
+  // Generous budget: merging should recover time (Table 7's story).
+  std::int64_t max_perm = 0;
+  const auto liveness = sched::analyze_liveness(app.graph(), plain);
+  for (const auto& p : liveness.procs) {
+    max_perm = std::max(max_perm, p.permanent_bytes);
+  }
+  const auto merged = pipe.dts(std::optional<std::int64_t>(1 << 28));
+  EXPECT_LE(merged.predicted_makespan, plain.predicted_makespan + 1e-9);
+}
+
+TEST(Integration, ExecutabilityFrontierMatchesDef6Everywhere) {
+  // For each ordering, run a capacity sweep and verify executability is a
+  // monotone threshold located exactly at MIN_MEM.
+  auto workload = num::bcsstk24_like(0.2);
+  auto app = num::CholeskyApp::build(std::move(workload.matrix), 4, 2);
+  Pipeline pipe(app.mutable_graph(), 2);
+  for (const auto& schedule : {pipe.rcp(), pipe.mpo(), pipe.dts()}) {
+    const auto min_mem =
+        sched::analyze_liveness(app.graph(), schedule).min_mem();
+    EXPECT_TRUE(pipe.run(schedule, min_mem).executable);
+    EXPECT_TRUE(pipe.run(schedule, min_mem + 1024).executable);
+    EXPECT_FALSE(pipe.run(schedule, min_mem - 8).executable);
+    EXPECT_FALSE(pipe.run(schedule, min_mem / 2).executable);
+  }
+}
+
+TEST(Integration, MoreProcessorsImproveMemoryScalability) {
+  // Table 1's driver: as p grows, per-processor MIN_MEM falls (more
+  // recycling freedom), i.e. S1/MIN_MEM grows.
+  auto workload = num::bcsstk24_like(0.25);
+  double last_ratio = 0.0;
+  for (int p : {1, 4, 16}) {
+    auto matrix = workload.matrix;
+    auto app = num::CholeskyApp::build(std::move(matrix), 6, p);
+    Pipeline pipe(app.mutable_graph(), p);
+    const double ratio = sched::memory_scalability(app.graph(), pipe.rcp());
+    EXPECT_GE(ratio, last_ratio * 0.95);  // allow small non-monotone steps
+    last_ratio = ratio;
+  }
+  EXPECT_GT(last_ratio, 1.5);
+}
+
+TEST(Integration, MapCountsDecreaseWithMoreMemory) {
+  auto workload = num::goodwin_like(0.12);
+  auto app = num::LuApp::build(std::move(workload.matrix), 5, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto rcp = pipe.rcp();
+  const auto liveness = sched::analyze_liveness(app.graph(), rcp);
+  const rt::RunReport tight = pipe.run(rcp, liveness.min_mem());
+  const rt::RunReport loose = pipe.run(rcp, liveness.tot_mem());
+  ASSERT_TRUE(tight.executable) << tight.failure;
+  ASSERT_TRUE(loose.executable) << loose.failure;
+  EXPECT_GE(tight.avg_maps(), loose.avg_maps());
+  EXPECT_EQ(loose.avg_maps(), 1.0);
+}
+
+TEST(Integration, SimulatorStatisticsAreInternallyConsistent) {
+  auto workload = num::bcsstk24_like(0.2);
+  auto app = num::CholeskyApp::build(std::move(workload.matrix), 4, 4);
+  Pipeline pipe(app.mutable_graph(), 4);
+  const auto rcp = pipe.rcp();
+  const rt::RunReport r =
+      pipe.run(rcp, sched::analyze_liveness(app.graph(), rcp).min_mem());
+  ASSERT_TRUE(r.executable);
+  EXPECT_EQ(r.tasks_executed, app.graph().num_tasks());
+  EXPECT_GT(r.content_messages, 0);
+  EXPECT_GT(r.content_bytes, r.content_messages);  // blocks exceed 1 byte
+  EXPECT_GE(r.suspended_sends, 0);
+  EXPECT_LE(r.suspended_sends, r.content_messages);
+  for (std::int64_t peak : r.peak_bytes_per_proc) {
+    EXPECT_GT(peak, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rapid

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rapid/num/kernels.hpp"
+#include "rapid/num/reference.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::num {
+namespace {
+
+std::vector<double> random_spd(std::int64_t n, Rng& rng) {
+  // A = B * B^T + n * I, column-major.
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        a[j * n + i] += b[k * n + i] * b[k * n + j];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) a[i * n + i] += n;
+  return a;
+}
+
+TEST(Potrf, ReconstructsSpdMatrix) {
+  Rng rng(1);
+  const std::int64_t n = 12;
+  const std::vector<double> a = random_spd(n, rng);
+  std::vector<double> l = a;
+  potrf_lower(l.data(), n, n);
+  // Zero upper, compute L L^T, compare.
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < j; ++i) l[j * n + i] = 0.0;
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = j; i < n; ++i) {
+      double dot = 0.0;
+      for (std::int64_t k = 0; k < n; ++k) {
+        dot += l[k * n + i] * l[k * n + j];
+      }
+      EXPECT_NEAR(dot, a[j * n + i], 1e-9);
+    }
+  }
+}
+
+TEST(Potrf, RejectsIndefiniteMatrix) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_THROW(potrf_lower(a.data(), 2, 2), Error);
+}
+
+TEST(TrsmRightLowerTranspose, SolvesAgainstReference) {
+  Rng rng(2);
+  const std::int64_t n = 8, m = 5;
+  std::vector<double> l = random_spd(n, rng);
+  potrf_lower(l.data(), n, n);
+  std::vector<double> x_true(static_cast<std::size_t>(m * n));
+  for (auto& v : x_true) v = rng.next_double(-2.0, 2.0);
+  // B = X * L^T.
+  std::vector<double> b(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t k = 0; k <= j; ++k) {
+      const double ljk = l[k * n + j];
+      for (std::int64_t i = 0; i < m; ++i) {
+        b[j * m + i] += x_true[k * m + i] * ljk;
+      }
+    }
+  }
+  trsm_right_lower_transpose(l.data(), n, b.data(), m, m, n);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(TrsmLeftUnitLower, SolvesAgainstReference) {
+  Rng rng(3);
+  const std::int64_t m = 7, n = 4;
+  std::vector<double> l(static_cast<std::size_t>(m * m), 0.0);
+  for (std::int64_t j = 0; j < m; ++j) {
+    l[j * m + j] = 1.0;
+    for (std::int64_t i = j + 1; i < m; ++i) {
+      l[j * m + i] = rng.next_double(-1.0, 1.0);
+    }
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(m * n));
+  for (auto& v : x_true) v = rng.next_double(-2.0, 2.0);
+  // B = L * X (unit lower).
+  std::vector<double> b(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t k = 0; k < m; ++k) {
+      const double xkj = x_true[j * m + k];
+      b[j * m + k] += xkj;
+      for (std::int64_t i = k + 1; i < m; ++i) {
+        b[j * m + i] += l[k * m + i] * xkj;
+      }
+    }
+  }
+  trsm_left_unit_lower(l.data(), m, b.data(), m, m, n);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Gemm, MinusAbtMatchesNaive) {
+  Rng rng(4);
+  const std::int64_t m = 6, n = 5, k = 7;
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(n * k));
+  std::vector<double> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  for (auto& v : b) v = rng.next_double(-1, 1);
+  for (auto& v : c) v = rng.next_double(-1, 1);
+  std::vector<double> expected = c;
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        expected[j * m + i] -= a[kk * m + i] * b[kk * n + j];
+      }
+    }
+  }
+  gemm_minus_abt(a.data(), m, b.data(), n, c.data(), m, m, n, k);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Gemm, MinusAbMatchesNaive) {
+  Rng rng(5);
+  const std::int64_t m = 4, n = 6, k = 3;
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  std::vector<double> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  for (auto& v : b) v = rng.next_double(-1, 1);
+  for (auto& v : c) v = rng.next_double(-1, 1);
+  std::vector<double> expected = c;
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        expected[j * m + i] -= a[kk * m + i] * b[j * k + kk];
+      }
+    }
+  }
+  gemm_minus_ab(a.data(), m, b.data(), k, c.data(), m, m, n, k);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-12);
+  }
+}
+
+TEST(GetrfPanel, FactorsWithPivoting) {
+  Rng rng(6);
+  const std::int64_t m = 9, w = 4;
+  std::vector<double> a(static_cast<std::size_t>(m * w));
+  for (auto& v : a) v = rng.next_double(-1, 1);
+  const std::vector<double> original = a;
+  std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
+  getrf_panel(a.data(), m, m, w, piv.data());
+  // Pivots are in range and the magnitudes of L are <= 1 (partial
+  // pivoting's defining property).
+  for (std::int64_t j = 0; j < w; ++j) {
+    EXPECT_GE(piv[j], j);
+    EXPECT_LT(piv[j], m);
+    for (std::int64_t i = j + 1; i < m; ++i) {
+      EXPECT_LE(std::abs(a[j * m + i]), 1.0 + 1e-12);
+    }
+  }
+  // Reconstruct: P * original == L * U.
+  std::vector<double> pa = original;
+  for (std::int64_t j = 0; j < w; ++j) {
+    if (piv[j] != j) {
+      for (std::int64_t c = 0; c < w; ++c) {
+        std::swap(pa[c * m + j], pa[c * m + piv[j]]);
+      }
+    }
+  }
+  for (std::int64_t j = 0; j < w; ++j) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (std::int64_t k = 0; k <= std::min<std::int64_t>(j, w - 1); ++k) {
+        const double lik = (i == k) ? 1.0 : (i > k ? a[k * m + i] : 0.0);
+        const double ukj = (k <= j) ? a[j * m + k] : 0.0;
+        dot += lik * ukj;
+      }
+      EXPECT_NEAR(dot, pa[j * m + i], 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(GetrfPanel, SingularColumnThrows) {
+  std::vector<double> a = {0.0, 0.0, 0.0, 1.0};  // first column all zero
+  std::vector<std::int32_t> piv(2);
+  EXPECT_THROW(getrf_panel(a.data(), 2, 2, 2, piv.data()), Error);
+}
+
+TEST(ApplyPivots, MatchesManualSwaps) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};  // 4x2 column-major
+  const std::vector<std::int32_t> piv = {2, 3};
+  apply_pivots(a.data(), 4, 2, /*row_offset=*/0, piv);
+  // Step 0: swap rows 0,2 -> col0: 3,2,1,4; col1: 7,6,5,8.
+  // Step 1: swap rows 1,3 -> col0: 3,4,1,2; col1: 7,8,5,6.
+  EXPECT_EQ(a, (std::vector<double>{3, 4, 1, 2, 7, 8, 5, 6}));
+}
+
+TEST(DenseLu, ResidualIsTiny) {
+  Rng rng(7);
+  const sparse::CscMatrix a = sparse::random_banded(30, 6, 0.7, rng);
+  const DenseLu lu = dense_lu(a.to_dense(), 30);
+  EXPECT_LT(lu_residual(a, lu.lu, lu.piv), 1e-12);
+}
+
+TEST(DenseLu, SolveRecoversUnitSolution) {
+  Rng rng(8);
+  const sparse::CscMatrix a = sparse::random_banded(25, 5, 0.8, rng);
+  const DenseLu lu = dense_lu(a.to_dense(), 25);
+  const auto x = lu_solve(lu.lu, lu.piv, 25, sparse::rhs_for_unit_solution(a));
+  std::vector<double> ones(25, 1.0);
+  EXPECT_LT(max_rel_error(x, ones), 1e-10);
+}
+
+TEST(DenseCholesky, ResidualAndSolve) {
+  const sparse::CscMatrix a = sparse::grid_laplacian_2d(5, 5);
+  const auto l = dense_cholesky(a.to_dense(), 25);
+  EXPECT_LT(cholesky_residual(a, l), 1e-13);
+  const auto x = cholesky_solve(l, 25, sparse::rhs_for_unit_solution(a));
+  std::vector<double> ones(25, 1.0);
+  EXPECT_LT(max_rel_error(x, ones), 1e-11);
+}
+
+TEST(Flops, CountsArePositiveAndMonotone) {
+  EXPECT_GT(flops_potrf(8), 0.0);
+  EXPECT_LT(flops_potrf(8), flops_potrf(16));
+  EXPECT_DOUBLE_EQ(flops_gemm(2, 3, 4), 48.0);
+  EXPECT_GT(flops_getrf_panel(100, 10), flops_getrf_panel(50, 10));
+}
+
+}  // namespace
+}  // namespace rapid::num

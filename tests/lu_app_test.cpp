@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "rapid/num/lu_app.hpp"
+#include "rapid/num/reference.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/ordering.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::num {
+namespace {
+
+sparse::CscMatrix nd_convection(sparse::Index sx, sparse::Index sy,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::CscMatrix a =
+      sparse::convection_diffusion_2d(sx, sy, /*drop_prob=*/0.1, rng);
+  return a.permuted_symmetric(sparse::nested_dissection_2d(sx, sy));
+}
+
+struct Runner {
+  LuApp app;
+  sched::Schedule schedule;
+  rt::RunPlan plan;
+  std::int64_t min_mem = 0;
+
+  Runner(sparse::CscMatrix a, Index block, int procs, bool use_dts = false) {
+    app = LuApp::build(std::move(a), block, procs);
+    const auto assignment = sched::owner_compute_tasks(app.graph(), procs);
+    const auto params = machine::MachineParams::cray_t3d(procs);
+    schedule =
+        use_dts ? sched::schedule_dts(app.graph(), assignment, procs, params)
+                : sched::schedule_rcp(app.graph(), assignment, procs, params);
+    plan = rt::build_run_plan(app.graph(), schedule);
+    min_mem = sched::analyze_liveness(app.graph(), schedule).min_mem();
+  }
+
+  rt::RunReport run_threaded(std::int64_t capacity, bool active = true) {
+    rt::RunConfig config;
+    config.capacity_per_proc = capacity;
+    config.active_memory = active;
+    rt::ThreadedExecutor exec(plan, config, app.make_init(), app.make_body());
+    const rt::RunReport report = exec.run();
+    if (report.executable) {
+      const auto extracted = app.extract(exec);
+      EXPECT_LT(lu_residual(app.matrix(), extracted.lu, extracted.piv), 1e-10);
+    }
+    return report;
+  }
+};
+
+TEST(LuApp, GraphStructureIsConsistent) {
+  const auto app = LuApp::build(nd_convection(6, 6, 3), 4, 3);
+  const auto& g = app.graph();
+  EXPECT_EQ(g.num_data(), app.layout().num_blocks);
+  EXPECT_NO_THROW(g.topological_order());
+  // Updates into a block form a chain ending at its Factor task: each
+  // block's writer list is ordered Update(k1), Update(k2), ..., Factor.
+  for (Index b = 0; b < app.layout().num_blocks; ++b) {
+    const auto writers = g.writers(app.block_object(b));
+    ASSERT_FALSE(writers.empty());
+    EXPECT_EQ(app.info(writers.back()).kind, LuApp::TaskInfo::Kind::kFactor);
+    for (std::size_t i = 0; i + 1 < writers.size(); ++i) {
+      EXPECT_EQ(app.info(writers[i]).kind, LuApp::TaskInfo::Kind::kUpdate);
+    }
+  }
+}
+
+TEST(LuApp, RowSpansCoverCoupledPanels) {
+  const auto app = LuApp::build(nd_convection(6, 6, 3), 4, 2);
+  const auto& g = app.graph();
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (app.info(t).kind != LuApp::TaskInfo::Kind::kUpdate) continue;
+    EXPECT_LE(app.row_lo(app.info(t).j),
+              app.layout().block_begin(app.info(t).k));
+  }
+}
+
+TEST(LuApp, PivotingActuallyHappens) {
+  // The convection matrix's winds force at least one off-diagonal pivot;
+  // otherwise this workload would not exercise the pivoting machinery.
+  Runner r(nd_convection(8, 8, 7), 4, 2);
+  const auto report = r.run_threaded(1 << 24);
+  ASSERT_TRUE(report.executable) << report.failure;
+  rt::RunConfig config;
+  config.capacity_per_proc = 1 << 24;
+  rt::ThreadedExecutor exec(r.plan, config, r.app.make_init(),
+                            r.app.make_body());
+  ASSERT_TRUE(exec.run().executable);
+  const auto extracted = r.app.extract(exec);
+  bool swapped = false;
+  for (Index j = 0; j < static_cast<Index>(extracted.piv.size()); ++j) {
+    swapped |= extracted.piv[j] != j;
+  }
+  EXPECT_TRUE(swapped);
+}
+
+TEST(LuApp, ThreadedRunMatchesReferenceAmpleMemory) {
+  Runner r(nd_convection(8, 7, 11), 4, 2);
+  const auto report = r.run_threaded(1 << 24);
+  ASSERT_TRUE(report.executable) << report.failure;
+}
+
+TEST(LuApp, ThreadedRunMatchesReferenceAtMinMem) {
+  Runner r(nd_convection(8, 7, 11), 4, 2);
+  const auto report = r.run_threaded(r.min_mem);
+  ASSERT_TRUE(report.executable) << report.failure;
+  EXPECT_GE(report.avg_maps(), 1.0);
+}
+
+TEST(LuApp, FourProcessors) {
+  Runner r(nd_convection(9, 8, 13), 4, 4);
+  const auto report = r.run_threaded(r.min_mem);
+  ASSERT_TRUE(report.executable) << report.failure;
+}
+
+TEST(LuApp, DtsScheduleAlsoNumericallyCorrect) {
+  Runner r(nd_convection(8, 7, 17), 4, 2, /*use_dts=*/true);
+  const auto report = r.run_threaded(r.min_mem);
+  ASSERT_TRUE(report.executable) << report.failure;
+}
+
+TEST(LuApp, SolveRecoversUnitSolution) {
+  Runner r(nd_convection(7, 7, 19), 4, 2);
+  rt::RunConfig config;
+  config.capacity_per_proc = 1 << 24;
+  rt::ThreadedExecutor exec(r.plan, config, r.app.make_init(),
+                            r.app.make_body());
+  ASSERT_TRUE(exec.run().executable);
+  const auto extracted = r.app.extract(exec);
+  const Index n = r.app.matrix().n_cols();
+  const auto x = lu_solve(extracted.lu, extracted.piv, n,
+                          sparse::rhs_for_unit_solution(r.app.matrix()));
+  std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
+  EXPECT_LT(max_rel_error(x, ones), 1e-8);
+}
+
+TEST(LuApp, SimulatorAgreesOnExecutability) {
+  Runner r(nd_convection(8, 7, 23), 4, 2);
+  rt::RunConfig c;
+  c.capacity_per_proc = r.min_mem;
+  c.params = machine::MachineParams::cray_t3d(2);
+  EXPECT_TRUE(rt::simulate(r.plan, c).executable);
+  c.capacity_per_proc = r.min_mem - 8;
+  EXPECT_FALSE(rt::simulate(r.plan, c).executable);
+}
+
+TEST(LuApp, BandedMatrixWorksToo) {
+  Rng rng(29);
+  Runner r(sparse::random_banded(48, 6, 0.8, rng), 6, 3);
+  const auto report = r.run_threaded(r.min_mem);
+  ASSERT_TRUE(report.executable) << report.failure;
+}
+
+}  // namespace
+}  // namespace rapid::num

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rapid/machine/event_queue.hpp"
+#include "rapid/machine/params.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::machine {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(3.0, [&] { fired.push_back(3); });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(2.0, [&] { fired.push_back(2); });
+  EXPECT_DOUBLE_EQ(q.run(), 3.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  EXPECT_DOUBLE_EQ(q.run(), 9.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.events_executed(), 10u);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [&] {
+    EXPECT_THROW(q.schedule_at(1.0, [] {}), Error);
+  });
+  q.run();
+}
+
+TEST(EventQueue, RunBounded) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [] {});
+  EXPECT_FALSE(q.run_bounded(5));
+  EXPECT_TRUE(q.run_bounded(100));
+}
+
+TEST(Params, T3dDefaults) {
+  const MachineParams p = MachineParams::cray_t3d(16);
+  EXPECT_EQ(p.num_procs, 16);
+  EXPECT_DOUBLE_EQ(p.flops_per_us, 103.0);   // 103 MFLOPS
+  EXPECT_DOUBLE_EQ(p.rma_overhead_us, 2.7);  // SHMEM_PUT overhead
+  EXPECT_DOUBLE_EQ(p.bytes_per_us, 128.0);   // 128 MB/s
+}
+
+TEST(Params, TaskTimeIncludesOverhead) {
+  const MachineParams p = MachineParams::cray_t3d(1);
+  EXPECT_DOUBLE_EQ(p.task_time_us(0.0), p.task_overhead_us);
+  EXPECT_DOUBLE_EQ(p.task_time_us(1030.0), p.task_overhead_us + 10.0);
+}
+
+TEST(Params, TransferScalesWithBytes) {
+  const MachineParams p = MachineParams::cray_t3d(1);
+  const double small = p.transfer_time_us(0);
+  const double large = p.transfer_time_us(12800);
+  EXPECT_DOUBLE_EQ(small, p.rma_latency_us);
+  EXPECT_DOUBLE_EQ(large - small, 100.0);
+}
+
+TEST(Params, NegativeInputsThrow) {
+  const MachineParams p = MachineParams::cray_t3d(1);
+  EXPECT_THROW(p.task_time_us(-1.0), Error);
+  EXPECT_THROW(p.send_overhead_us(-1), Error);
+}
+
+}  // namespace
+}  // namespace rapid::machine

@@ -1,0 +1,161 @@
+// Direct unit tests of the MAP procedure (paper §3.3): free-dead /
+// allocate-forward / assemble-packages semantics, the allocated-once rule,
+// rollback on partial allocation, and the non-executable diagnosis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/rt/map_engine.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+namespace {
+
+using graph::TaskGraph;
+
+/// P0 produces objects a, b, c (8 bytes each); P1 consumes them one task
+/// each, in order, so P1's volatile lifetimes are disjoint singletons.
+struct PipelineFixture {
+  TaskGraph g;
+  graph::DataId a, b, c, sink;
+  RunPlan plan;
+
+  PipelineFixture() {
+    a = g.add_data("a", 8, 0);
+    b = g.add_data("b", 8, 0);
+    c = g.add_data("c", 8, 0);
+    sink = g.add_data("sink", 8, 1);
+    const auto wa = g.add_task("Wa", {}, {a}, 1.0);
+    const auto wb = g.add_task("Wb", {}, {b}, 1.0);
+    const auto wc = g.add_task("Wc", {}, {c}, 1.0);
+    const auto ra = g.add_task("Ra", {a}, {sink}, 1.0);
+    const auto rb = g.add_task("Rb", {b}, {sink}, 1.0);
+    const auto rc = g.add_task("Rc", {c}, {sink}, 1.0);
+    g.finalize();
+    sched::Schedule s;
+    s.num_procs = 2;
+    s.order = {{wa, wb, wc}, {ra, rb, rc}};
+    s.rebuild_index(g.num_tasks());
+    plan = build_run_plan(g, s);
+  }
+};
+
+TEST(MapEngine, PermanentOverflowThrowsAtConstruction) {
+  PipelineFixture f;
+  // P0 owns 24 bytes of permanents.
+  EXPECT_THROW(ProcMemory(f.plan, 0, 23), NonExecutableError);
+  EXPECT_NO_THROW(ProcMemory(f.plan, 0, 24));
+}
+
+TEST(MapEngine, FirstMapAllocatesForwardUntilCapacity) {
+  PipelineFixture f;
+  // P1: 8 bytes permanent (sink) + capacity for exactly one volatile.
+  ProcMemory memory(f.plan, 1, 16);
+  ASSERT_TRUE(memory.needs_map(0));
+  const MapResult map = memory.perform_map(0);
+  EXPECT_EQ(map.allocated, std::vector<graph::DataId>{f.a});
+  EXPECT_TRUE(map.freed.empty());
+  EXPECT_EQ(map.alloc_upto, 1);  // only task 0's inputs fit
+  ASSERT_EQ(map.packages.size(), 1u);
+  EXPECT_EQ(map.packages[0].first, 0);  // owner of a
+  EXPECT_EQ(map.packages[0].second.reader, 1);
+  ASSERT_EQ(map.packages[0].second.entries.size(), 1u);
+  EXPECT_EQ(map.packages[0].second.entries[0].first, f.a);
+}
+
+TEST(MapEngine, SubsequentMapFreesDeadAndContinues) {
+  PipelineFixture f;
+  ProcMemory memory(f.plan, 1, 16);
+  memory.perform_map(0);
+  ASSERT_TRUE(memory.needs_map(1));
+  const MapResult map = memory.perform_map(1);
+  EXPECT_EQ(map.freed, std::vector<graph::DataId>{f.a});  // dead after pos 0
+  EXPECT_EQ(map.allocated, std::vector<graph::DataId>{f.b});
+  EXPECT_EQ(map.alloc_upto, 2);
+  EXPECT_FALSE(memory.is_allocated(f.a));
+  EXPECT_TRUE(memory.is_allocated(f.b));
+}
+
+TEST(MapEngine, AmpleCapacityNeedsOneMap) {
+  PipelineFixture f;
+  ProcMemory memory(f.plan, 1, 1 << 10);
+  const MapResult map = memory.perform_map(0);
+  EXPECT_EQ(map.alloc_upto, 3);
+  EXPECT_EQ(map.allocated.size(), 3u);
+  EXPECT_FALSE(memory.needs_map(1));
+  EXPECT_FALSE(memory.needs_map(2));
+}
+
+TEST(MapEngine, NonExecutableWhenCurrentTaskCannotFit) {
+  PipelineFixture f;
+  // 8 bytes permanent + 7 bytes leftover: no volatile ever fits.
+  ProcMemory memory(f.plan, 1, 15);
+  EXPECT_THROW(memory.perform_map(0), NonExecutableError);
+}
+
+TEST(MapEngine, PreallocateAllMatchesBaselineSemantics) {
+  PipelineFixture f;
+  ProcMemory memory(f.plan, 1, 8 + 24);
+  EXPECT_NO_THROW(memory.preallocate_all());
+  EXPECT_FALSE(memory.needs_map(0));
+  EXPECT_TRUE(memory.is_allocated(f.a));
+  EXPECT_TRUE(memory.is_allocated(f.c));
+  ProcMemory tight(f.plan, 1, 8 + 23);
+  EXPECT_THROW(tight.preallocate_all(), NonExecutableError);
+}
+
+TEST(MapEngine, OffsetsAreStableWhileLive) {
+  PipelineFixture f;
+  ProcMemory memory(f.plan, 1, 1 << 10);
+  memory.perform_map(0);
+  const mem::Offset off_b = memory.offset_of(f.b);
+  // b stays at its address across unrelated activity (allocated once).
+  EXPECT_EQ(memory.offset_of(f.b), off_b);
+  EXPECT_THROW(memory.offset_of(f.sink + 100), Error);
+}
+
+TEST(MapEngine, PeakBytesTracksHighWater) {
+  PipelineFixture f;
+  ProcMemory tight(f.plan, 1, 16);
+  tight.perform_map(0);
+  tight.perform_map(1);
+  tight.perform_map(2);
+  EXPECT_EQ(tight.peak_bytes(), 16);  // 8 perm + 1 volatile at a time
+  ProcMemory ample(f.plan, 1, 1 << 10);
+  ample.perform_map(0);
+  EXPECT_EQ(ample.peak_bytes(), 8 + 24);
+}
+
+/// Rollback: a task needing two volatiles where only one fits must leave
+/// the arena unchanged for that task.
+TEST(MapEngine, PartialAllocationRollsBack) {
+  TaskGraph g;
+  const auto x = g.add_data("x", 8, 0);
+  const auto y = g.add_data("y", 8, 0);
+  const auto out = g.add_data("out", 8, 1);
+  const auto wx = g.add_task("Wx", {}, {x}, 1.0);
+  const auto wy = g.add_task("Wy", {}, {y}, 1.0);
+  const auto r = g.add_task("R", {x, y}, {out}, 1.0);
+  g.finalize();
+  sched::Schedule s;
+  s.num_procs = 2;
+  s.order = {{wx, wy}, {r}};
+  s.rebuild_index(g.num_tasks());
+  const RunPlan plan = build_run_plan(g, s);
+  // P1: 8 permanent + 8 free — R needs 16 of volatile space.
+  ProcMemory memory(plan, 1, 16);
+  try {
+    memory.perform_map(0);
+    FAIL() << "expected NonExecutableError";
+  } catch (const NonExecutableError&) {
+    // Neither x nor y may remain allocated after the failed attempt.
+    EXPECT_FALSE(memory.is_allocated(x));
+    EXPECT_FALSE(memory.is_allocated(y));
+    EXPECT_EQ(memory.arena().in_use(), 8);  // just the permanent
+  }
+}
+
+}  // namespace
+}  // namespace rapid::rt

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/matrix_market.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::sparse {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "3 1 -1.5\n"
+      "2 2 4.0\n"
+      "1 3 0.25\n");
+  const CscMatrix a = read_matrix_market(in);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.n_rows(), 3);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.25);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 1.0\n"
+      "3 3 5.0\n");
+  const CscMatrix a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 4);  // (2,1) mirrored to (1,2)
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+}
+
+TEST(MatrixMarket, PatternFieldGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CscMatrix a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%matrixmarket MATRIX Coordinate Real General\n"
+      "1 1 1\n"
+      "1 1 3.0\n");
+  EXPECT_NO_THROW(read_matrix_market(in));
+}
+
+TEST(MatrixMarket, RejectsMalformedInputsWithLineNumbers) {
+  {
+    std::istringstream in("not a banner\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n2 2 4\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");  // out of range
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");  // truncated
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+}
+
+TEST(MatrixMarket, RoundTripPreservesMatrix) {
+  Rng rng(99);
+  const CscMatrix a = random_banded(40, 5, 0.7, rng);
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const CscMatrix b = read_matrix_market(buffer);
+  ASSERT_EQ(b.pattern, a.pattern);
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    EXPECT_DOUBLE_EQ(b.values[k], a.values[k]);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  Rng rng(7);
+  const CscMatrix a = random_banded(12, 3, 0.9, rng);
+  const std::string path = testing::TempDir() + "/rapid_mm_test.mtx";
+  write_matrix_market_file(path, a);
+  const CscMatrix b = read_matrix_market_file(path);
+  EXPECT_EQ(b.pattern, a.pattern);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace rapid::sparse

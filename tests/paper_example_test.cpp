@@ -1,0 +1,172 @@
+// End-to-end checks on the paper's own worked example (Figure 2's 20-task
+// DAG, Figure 3's MAP placement, Figure 5's DCG slices, and the Section 3.2
+// memory definitions). Where the paper gives concrete numbers that depend
+// only on the model (not on its unpublished schedule details) we assert
+// them exactly; elsewhere we assert the qualitative relationships the text
+// states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/graph/dcg.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+
+namespace rapid {
+namespace {
+
+using graph::TaskGraph;
+
+struct PaperExample {
+  TaskGraph graph = graph::make_paper_figure2_graph();
+  std::vector<graph::ProcId> procs;
+  machine::MachineParams params = machine::MachineParams::cray_t3d(2);
+
+  PaperExample() { procs = sched::owner_compute_tasks(graph, 2); }
+
+  sched::Schedule make(const char* which) const {
+    if (std::string(which) == "rcp") {
+      return sched::schedule_rcp(graph, procs, 2, params);
+    }
+    if (std::string(which) == "mpo") {
+      return sched::schedule_mpo(graph, procs, 2, params);
+    }
+    return sched::schedule_dts(graph, procs, 2, params);
+  }
+};
+
+TEST(PaperExample, PermanentSetsMatchSection2) {
+  // PERM(P0) = {d1,d3,d5,d7,d9,d11}, PERM(P1) = {d2,d4,d6,d8,d10}.
+  PaperExample ex;
+  std::vector<std::string> perm0, perm1;
+  for (graph::DataId d = 0; d < ex.graph.num_data(); ++d) {
+    (ex.graph.data(d).owner == 0 ? perm0 : perm1)
+        .push_back(ex.graph.data(d).name);
+  }
+  EXPECT_EQ(perm0, (std::vector<std::string>{"d1", "d3", "d5", "d7", "d9",
+                                             "d11"}));
+  EXPECT_EQ(perm1, (std::vector<std::string>{"d2", "d4", "d6", "d8", "d10"}));
+}
+
+TEST(PaperExample, VolatileSetsMatchSection2) {
+  // VOLA(P0) = {d8}, VOLA(P1) = {d1, d3, d5, d7}.
+  PaperExample ex;
+  const auto schedule = ex.make("rcp");
+  const auto liveness = sched::analyze_liveness(ex.graph, schedule);
+  auto names = [&](int p) {
+    std::vector<std::string> out;
+    for (const auto& v : liveness.procs[p].volatiles) {
+      out.push_back(ex.graph.data(v.object).name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(names(0), (std::vector<std::string>{"d8"}));
+  EXPECT_EQ(names(1), (std::vector<std::string>{"d1", "d3", "d5", "d7"}));
+}
+
+TEST(PaperExample, OwnerComputePlacesTasksAsInFigure2) {
+  PaperExample ex;
+  // Every T[.., j] runs on owner(d_j): odd j on P0, even j on P1.
+  for (graph::TaskId t = 0; t < ex.graph.num_tasks(); ++t) {
+    const graph::DataId target = ex.graph.task(t).writes.front();
+    EXPECT_EQ(ex.procs[t], ex.graph.data(target).owner);
+  }
+}
+
+TEST(PaperExample, MemoryRequirementOrderingAcrossHeuristics) {
+  // Section 3.2 / 4: MIN_MEM(RCP) >= MIN_MEM(MPO) >= MIN_MEM(DTS) on this
+  // example (the paper reports 9, 8 and 7 for its specific schedules).
+  PaperExample ex;
+  const auto mem = [&](const char* which) {
+    return sched::analyze_liveness(ex.graph, ex.make(which)).min_mem();
+  };
+  const auto rcp = mem("rcp"), mpo = mem("mpo"), dts = mem("dts");
+  EXPECT_GE(rcp, mpo);
+  EXPECT_GE(mpo, dts);
+  // All schedules need at least P0's six permanent objects and at most all
+  // eleven objects.
+  EXPECT_GE(dts, 6);
+  EXPECT_LE(rcp, 11);
+}
+
+TEST(PaperExample, DtsSlicesAreSingletonComponents) {
+  // Figure 5: the example's DCG is a DAG, so every slice is one data node
+  // (Corollary 1's hypothesis).
+  PaperExample ex;
+  const auto dcg = graph::build_dcg(ex.graph);
+  EXPECT_TRUE(graph::dcg_is_acyclic(dcg));
+  const auto slices = graph::decompose_slices(ex.graph, dcg);
+  for (const auto& s : slices.slices) {
+    EXPECT_EQ(s.objects.size(), 1u);
+  }
+}
+
+TEST(PaperExample, Corollary1BoundHolds) {
+  // Unit objects + acyclic DCG: DTS executes in S1/p + 1 per processor.
+  // Our objects are unit size, so the per-processor bound is
+  // max_p(PERM bytes) + 1.
+  PaperExample ex;
+  const auto dts = ex.make("dts");
+  const auto liveness = sched::analyze_liveness(ex.graph, dts);
+  std::int64_t max_perm = 0;
+  for (const auto& p : liveness.procs) {
+    max_perm = std::max(max_perm, p.permanent_bytes);
+  }
+  EXPECT_LE(liveness.min_mem(), max_perm + 1);
+}
+
+TEST(PaperExample, MapsAppearUnderTightMemoryAndFreeVolatiles) {
+  // Figure 3(a): with capacity 8 per processor, P1 needs a mid-schedule MAP
+  // that frees dead volatiles before allocating the rest.
+  PaperExample ex;
+  const auto dts = ex.make("dts");
+  const rt::RunPlan plan = rt::build_run_plan(ex.graph, dts);
+  const auto liveness = sched::analyze_liveness(ex.graph, dts);
+  rt::RunConfig config;
+  config.params = ex.params;
+  config.capacity_per_proc = liveness.min_mem();
+  const rt::RunReport tight = rt::simulate(plan, config);
+  ASSERT_TRUE(tight.executable) << tight.failure;
+  EXPECT_GT(*std::max_element(tight.maps_per_proc.begin(),
+                              tight.maps_per_proc.end()),
+            1);
+  config.capacity_per_proc = liveness.tot_mem();
+  const rt::RunReport loose = rt::simulate(plan, config);
+  EXPECT_EQ(*std::max_element(loose.maps_per_proc.begin(),
+                              loose.maps_per_proc.end()),
+            1);
+}
+
+TEST(PaperExample, NonExecutableBelowDef6Threshold) {
+  // Def. 6: capacity below MIN_MEM makes the schedule non-executable.
+  PaperExample ex;
+  for (const char* which : {"rcp", "mpo", "dts"}) {
+    const auto schedule = ex.make(which);
+    const rt::RunPlan plan = rt::build_run_plan(ex.graph, schedule);
+    const auto min_mem =
+        sched::analyze_liveness(ex.graph, schedule).min_mem();
+    rt::RunConfig config;
+    config.params = ex.params;
+    config.capacity_per_proc = min_mem - 1;
+    EXPECT_FALSE(rt::simulate(plan, config).executable) << which;
+    config.capacity_per_proc = min_mem;
+    EXPECT_TRUE(rt::simulate(plan, config).executable) << which;
+  }
+}
+
+TEST(PaperExample, RcpIsFastestMpoNextDtsSlowestPredicted) {
+  // Section 4's qualitative ordering of schedule lengths: RCP <= MPO <= DTS
+  // ("the schedule length increases from RCP, through MPO to DTS").
+  PaperExample ex;
+  const double rcp = ex.make("rcp").predicted_makespan;
+  const double mpo = ex.make("mpo").predicted_makespan;
+  const double dts = ex.make("dts").predicted_makespan;
+  EXPECT_LE(rcp, mpo + 1e-9);
+  EXPECT_LE(mpo, dts + 1e-9);
+}
+
+}  // namespace
+}  // namespace rapid

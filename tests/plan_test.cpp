@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/rt/plan.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+namespace {
+
+using graph::TaskGraph;
+
+struct Fixture {
+  TaskGraph graph = graph::make_paper_figure2_graph();
+  sched::Schedule schedule;
+  Fixture() {
+    const auto procs = sched::owner_compute_tasks(graph, 2);
+    schedule = sched::schedule_rcp(graph, procs, 2,
+                                   machine::MachineParams::cray_t3d(2));
+  }
+};
+
+TEST(Plan, BuildsForPaperExample) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  EXPECT_EQ(plan.num_procs, 2);
+  EXPECT_EQ(plan.objects.size(), 11u);
+  EXPECT_EQ(plan.tasks.size(), 20u);
+}
+
+TEST(Plan, EpochsFollowProgramOrderOfWriters) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  for (graph::DataId d = 0; d < f.graph.num_data(); ++d) {
+    const auto writers = f.graph.writers(d);
+    std::size_t total = 0;
+    for (const auto& epoch : plan.objects[d].epochs) total += epoch.size();
+    EXPECT_EQ(total, writers.size());
+  }
+}
+
+TEST(Plan, CommutingWritersShareAnEpoch) {
+  TaskGraph g;
+  const auto d = g.add_data("d", 8, 0);
+  const auto x = g.add_data("x", 8, 0);
+  g.add_task("W", {}, {d}, 1.0);
+  g.add_task("U1", {d}, {d}, 1.0, 5);
+  g.add_task("U2", {d}, {d}, 1.0, 5);
+  g.add_task("R", {d}, {x}, 1.0);
+  g.finalize();
+  sched::Schedule s;
+  s.num_procs = 1;
+  s.order = {{0, 1, 2, 3}};
+  s.rebuild_index(4);
+  const RunPlan plan = build_run_plan(g, s);
+  ASSERT_EQ(plan.objects[d].epochs.size(), 2u);
+  EXPECT_EQ(plan.objects[d].epochs[0].size(), 1u);
+  EXPECT_EQ(plan.objects[d].epochs[1].size(), 2u);
+  EXPECT_EQ(plan.version_of_writer(d, 1), 2);
+  EXPECT_EQ(plan.version_of_writer(d, 2), 2);
+}
+
+TEST(Plan, RemoteReadsCarryRequiredVersions) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  // Every task's remote reads refer to objects it accesses that it does not
+  // own, and versions are within range.
+  for (graph::TaskId t = 0; t < f.graph.num_tasks(); ++t) {
+    const ProcId p = f.schedule.proc_of_task[t];
+    for (const RemoteRead& rr : plan.tasks[t].remote_reads) {
+      EXPECT_NE(f.graph.data(rr.object).owner, p);
+      EXPECT_GE(rr.version, 0);
+      EXPECT_LE(rr.version, plan.objects[rr.object].num_versions());
+    }
+  }
+}
+
+TEST(Plan, SendsMatchRemoteReads) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  for (graph::TaskId t = 0; t < f.graph.num_tasks(); ++t) {
+    const ProcId p = f.schedule.proc_of_task[t];
+    for (const RemoteRead& rr : plan.tasks[t].remote_reads) {
+      // Some version >= rr.version must be scheduled for delivery to p.
+      bool covered = false;
+      const auto& sends = plan.objects[rr.object].sends_by_version;
+      for (std::size_t v = rr.version; v < sends.size(); ++v) {
+        covered |= std::count(sends[v].begin(), sends[v].end(), p) > 0;
+      }
+      EXPECT_TRUE(covered) << "no send covers task " << f.graph.task(t).name;
+    }
+  }
+}
+
+TEST(Plan, FlagRoutingMatchesSyncEdges) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  for (const graph::Edge& e : f.graph.edges()) {
+    if (e.redundant || e.kind == graph::DepKind::kTrue) continue;
+    if (f.schedule.proc_of_task[e.src] == f.schedule.proc_of_task[e.dst]) {
+      continue;
+    }
+    const auto& dests = plan.tasks[e.src].flag_dests;
+    EXPECT_TRUE(std::count(dests.begin(), dests.end(),
+                           f.schedule.proc_of_task[e.dst]) > 0);
+    const auto& preds = plan.tasks[e.dst].remote_sync_preds;
+    EXPECT_TRUE(std::count(preds.begin(), preds.end(), e.src) > 0);
+  }
+}
+
+TEST(Plan, VolatileAccessesAreRemoteReadsOnly) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  // Figure 2: VOLA(P0) = {d8}, VOLA(P1) = {d1, d3, d5, d7} (0-based: 7 and
+  // 0, 2, 4, 6).
+  std::vector<bool> vola0(11, false), vola1(11, false);
+  for (graph::TaskId t = 0; t < f.graph.num_tasks(); ++t) {
+    for (graph::DataId d : plan.tasks[t].volatile_accesses) {
+      (f.schedule.proc_of_task[t] == 0 ? vola0 : vola1)[d] = true;
+    }
+  }
+  EXPECT_TRUE(vola0[7]);
+  EXPECT_EQ(std::count(vola0.begin(), vola0.end(), true), 1);
+  EXPECT_TRUE(vola1[0] && vola1[2] && vola1[4] && vola1[6]);
+  EXPECT_EQ(std::count(vola1.begin(), vola1.end(), true), 4);
+}
+
+TEST(Plan, InitialSendsOnlyForVersionZeroReaders) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  for (ProcId p = 0; p < 2; ++p) {
+    for (const ContentSend& s : plan.procs[p].initial_sends) {
+      EXPECT_EQ(s.version, 0);
+      EXPECT_EQ(f.graph.data(s.object).owner, p);
+    }
+  }
+}
+
+TEST(Plan, ValidatesScheduleFirst) {
+  Fixture f;
+  sched::Schedule broken = f.schedule;
+  std::swap(broken.order[0][0], broken.order[0].back());
+  broken.rebuild_index(f.graph.num_tasks());
+  EXPECT_THROW(build_run_plan(f.graph, broken), rapid::Error);
+}
+
+TEST(Plan, VersionOfWriterRejectsNonWriters) {
+  Fixture f;
+  const RunPlan plan = build_run_plan(f.graph, f.schedule);
+  // Task 0 (T[1]) writes d1 (object 0) only.
+  EXPECT_EQ(plan.version_of_writer(0, 0), 1);
+  EXPECT_THROW(plan.version_of_writer(1, 0), rapid::Error);
+}
+
+}  // namespace
+}  // namespace rapid::rt

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+
+namespace rapid::rt {
+namespace {
+
+using graph::TaskGraph;
+
+struct Fixture {
+  TaskGraph graph = graph::make_paper_figure2_graph();
+  sched::Schedule schedule;
+  RunPlan plan;
+  std::int64_t min_mem = 0;
+  std::int64_t tot_mem = 0;
+
+  explicit Fixture(bool mpo = false) {
+    const auto procs = sched::owner_compute_tasks(graph, 2);
+    const auto params = machine::MachineParams::cray_t3d(2);
+    schedule = mpo ? sched::schedule_mpo(graph, procs, 2, params)
+                   : sched::schedule_rcp(graph, procs, 2, params);
+    plan = build_run_plan(graph, schedule);
+    const auto liveness = sched::analyze_liveness(graph, schedule);
+    min_mem = liveness.min_mem();
+    tot_mem = liveness.tot_mem();
+  }
+
+  RunConfig config(std::int64_t capacity, bool active = true) const {
+    RunConfig c;
+    c.capacity_per_proc = capacity;
+    c.active_memory = active;
+    c.params = machine::MachineParams::cray_t3d(2);
+    return c;
+  }
+};
+
+TEST(SimExecutor, RunsToCompletionWithAmpleMemory) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(1 << 20));
+  EXPECT_TRUE(r.executable);
+  EXPECT_EQ(r.tasks_executed, 20);
+  EXPECT_GT(r.parallel_time_us, 0.0);
+  // Ample memory: exactly one MAP per processor (the mandatory initial one).
+  EXPECT_EQ(r.maps_per_proc[0], 1);
+  EXPECT_EQ(r.maps_per_proc[1], 1);
+}
+
+TEST(SimExecutor, BaselineModeHasNoMaps) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(1 << 20, /*active=*/false));
+  EXPECT_TRUE(r.executable);
+  EXPECT_EQ(r.maps_per_proc[0], 0);
+  EXPECT_EQ(r.addr_packages, 0);
+  EXPECT_EQ(r.suspended_sends, 0);
+}
+
+TEST(SimExecutor, ExecutableExactlyDownToMinMem) {
+  // The MAP mechanism must execute any schedule with MIN_MEM <= capacity
+  // and reject capacity < MIN_MEM — the run-time realization of Def. 6.
+  Fixture f;
+  const RunReport at = simulate(f.plan, f.config(f.min_mem));
+  EXPECT_TRUE(at.executable) << at.failure;
+  EXPECT_EQ(at.tasks_executed, 20);
+  const RunReport below = simulate(f.plan, f.config(f.min_mem - 1));
+  EXPECT_FALSE(below.executable);
+  EXPECT_FALSE(below.failure.empty());
+}
+
+TEST(SimExecutor, BaselineNeedsTotMem) {
+  Fixture f;
+  EXPECT_TRUE(simulate(f.plan, f.config(f.tot_mem, false)).executable);
+  EXPECT_FALSE(simulate(f.plan, f.config(f.tot_mem - 1, false)).executable);
+}
+
+TEST(SimExecutor, TighterMemoryMeansMoreMaps) {
+  Fixture f;
+  const RunReport loose = simulate(f.plan, f.config(f.tot_mem));
+  const RunReport tight = simulate(f.plan, f.config(f.min_mem));
+  EXPECT_TRUE(loose.executable);
+  EXPECT_TRUE(tight.executable);
+  EXPECT_GE(tight.avg_maps(), loose.avg_maps());
+  EXPECT_GT(tight.avg_maps(), 1.0);
+}
+
+TEST(SimExecutor, ActiveMemoryCostsTime) {
+  Fixture f;
+  const RunReport base = simulate(f.plan, f.config(f.tot_mem, false));
+  const RunReport active = simulate(f.plan, f.config(f.min_mem, true));
+  EXPECT_GT(active.parallel_time_us, base.parallel_time_us);
+}
+
+TEST(SimExecutor, PeakMemoryWithinCapacityAndAboveNothing) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(f.min_mem));
+  ASSERT_TRUE(r.executable);
+  for (std::int64_t peak : r.peak_bytes_per_proc) {
+    EXPECT_LE(peak, f.min_mem);
+    EXPECT_GT(peak, 0);
+  }
+}
+
+TEST(SimExecutor, MessageAccounting) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(1 << 20));
+  // Five volatile objects (d8 on P0; d1,d3,d5,d7 on P1) => five content
+  // messages of 1 byte each.
+  EXPECT_EQ(r.content_messages, 5);
+  EXPECT_EQ(r.content_bytes, 5);
+  EXPECT_GT(r.addr_packages, 0);
+  EXPECT_EQ(r.addr_entries, 5);
+}
+
+TEST(SimExecutor, DeterministicAcrossRuns) {
+  Fixture f;
+  const RunReport a = simulate(f.plan, f.config(f.min_mem));
+  const RunReport b = simulate(f.plan, f.config(f.min_mem));
+  EXPECT_DOUBLE_EQ(a.parallel_time_us, b.parallel_time_us);
+  EXPECT_EQ(a.maps_per_proc, b.maps_per_proc);
+  EXPECT_EQ(a.content_messages, b.content_messages);
+}
+
+TEST(SimExecutor, SuspendedSendsHappenUnderActiveMemory) {
+  // With active memory, version-0 content cannot leave before the reader's
+  // address package arrives: those sends are suspended at least once.
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(1 << 20));
+  EXPECT_GT(r.suspended_sends, 0);
+}
+
+TEST(SimExecutor, MpoScheduleAlsoExecutesAtItsMinMem) {
+  Fixture f(/*mpo=*/true);
+  const RunReport r = simulate(f.plan, f.config(f.min_mem));
+  EXPECT_TRUE(r.executable) << r.failure;
+  EXPECT_FALSE(simulate(f.plan, f.config(f.min_mem - 1)).executable);
+}
+
+TEST(SimExecutor, TimeBreakdownIsConsistent) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(f.min_mem));
+  ASSERT_TRUE(r.executable);
+  // Compute time is exactly the sum of the modeled task times.
+  double expected_compute = 0.0;
+  for (graph::TaskId t = 0; t < f.graph.num_tasks(); ++t) {
+    expected_compute =
+        expected_compute +
+        machine::MachineParams::cray_t3d(2).task_time_us(
+            f.graph.task(t).flops);
+  }
+  EXPECT_NEAR(r.compute_us, expected_compute, 1e-9);
+  EXPECT_GT(r.send_us, 0.0);
+  EXPECT_GT(r.map_us, 0.0);  // active mode: MAP + address machinery
+  // Busy time fits within p × makespan, so idle fraction is within [0, 1].
+  EXPECT_GE(r.idle_fraction(), 0.0);
+  EXPECT_LE(r.idle_fraction(), 1.0);
+}
+
+TEST(SimExecutor, BaselineHasNoMapTime) {
+  Fixture f;
+  const RunReport r = simulate(f.plan, f.config(f.tot_mem, false));
+  ASSERT_TRUE(r.executable);
+  EXPECT_DOUBLE_EQ(r.map_us, 0.0);
+  EXPECT_GT(r.compute_us, 0.0);
+}
+
+TEST(SimExecutor, MultiSlotMailboxesExecuteIdentically) {
+  Fixture f;
+  auto config = f.config(f.min_mem);
+  const RunReport one = simulate(f.plan, config);
+  config.mailbox_slots = 8;
+  const RunReport many = simulate(f.plan, config);
+  ASSERT_TRUE(one.executable);
+  ASSERT_TRUE(many.executable);
+  EXPECT_EQ(one.tasks_executed, many.tasks_executed);
+  EXPECT_EQ(one.content_messages, many.content_messages);
+  // More slots can only reduce MAP blocking, never slow things down.
+  EXPECT_LE(many.parallel_time_us, one.parallel_time_us + 1e-9);
+}
+
+TEST(SimExecutor, SingleProcessorNeedsNoMessages) {
+  TaskGraph g = graph::make_paper_figure2_graph();
+  for (graph::DataId d = 0; d < g.num_data(); ++d) g.set_owner(d, 0);
+  const auto procs = sched::owner_compute_tasks(g, 1);
+  const auto params = machine::MachineParams::cray_t3d(1);
+  const auto schedule = sched::schedule_rcp(g, procs, 1, params);
+  const RunPlan plan = build_run_plan(g, schedule);
+  RunConfig c;
+  c.capacity_per_proc = g.sequential_space();
+  c.params = params;
+  const RunReport r = simulate(plan, c);
+  EXPECT_TRUE(r.executable) << r.failure;
+  EXPECT_EQ(r.content_messages, 0);
+  EXPECT_EQ(r.flag_messages, 0);
+}
+
+}  // namespace
+}  // namespace rapid::rt

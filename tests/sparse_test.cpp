@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/sparse/blocks.hpp"
+#include "rapid/sparse/coo.hpp"
+#include "rapid/sparse/csc.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/ordering.hpp"
+#include "rapid/sparse/symbolic.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::sparse {
+namespace {
+
+CscMatrix small_example() {
+  // 4x4:
+  //  [2 0 1 0]
+  //  [0 3 0 0]
+  //  [1 0 4 2]
+  //  [0 0 2 5]
+  CooBuilder coo(4, 4);
+  coo.add(0, 0, 2);
+  coo.add(2, 0, 1);
+  coo.add(1, 1, 3);
+  coo.add(0, 2, 1);
+  coo.add(2, 2, 4);
+  coo.add(3, 2, 2);
+  coo.add(2, 3, 2);
+  coo.add(3, 3, 5);
+  return coo.to_csc();
+}
+
+TEST(Coo, CompressesSortedAndValid) {
+  const CscMatrix a = small_example();
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.nnz(), 8);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+TEST(Coo, DuplicatesAccumulate) {
+  CooBuilder coo(2, 2);
+  coo.add(0, 0, 1.5);
+  coo.add(0, 0, 2.5);
+  coo.add(1, 1, 1.0);
+  const CscMatrix a = coo.to_csc();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+}
+
+TEST(Coo, OutOfRangeThrows) {
+  CooBuilder coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), Error);
+}
+
+TEST(Csc, TransposeRoundTrip) {
+  const CscMatrix a = small_example();
+  const CscPattern tt = a.pattern.transposed().transposed();
+  EXPECT_EQ(tt, a.pattern);
+}
+
+TEST(Csc, MultiplyMatchesDense) {
+  const CscMatrix a = small_example();
+  const std::vector<double> x = {1, 2, 3, 4};
+  const auto y = a.multiply(x);
+  // Row 2: 1*1 + 4*3 + 2*4 = 21.
+  EXPECT_DOUBLE_EQ(y[2], 21.0);
+  const auto yt = a.multiply_transpose(x);
+  // Col 0 dot x: 2*1 + 1*3 = 5.
+  EXPECT_DOUBLE_EQ(yt[0], 5.0);
+}
+
+TEST(Csc, UnionWith) {
+  const CscMatrix a = small_example();
+  const CscPattern u = a.pattern.union_with(a.pattern.transposed());
+  EXPECT_NO_THROW(u.validate());
+  // Symmetric matrix pattern: union equals original here (it is symmetric).
+  EXPECT_EQ(u.nnz(), a.pattern.nnz());
+}
+
+TEST(Csc, LowerTriangleAndDiagonal) {
+  const CscMatrix a = small_example();
+  const CscPattern lower = a.pattern.lower_triangle();
+  for (Index j = 0; j < lower.n_cols; ++j) {
+    for (Index k = lower.col_ptr[j]; k < lower.col_ptr[j + 1]; ++k) {
+      EXPECT_GE(lower.row_idx[k], j);
+    }
+  }
+  CscPattern no_diag = make_empty_pattern(3, 3);
+  const CscPattern with_diag = no_diag.with_full_diagonal();
+  EXPECT_EQ(with_diag.nnz(), 3);
+  for (Index j = 0; j < 3; ++j) EXPECT_TRUE(with_diag.contains(j, j));
+}
+
+TEST(Csc, PermutedSymmetricPreservesValues) {
+  const CscMatrix a = small_example();
+  const std::vector<Index> perm = {2, 0, 3, 1};  // perm[new] = old
+  const CscMatrix b = a.permuted_symmetric(perm);
+  EXPECT_NO_THROW(b.validate());
+  for (Index nj = 0; nj < 4; ++nj) {
+    for (Index ni = 0; ni < 4; ++ni) {
+      EXPECT_DOUBLE_EQ(b.at(ni, nj), a.at(perm[ni], perm[nj]));
+    }
+  }
+}
+
+TEST(Generators, GridLaplacian2dIsSymmetricDiagonallyDominant) {
+  const CscMatrix a = grid_laplacian_2d(5, 4);
+  EXPECT_EQ(a.n_cols(), 20);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.pattern, a.pattern.transposed());  // structurally symmetric
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    double offdiag = 0.0;
+    for (Index k = a.pattern.col_ptr[j]; k < a.pattern.col_ptr[j + 1]; ++k) {
+      if (a.pattern.row_idx[k] != j) offdiag += std::abs(a.values[k]);
+    }
+    EXPECT_GT(a.at(j, j), offdiag);  // strict dominance => SPD
+  }
+}
+
+TEST(Generators, GridLaplacian3dShape) {
+  const CscMatrix a = grid_laplacian_3d(3, 4, 5);
+  EXPECT_EQ(a.n_cols(), 60);
+  EXPECT_NO_THROW(a.validate());
+  // Interior point has 6 neighbors + diagonal.
+  Index max_per_col = 0;
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    max_per_col = std::max(max_per_col,
+                           a.pattern.col_ptr[j + 1] - a.pattern.col_ptr[j]);
+  }
+  EXPECT_EQ(max_per_col, 7);
+}
+
+TEST(Generators, ConvectionDiffusionIsUnsymmetric) {
+  Rng rng(5);
+  const CscMatrix a = convection_diffusion_2d(12, 12, 0.1, rng);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_NE(a.pattern, a.pattern.transposed());  // structural asymmetry
+}
+
+TEST(Generators, RandomBandedRespectsBandwidth) {
+  Rng rng(3);
+  const CscMatrix a = random_banded(50, 4, 0.6, rng);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_LE(bandwidth(a.pattern), 4);
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    EXPECT_NE(a.at(j, j), 0.0);
+  }
+}
+
+TEST(Generators, RhsForUnitSolution) {
+  const CscMatrix a = small_example();
+  const auto b = rhs_for_unit_solution(a);
+  // Row 0: 2 + 1 = 3.
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+}
+
+TEST(Ordering, RcmIsAPermutationAndReducesBandwidth) {
+  const CscMatrix a = grid_laplacian_2d(10, 10);
+  // Scramble with a random symmetric permutation first.
+  Rng rng(17);
+  std::vector<Index> scramble(100);
+  for (Index i = 0; i < 100; ++i) scramble[i] = i;
+  for (Index i = 99; i > 0; --i) {
+    std::swap(scramble[i], scramble[rng.next_below(i + 1)]);
+  }
+  const CscMatrix scrambled = a.permuted_symmetric(scramble);
+  const auto perm = reverse_cuthill_mckee(scrambled.pattern);
+  EXPECT_NO_THROW(invert_permutation(perm));
+  const CscMatrix ordered = scrambled.permuted_symmetric(perm);
+  EXPECT_LT(bandwidth(ordered.pattern), bandwidth(scrambled.pattern));
+  EXPECT_LE(bandwidth(ordered.pattern), 15);
+}
+
+TEST(Ordering, RcmHandlesDisconnectedGraphs) {
+  // Two disjoint 2-cliques + an isolated vertex.
+  CooBuilder coo(5, 5);
+  coo.add(0, 1, 1);
+  coo.add(1, 0, 1);
+  coo.add(2, 3, 1);
+  coo.add(3, 2, 1);
+  for (Index i = 0; i < 5; ++i) coo.add(i, i, 1);
+  const auto perm = reverse_cuthill_mckee(coo.to_csc().pattern);
+  EXPECT_EQ(perm.size(), 5u);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Ordering, InvertPermutationRejectsDuplicates) {
+  EXPECT_THROW(invert_permutation({0, 0, 1}), Error);
+}
+
+TEST(Ordering, NestedDissection2dIsAPermutation) {
+  const auto perm = nested_dissection_2d(7, 9);
+  EXPECT_EQ(perm.size(), 63u);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Ordering, NestedDissection3dIsAPermutation) {
+  const auto perm = nested_dissection_3d(4, 5, 3);
+  EXPECT_EQ(perm.size(), 60u);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Ordering, MinimumDegreeIsAPermutation) {
+  const CscMatrix a = grid_laplacian_2d(9, 7);
+  const auto perm = minimum_degree(a.pattern);
+  EXPECT_EQ(perm.size(), 63u);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Ordering, MinimumDegreeEliminatesLeavesFirst) {
+  // A star graph: every leaf (degree 1) must be ordered before the hub.
+  CooBuilder coo(6, 6);
+  for (Index leaf = 1; leaf < 6; ++leaf) {
+    coo.add(0, leaf, 1.0);
+    coo.add(leaf, 0, 1.0);
+  }
+  for (Index i = 0; i < 6; ++i) coo.add(i, i, 1.0);
+  const auto perm = minimum_degree(coo.to_csc().pattern);
+  // The hub (degree 5) cannot be eliminated until at most one leaf is
+  // left — once 4 leaves are gone, hub and last leaf tie at degree 1.
+  EXPECT_TRUE(perm[4] == 0 || perm[5] == 0);
+  for (int i = 0; i < 4; ++i) EXPECT_NE(perm[i], 0);
+}
+
+TEST(Ordering, MinimumDegreeReducesFillVsNatural) {
+  // On a grid Laplacian, minimum degree must beat the natural (banded)
+  // ordering's Cholesky fill.
+  const CscMatrix a = grid_laplacian_2d(14, 14);
+  const auto md = minimum_degree(a.pattern);
+  const CscMatrix reordered = a.permuted_symmetric(md);
+  const auto fill_natural = symbolic_cholesky(a.pattern).fill_nnz();
+  const auto fill_md = symbolic_cholesky(reordered.pattern).fill_nnz();
+  EXPECT_LT(fill_md, fill_natural);
+}
+
+TEST(Ordering, MinimumDegreeHandlesDisconnectedGraphs) {
+  CooBuilder coo(5, 5);
+  coo.add(0, 1, 1);
+  coo.add(1, 0, 1);
+  for (Index i = 0; i < 5; ++i) coo.add(i, i, 1);
+  const auto perm = minimum_degree(coo.to_csc().pattern);
+  EXPECT_EQ(perm.size(), 5u);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Ordering, NestedDissectionSeparatorLast) {
+  // For a 1-D chain (nx × 1), the middle separator cell is numbered last.
+  const auto perm = nested_dissection_2d(9, 1, /*leaf_size=*/2);
+  EXPECT_EQ(perm.back(), 4);  // middle of 0..8
+}
+
+TEST(Blocks, LayoutBasics) {
+  const BlockLayout layout(10, 4);
+  EXPECT_EQ(layout.num_blocks, 3);
+  EXPECT_EQ(layout.block_of(9), 2);
+  EXPECT_EQ(layout.block_width(2), 2);
+  EXPECT_EQ(layout.block_begin(1), 4);
+  EXPECT_EQ(layout.block_end(1), 8);
+}
+
+TEST(Blocks, ProjectToBlocks) {
+  const CscMatrix a = small_example();
+  const BlockLayout layout(4, 2);
+  const CscPattern blocks = project_to_blocks(a.pattern, layout, layout);
+  EXPECT_NO_THROW(blocks.validate());
+  EXPECT_TRUE(blocks.contains(0, 0));
+  EXPECT_TRUE(blocks.contains(1, 0));  // entry (2,0)
+  EXPECT_TRUE(blocks.contains(0, 1));  // entry (0,2)
+  EXPECT_TRUE(blocks.contains(1, 1));
+}
+
+TEST(Blocks, NnzCounts) {
+  const CscMatrix a = small_example();
+  const BlockLayout layout(4, 2);
+  const auto counts = block_nnz_counts(a.pattern, layout, layout);
+  EXPECT_EQ(counts[0][0], 2);  // entries (0,0) and (1,1)
+  EXPECT_EQ(counts[1][0], 1);  // entry (2,0)
+  Index total = 0;
+  for (const auto& row : counts) {
+    for (Index c : row) total += c;
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+}  // namespace
+}  // namespace rapid::sparse

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/flags.hpp"
+#include "rapid/support/rng.hpp"
+#include "rapid/support/str.hpp"
+#include "rapid/support/table.hpp"
+
+namespace rapid {
+namespace {
+
+TEST(Check, ThrowsWithExpressionAndMessage) {
+  try {
+    RAPID_CHECK(1 == 2, cat("context ", 42));
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(RAPID_CHECK(true, ""));
+}
+
+TEST(Check, FailMacroAlwaysThrows) {
+  EXPECT_THROW(RAPID_FAIL("boom"), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Str, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.0, 0), "-1");
+}
+
+TEST(Str, Pct) {
+  EXPECT_EQ(pct(0.123), "+12.3%");
+  EXPECT_EQ(pct(-0.05), "-5.0%");
+}
+
+TEST(Str, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KB");
+}
+
+TEST(Flags, ParsesBothSyntaxes) {
+  Flags flags;
+  flags.define("n", "1", "count").define("name", "x", "label");
+  const char* argv[] = {"prog", "--n=5", "--name", "hello"};
+  flags.parse(4, argv);
+  EXPECT_EQ(flags.get_int("n"), 5);
+  EXPECT_EQ(flags.get("name"), "hello");
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags flags;
+  flags.define("p", "2,4,8", "procs");
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  const auto list = flags.get_int_list("p");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], 8);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags;
+  flags.define("a", "1", "");
+  const char* argv[] = {"prog", "--b=2"};
+  EXPECT_THROW(flags.parse(2, argv), Error);
+}
+
+TEST(Flags, BadIntegerThrows) {
+  Flags flags;
+  flags.define("a", "1", "");
+  const char* argv[] = {"prog", "--a=xyz"};
+  flags.parse(2, argv);
+  EXPECT_THROW(flags.get_int("a"), Error);
+}
+
+TEST(Flags, BoolParsing) {
+  Flags flags;
+  flags.define("on", "false", "");
+  const char* argv[] = {"prog", "--on=true"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.get_bool("on"));
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rapid/sparse/coo.hpp"
+#include "rapid/sparse/etree.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/symbolic.hpp"
+#include "rapid/support/rng.hpp"
+
+namespace rapid::sparse {
+namespace {
+
+/// Brute-force symbolic Cholesky by scalar elimination on a dense boolean
+/// matrix: fill(i,j) if a(i,j) or exists k < min(i,j) with fill(i,k) and
+/// fill(j,k).
+std::vector<bool> brute_force_fill(const CscPattern& a) {
+  const Index n = a.n_cols;
+  std::vector<bool> m(static_cast<std::size_t>(n) * n, false);
+  for (Index j = 0; j < n; ++j) {
+    m[j * n + j] = true;
+    for (Index k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      m[j * n + a.row_idx[k]] = true;
+      m[a.row_idx[k] * n + j] = true;  // symmetrize
+    }
+  }
+  for (Index k = 0; k < n; ++k) {
+    for (Index i = k + 1; i < n; ++i) {
+      if (!m[k * n + i]) continue;
+      for (Index j = k + 1; j <= i; ++j) {
+        if (m[k * n + j]) m[j * n + i] = true;
+      }
+    }
+  }
+  return m;
+}
+
+CscPattern random_symmetric_pattern(Index n, double density, Rng& rng) {
+  CooBuilder coo(n, n);
+  for (Index j = 0; j < n; ++j) {
+    coo.add(j, j, 1.0);
+    for (Index i = j + 1; i < n; ++i) {
+      if (rng.next_bool(density)) {
+        coo.add(i, j, 1.0);
+        coo.add(j, i, 1.0);
+      }
+    }
+  }
+  return coo.to_csc().pattern;
+}
+
+TEST(Etree, ChainGraph) {
+  // Tridiagonal: parent[i] = i+1.
+  CooBuilder coo(5, 5);
+  for (Index i = 0; i < 5; ++i) coo.add(i, i, 1);
+  for (Index i = 0; i + 1 < 5; ++i) {
+    coo.add(i + 1, i, 1);
+    coo.add(i, i + 1, 1);
+  }
+  const auto parent = elimination_tree(coo.to_csc().pattern);
+  for (Index i = 0; i + 1 < 5; ++i) EXPECT_EQ(parent[i], i + 1);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(Etree, ForestForBlockDiagonal) {
+  CooBuilder coo(4, 4);
+  coo.add(1, 0, 1);
+  coo.add(0, 1, 1);
+  coo.add(3, 2, 1);
+  coo.add(2, 3, 1);
+  for (Index i = 0; i < 4; ++i) coo.add(i, i, 1);
+  const auto parent = elimination_tree(coo.to_csc().pattern);
+  EXPECT_EQ(parent[0], 1);
+  EXPECT_EQ(parent[1], -1);
+  EXPECT_EQ(parent[2], 3);
+  EXPECT_EQ(parent[3], -1);
+}
+
+TEST(Etree, PostorderChildrenBeforeParents) {
+  Rng rng(21);
+  const CscPattern a = random_symmetric_pattern(40, 0.1, rng);
+  const auto parent = elimination_tree(a);
+  const auto order = postorder(parent);
+  ASSERT_EQ(order.size(), 40u);
+  std::vector<Index> pos(40);
+  for (Index i = 0; i < 40; ++i) pos[order[i]] = i;
+  for (Index v = 0; v < 40; ++v) {
+    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+  }
+}
+
+TEST(Etree, TreeDepths) {
+  const std::vector<Index> parent = {1, 2, -1, 2};
+  const auto depth = tree_depths(parent);
+  EXPECT_EQ(depth[2], 0);
+  EXPECT_EQ(depth[1], 1);
+  EXPECT_EQ(depth[0], 2);
+  EXPECT_EQ(depth[3], 1);
+}
+
+TEST(SymbolicCholesky, MatchesBruteForceOnRandomPatterns) {
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = static_cast<Index>(10 + rng.next_below(30));
+    const CscPattern a = random_symmetric_pattern(n, 0.08, rng);
+    const SymbolicFactor f = symbolic_cholesky(a);
+    const auto brute = brute_force_fill(a);
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = j; i < n; ++i) {
+        EXPECT_EQ(f.l_pattern.contains(i, j), brute[j * n + i])
+            << "mismatch at (" << i << "," << j << ") trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(SymbolicCholesky, FillContainsInputLowerTriangle) {
+  const CscMatrix a = grid_laplacian_2d(8, 8);
+  const SymbolicFactor f = symbolic_cholesky(a.pattern);
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    for (Index k = a.pattern.col_ptr[j]; k < a.pattern.col_ptr[j + 1]; ++k) {
+      if (a.pattern.row_idx[k] >= j) {
+        EXPECT_TRUE(f.l_pattern.contains(a.pattern.row_idx[k], j));
+      }
+    }
+  }
+  EXPECT_GE(f.fill_nnz(), a.pattern.lower_triangle().nnz());
+}
+
+TEST(SymbolicCholesky, NoFillForTridiagonal) {
+  CooBuilder coo(20, 20);
+  for (Index i = 0; i < 20; ++i) coo.add(i, i, 1);
+  for (Index i = 0; i + 1 < 20; ++i) {
+    coo.add(i + 1, i, 1);
+    coo.add(i, i + 1, 1);
+  }
+  const SymbolicFactor f = symbolic_cholesky(coo.to_csc().pattern);
+  EXPECT_EQ(f.fill_nnz(), 39);  // diagonal + subdiagonal, no fill
+}
+
+TEST(SymbolicCholesky, ColumnCounts) {
+  const CscMatrix a = grid_laplacian_2d(6, 6);
+  const SymbolicFactor f = symbolic_cholesky(a.pattern);
+  const auto counts = column_counts(f);
+  Index total = 0;
+  for (Index c : counts) total += c;
+  EXPECT_EQ(total, f.fill_nnz());
+  EXPECT_EQ(counts.back(), 1);  // last column: diagonal only
+}
+
+TEST(AtaPattern, MatchesDirectComputation) {
+  Rng rng(55);
+  CooBuilder coo(12, 10);
+  for (int e = 0; e < 40; ++e) {
+    coo.add(static_cast<Index>(rng.next_below(12)),
+            static_cast<Index>(rng.next_below(10)), 1.0);
+  }
+  const CscMatrix a = coo.to_csc();
+  const CscPattern ata = ata_pattern(a.pattern);
+  EXPECT_EQ(ata.n_rows, 10);
+  EXPECT_EQ(ata.n_cols, 10);
+  for (Index i = 0; i < 10; ++i) {
+    for (Index j = 0; j < 10; ++j) {
+      bool share_row = false;
+      for (Index r = 0; r < 12 && !share_row; ++r) {
+        share_row = a.pattern.contains(r, i) && a.pattern.contains(r, j);
+      }
+      EXPECT_EQ(ata.contains(i, j), share_row)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SymbolicLu, GeorgeNgContainsSymmetrizedBound) {
+  // For a structurally symmetric matrix the George–Ng bound (AᵀA-based)
+  // must contain the symmetrized bound's fill.
+  const CscMatrix a = grid_laplacian_2d(7, 5);
+  const SymbolicFactor sym = symbolic_lu_static(a.pattern);
+  const SymbolicFactor gn = symbolic_lu_george_ng(a.pattern);
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    for (Index k = sym.l_pattern.col_ptr[j];
+         k < sym.l_pattern.col_ptr[j + 1]; ++k) {
+      EXPECT_TRUE(gn.l_pattern.contains(sym.l_pattern.row_idx[k], j));
+    }
+  }
+  EXPECT_GE(gn.fill_nnz(), sym.fill_nnz());
+}
+
+TEST(SymbolicLu, RowMergeBoundCoversActualLuFillUnderPivoting) {
+  // Numeric check of the static-pivoting guarantee: factorize with partial
+  // pivoting (dense, brute force) and verify every nonzero of L and U is
+  // inside the row-merge bound. Strong winds force nontrivial pivoting.
+  Rng rng(77);
+  const CscMatrix a = convection_diffusion_2d(5, 5, 0.15, rng);
+  const Index n = a.n_cols();
+  const CscPattern bound = symbolic_lu_bound_pivoting(a.pattern);
+  std::vector<double> dense = a.to_dense();
+  std::vector<Index> rowperm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) rowperm[i] = i;
+  for (Index k = 0; k < n; ++k) {
+    Index piv = k;
+    for (Index i = k + 1; i < n; ++i) {
+      if (std::abs(dense[k * n + i]) > std::abs(dense[k * n + piv])) piv = i;
+    }
+    if (piv != k) {
+      for (Index c = 0; c < n; ++c) std::swap(dense[c * n + k], dense[c * n + piv]);
+      std::swap(rowperm[k], rowperm[piv]);
+    }
+    const double d = dense[k * n + k];
+    ASSERT_NE(d, 0.0);
+    for (Index i = k + 1; i < n; ++i) dense[k * n + i] /= d;
+    for (Index c = k + 1; c < n; ++c) {
+      const double u = dense[c * n + k];
+      if (u == 0.0) continue;
+      for (Index i = k + 1; i < n; ++i) {
+        dense[c * n + i] -= dense[k * n + i] * u;
+      }
+    }
+  }
+  // Every nonzero of the final packed L\U must be inside the bound (the
+  // theorem's statement; intermediate positions move under later swaps).
+  for (Index c = 0; c < n; ++c) {
+    for (Index i = 0; i < n; ++i) {
+      if (dense[c * n + i] != 0.0) {
+        EXPECT_TRUE(bound.contains(i, c))
+            << "factor entry (" << i << "," << c << ") escapes the bound";
+      }
+    }
+  }
+  (void)rowperm;
+}
+
+TEST(SymbolicLu, RowMergeBoundIsValidAndContainsInput) {
+  Rng rng(91);
+  const CscMatrix a = convection_diffusion_2d(6, 7, 0.2, rng);
+  const CscPattern bound = symbolic_lu_bound_pivoting(a.pattern);
+  EXPECT_NO_THROW(bound.validate());
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    EXPECT_TRUE(bound.contains(j, j));
+    for (Index k = a.pattern.col_ptr[j]; k < a.pattern.col_ptr[j + 1]; ++k) {
+      EXPECT_TRUE(bound.contains(a.pattern.row_idx[k], j));
+    }
+  }
+}
+
+TEST(SymbolicLu, RowMergeBoundOnTriangularInputAddsNothing) {
+  // A lower-triangular pattern has no pivot competition beyond the
+  // diagonal? No: every subdiagonal entry makes its row a candidate. Use a
+  // diagonal matrix instead: bound must be exactly the diagonal.
+  CooBuilder coo(6, 6);
+  for (Index i = 0; i < 6; ++i) coo.add(i, i, 1.0);
+  const CscPattern bound = symbolic_lu_bound_pivoting(coo.to_csc().pattern);
+  EXPECT_EQ(bound.nnz(), 6);
+}
+
+TEST(SymbolicLu, RowMergeCoverageSweep) {
+  // Parameterized-style sweep: several random unsymmetric matrices, real
+  // pivoted elimination, containment must hold every time.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const CscMatrix a = convection_diffusion_2d(4, 5, 0.25, rng);
+    const Index n = a.n_cols();
+    const CscPattern bound = symbolic_lu_bound_pivoting(a.pattern);
+    std::vector<double> dense = a.to_dense();
+    for (Index k = 0; k < n; ++k) {
+      Index piv = k;
+      for (Index i = k + 1; i < n; ++i) {
+        if (std::abs(dense[k * n + i]) > std::abs(dense[k * n + piv]))
+          piv = i;
+      }
+      if (piv != k) {
+        for (Index c = 0; c < n; ++c) {
+          std::swap(dense[c * n + k], dense[c * n + piv]);
+        }
+      }
+      ASSERT_NE(dense[k * n + k], 0.0);
+      for (Index i = k + 1; i < n; ++i) dense[k * n + i] /= dense[k * n + k];
+      for (Index c = k + 1; c < n; ++c) {
+        const double u = dense[c * n + k];
+        if (u == 0.0) continue;
+        for (Index i = k + 1; i < n; ++i) {
+          dense[c * n + i] -= dense[k * n + i] * u;
+        }
+      }
+    }
+    for (Index c = 0; c < n; ++c) {
+      for (Index i = 0; i < n; ++i) {
+        if (dense[c * n + i] != 0.0) {
+          ASSERT_TRUE(bound.contains(i, c))
+              << "seed " << seed << ": (" << i << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapid::sparse

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <cstring>
+#include <numeric>
+
+#include "rapid/rt/threaded_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+namespace {
+
+using graph::TaskGraph;
+
+/// A numeric micro-app over the Figure-2 DAG: every object is one int64
+/// counter (8 bytes); T[j] sets d_j := j+1; T[i,j] adds d_i into d_j;
+/// update tasks T[j] with reads double d_j. The expected final values are
+/// computed by a sequential interpreter, so a threaded run checks protocol
+/// correctness end to end (content transfer, versions, sync flags).
+struct CounterApp {
+  TaskGraph graph = graph::make_paper_figure2_graph();
+  sched::Schedule schedule;
+  RunPlan plan;
+  std::vector<std::int64_t> expected;
+
+  explicit CounterApp(int procs, bool mpo = false) {
+    // Resize objects to 8 bytes (the figure uses unit sizes).
+    // TaskGraph sizes are fixed at add_data time, so rebuild a scaled graph.
+    graph = rebuild_with_size(8, procs);
+    const auto assignment = sched::owner_compute_tasks(graph, procs);
+    const auto params = machine::MachineParams::cray_t3d(procs);
+    schedule = mpo ? sched::schedule_mpo(graph, assignment, procs, params)
+                   : sched::schedule_rcp(graph, assignment, procs, params);
+    plan = build_run_plan(graph, schedule);
+    expected = interpret();
+  }
+
+  static TaskGraph rebuild_with_size(std::int64_t bytes, int procs) {
+    const TaskGraph proto = graph::make_paper_figure2_graph();
+    TaskGraph g;
+    for (graph::DataId d = 0; d < proto.num_data(); ++d) {
+      g.add_data(proto.data(d).name, bytes,
+                 static_cast<graph::ProcId>(d % procs));
+    }
+    for (graph::TaskId t = 0; t < proto.num_tasks(); ++t) {
+      const graph::Task& task = proto.task(t);
+      g.add_task(task.name, task.reads, task.writes, task.flops,
+                 task.commute_group);
+    }
+    g.finalize();
+    return g;
+  }
+
+  /// Sequential reference semantics in program order.
+  std::vector<std::int64_t> interpret() const {
+    std::vector<std::int64_t> value(11, 0);
+    for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+      apply(t, value);
+    }
+    return value;
+  }
+
+  void apply(graph::TaskId t, std::vector<std::int64_t>& value) const {
+    const graph::Task& task = graph.task(t);
+    const graph::DataId target = task.writes.front();
+    if (task.reads.empty()) {
+      value[target] = target + 1;  // producer
+    } else if (task.reads.front() == target) {
+      value[target] *= 2;  // updater T[j]
+    } else {
+      value[target] += value[task.reads.front()];  // T[i,j]
+    }
+  }
+
+  ObjectInit make_init() const {
+    return [](graph::DataId, std::span<std::byte> buf) {
+      std::memset(buf.data(), 0, buf.size());
+    };
+  }
+
+  TaskBody make_body() const {
+    return [this](graph::TaskId t, ObjectResolver& resolver) {
+      const graph::Task& task = graph.task(t);
+      const graph::DataId target = task.writes.front();
+      auto out = resolver.write(target);
+      auto* tv = reinterpret_cast<std::int64_t*>(out.data());
+      if (task.reads.empty()) {
+        *tv = target + 1;
+      } else if (task.reads.front() == target) {
+        *tv *= 2;
+      } else {
+        const auto in = resolver.read(task.reads.front());
+        *tv += *reinterpret_cast<const std::int64_t*>(in.data());
+      }
+    };
+  }
+
+  RunConfig config(std::int64_t capacity, bool active = true) const {
+    RunConfig c;
+    c.capacity_per_proc = capacity;
+    c.active_memory = active;
+    c.params = machine::MachineParams::cray_t3d(plan.num_procs);
+    return c;
+  }
+
+  void check_results(const ThreadedExecutor& exec) const {
+    for (graph::DataId d = 0; d < graph.num_data(); ++d) {
+      const auto bytes = exec.read_object(d);
+      std::int64_t v = 0;
+      std::memcpy(&v, bytes.data(), sizeof(v));
+      EXPECT_EQ(v, expected[d]) << graph.data(d).name;
+    }
+  }
+};
+
+TEST(ThreadedExecutor, ComputesCorrectResultsWithAmpleMemory) {
+  CounterApp app(2);
+  ThreadedExecutor exec(app.plan, app.config(1 << 16), app.make_init(),
+                        app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  EXPECT_EQ(r.tasks_executed, 20);
+  app.check_results(exec);
+}
+
+TEST(ThreadedExecutor, ComputesCorrectResultsAtMinMem) {
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.min_mem()),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  app.check_results(exec);
+  EXPECT_GT(r.avg_maps(), 1.0);  // recycling actually happened
+  for (std::int64_t peak : r.peak_bytes_per_proc) {
+    EXPECT_LE(peak, liveness.min_mem());
+  }
+}
+
+TEST(ThreadedExecutor, ReportsNonExecutableBelowMinMem) {
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.min_mem() - 8),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  EXPECT_FALSE(r.executable);
+  EXPECT_FALSE(r.failure.empty());
+}
+
+TEST(ThreadedExecutor, BaselineModeMatches) {
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.tot_mem(), false),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  EXPECT_EQ(r.maps_per_proc[0], 0);
+  app.check_results(exec);
+}
+
+TEST(ThreadedExecutor, MpoOrderAlsoCorrect) {
+  CounterApp app(2, /*mpo=*/true);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.min_mem()),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  app.check_results(exec);
+}
+
+TEST(ThreadedExecutor, RepeatedTightRunsStayCorrect) {
+  // Hammer the protocol: many runs at the exact memory floor; thread
+  // interleavings differ, results must not.
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  for (int round = 0; round < 25; ++round) {
+    ThreadedExecutor exec(app.plan, app.config(liveness.min_mem()),
+                          app.make_init(), app.make_body());
+    const RunReport r = exec.run();
+    ASSERT_TRUE(r.executable) << r.failure;
+    app.check_results(exec);
+  }
+}
+
+TEST(ThreadedExecutor, WatchdogCatchesStalledProtocol) {
+  // Fault injection: one task body blocks far beyond the watchdog window,
+  // so global progress stops and the watchdog must abort the run with
+  // ProtocolDeadlockError instead of hanging forever.
+  CounterApp app(2);
+  ThreadedOptions options;
+  options.watchdog_seconds = 0.2;
+  std::atomic<bool> stalled{false};
+  ThreadedExecutor exec(
+      app.plan, app.config(1 << 16), app.make_init(),
+      [&](graph::TaskId t, ObjectResolver& resolver) {
+        if (!stalled.exchange(true)) {
+          std::this_thread::sleep_for(std::chrono::seconds(2));
+        }
+        app.make_body()(t, resolver);
+      },
+      options);
+  EXPECT_THROW(exec.run(), ProtocolDeadlockError);
+}
+
+TEST(ThreadedExecutor, MultiSlotMailboxesAlsoCorrect) {
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  auto config = app.config(liveness.min_mem());
+  config.mailbox_slots = 4;
+  ThreadedExecutor exec(app.plan, config, app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  app.check_results(exec);
+}
+
+TEST(ThreadedExecutor, TaskBodyErrorSurfacesAsDeadlockError) {
+  CounterApp app(2);
+  ThreadedExecutor exec(
+      app.plan, app.config(1 << 16), app.make_init(),
+      [](graph::TaskId, ObjectResolver&) { throw std::runtime_error("bug"); });
+  EXPECT_THROW(exec.run(), ProtocolDeadlockError);
+}
+
+TEST(ThreadedExecutor, WritingNonOwnedObjectThrows) {
+  CounterApp app(2);
+  std::atomic<bool> violated{false};
+  ThreadedExecutor exec(
+      app.plan, app.config(1 << 16), app.make_init(),
+      [&](graph::TaskId t, ObjectResolver& resolver) {
+        // Try to write an object the task's processor does not own.
+        const auto& task = app.graph.task(t);
+        if (!task.reads.empty() && task.reads.front() != task.writes.front()) {
+          try {
+            resolver.write(task.reads.front());
+          } catch (const Error&) {
+            violated = true;
+            throw;
+          }
+        }
+        app.make_body()(t, resolver);
+      });
+  EXPECT_THROW(exec.run(), ProtocolDeadlockError);
+  EXPECT_TRUE(violated.load());
+}
+
+}  // namespace
+}  // namespace rapid::rt
