@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mailbox.dir/ablation_mailbox.cpp.o"
+  "CMakeFiles/bench_ablation_mailbox.dir/ablation_mailbox.cpp.o.d"
+  "bench_ablation_mailbox"
+  "bench_ablation_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

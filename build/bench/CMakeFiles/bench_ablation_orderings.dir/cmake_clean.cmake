@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orderings.dir/ablation_orderings.cpp.o"
+  "CMakeFiles/bench_ablation_orderings.dir/ablation_orderings.cpp.o.d"
+  "bench_ablation_orderings"
+  "bench_ablation_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

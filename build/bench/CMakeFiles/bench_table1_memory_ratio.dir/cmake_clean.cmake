@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memory_ratio.dir/table1_memory_ratio.cpp.o"
+  "CMakeFiles/bench_table1_memory_ratio.dir/table1_memory_ratio.cpp.o.d"
+  "bench_table1_memory_ratio"
+  "bench_table1_memory_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memory_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_rcp_vs_mpo.dir/table4_rcp_vs_mpo.cpp.o"
+  "CMakeFiles/bench_table4_rcp_vs_mpo.dir/table4_rcp_vs_mpo.cpp.o.d"
+  "bench_table4_rcp_vs_mpo"
+  "bench_table4_rcp_vs_mpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_rcp_vs_mpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_mpo_vs_dts.dir/table6_mpo_vs_dts.cpp.o"
+  "CMakeFiles/bench_table6_mpo_vs_dts.dir/table6_mpo_vs_dts.cpp.o.d"
+  "bench_table6_mpo_vs_dts"
+  "bench_table6_mpo_vs_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_mpo_vs_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_rcp_vs_dts_merged.dir/table7_rcp_vs_dts_merged.cpp.o"
+  "CMakeFiles/bench_table7_rcp_vs_dts_merged.dir/table7_rcp_vs_dts_merged.cpp.o.d"
+  "bench_table7_rcp_vs_dts_merged"
+  "bench_table7_rcp_vs_dts_merged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_rcp_vs_dts_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_rcp_vs_dts_merged.
+# This may be replaced when dependencies are built.

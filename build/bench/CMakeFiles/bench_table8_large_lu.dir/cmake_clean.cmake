@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_large_lu.dir/table8_large_lu.cpp.o"
+  "CMakeFiles/bench_table8_large_lu.dir/table8_large_lu.cpp.o.d"
+  "bench_table8_large_lu"
+  "bench_table8_large_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_large_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

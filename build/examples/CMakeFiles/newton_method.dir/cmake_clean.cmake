@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_method.dir/newton_method.cpp.o"
+  "CMakeFiles/newton_method.dir/newton_method.cpp.o.d"
+  "newton_method"
+  "newton_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

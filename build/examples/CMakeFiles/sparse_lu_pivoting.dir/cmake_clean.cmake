@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_lu_pivoting.dir/sparse_lu_pivoting.cpp.o"
+  "CMakeFiles/sparse_lu_pivoting.dir/sparse_lu_pivoting.cpp.o.d"
+  "sparse_lu_pivoting"
+  "sparse_lu_pivoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_lu_pivoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sparse_lu_pivoting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sparse_lu_pivoting.
+# This may be replaced when dependencies are built.

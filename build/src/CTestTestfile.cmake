@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rapid/support")
+subdirs("rapid/sparse")
+subdirs("rapid/graph")
+subdirs("rapid/mem")
+subdirs("rapid/machine")
+subdirs("rapid/sched")
+subdirs("rapid/rt")
+subdirs("rapid/num")

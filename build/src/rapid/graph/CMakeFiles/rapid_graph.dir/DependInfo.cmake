@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/graph/dcg.cpp" "src/rapid/graph/CMakeFiles/rapid_graph.dir/dcg.cpp.o" "gcc" "src/rapid/graph/CMakeFiles/rapid_graph.dir/dcg.cpp.o.d"
+  "/root/repo/src/rapid/graph/dot.cpp" "src/rapid/graph/CMakeFiles/rapid_graph.dir/dot.cpp.o" "gcc" "src/rapid/graph/CMakeFiles/rapid_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/rapid/graph/task_graph.cpp" "src/rapid/graph/CMakeFiles/rapid_graph.dir/task_graph.cpp.o" "gcc" "src/rapid/graph/CMakeFiles/rapid_graph.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_graph.dir/dcg.cpp.o"
+  "CMakeFiles/rapid_graph.dir/dcg.cpp.o.d"
+  "CMakeFiles/rapid_graph.dir/dot.cpp.o"
+  "CMakeFiles/rapid_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/rapid_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/rapid_graph.dir/task_graph.cpp.o.d"
+  "librapid_graph.a"
+  "librapid_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/machine/event_queue.cpp" "src/rapid/machine/CMakeFiles/rapid_machine.dir/event_queue.cpp.o" "gcc" "src/rapid/machine/CMakeFiles/rapid_machine.dir/event_queue.cpp.o.d"
+  "/root/repo/src/rapid/machine/params.cpp" "src/rapid/machine/CMakeFiles/rapid_machine.dir/params.cpp.o" "gcc" "src/rapid/machine/CMakeFiles/rapid_machine.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

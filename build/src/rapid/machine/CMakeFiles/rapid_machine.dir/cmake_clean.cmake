@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_machine.dir/event_queue.cpp.o"
+  "CMakeFiles/rapid_machine.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rapid_machine.dir/params.cpp.o"
+  "CMakeFiles/rapid_machine.dir/params.cpp.o.d"
+  "librapid_machine.a"
+  "librapid_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

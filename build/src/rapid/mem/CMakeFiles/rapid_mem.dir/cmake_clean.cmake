@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_mem.dir/arena.cpp.o"
+  "CMakeFiles/rapid_mem.dir/arena.cpp.o.d"
+  "librapid_mem.a"
+  "librapid_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

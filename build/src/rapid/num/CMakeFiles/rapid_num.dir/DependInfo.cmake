@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/num/cholesky_app.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/cholesky_app.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/cholesky_app.cpp.o.d"
+  "/root/repo/src/rapid/num/kernels.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/kernels.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/kernels.cpp.o.d"
+  "/root/repo/src/rapid/num/lu_app.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/lu_app.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/lu_app.cpp.o.d"
+  "/root/repo/src/rapid/num/nbody_app.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/nbody_app.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/nbody_app.cpp.o.d"
+  "/root/repo/src/rapid/num/reference.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/reference.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/reference.cpp.o.d"
+  "/root/repo/src/rapid/num/trisolve_app.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/trisolve_app.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/trisolve_app.cpp.o.d"
+  "/root/repo/src/rapid/num/workloads.cpp" "src/rapid/num/CMakeFiles/rapid_num.dir/workloads.cpp.o" "gcc" "src/rapid/num/CMakeFiles/rapid_num.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/rt/CMakeFiles/rapid_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/sparse/CMakeFiles/rapid_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/sched/CMakeFiles/rapid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/graph/CMakeFiles/rapid_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/mem/CMakeFiles/rapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/machine/CMakeFiles/rapid_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

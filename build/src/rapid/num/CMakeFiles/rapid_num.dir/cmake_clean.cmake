@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_num.dir/cholesky_app.cpp.o"
+  "CMakeFiles/rapid_num.dir/cholesky_app.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/kernels.cpp.o"
+  "CMakeFiles/rapid_num.dir/kernels.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/lu_app.cpp.o"
+  "CMakeFiles/rapid_num.dir/lu_app.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/nbody_app.cpp.o"
+  "CMakeFiles/rapid_num.dir/nbody_app.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/reference.cpp.o"
+  "CMakeFiles/rapid_num.dir/reference.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/trisolve_app.cpp.o"
+  "CMakeFiles/rapid_num.dir/trisolve_app.cpp.o.d"
+  "CMakeFiles/rapid_num.dir/workloads.cpp.o"
+  "CMakeFiles/rapid_num.dir/workloads.cpp.o.d"
+  "librapid_num.a"
+  "librapid_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

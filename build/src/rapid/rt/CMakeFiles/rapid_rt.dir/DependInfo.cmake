@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/rt/map_engine.cpp" "src/rapid/rt/CMakeFiles/rapid_rt.dir/map_engine.cpp.o" "gcc" "src/rapid/rt/CMakeFiles/rapid_rt.dir/map_engine.cpp.o.d"
+  "/root/repo/src/rapid/rt/plan.cpp" "src/rapid/rt/CMakeFiles/rapid_rt.dir/plan.cpp.o" "gcc" "src/rapid/rt/CMakeFiles/rapid_rt.dir/plan.cpp.o.d"
+  "/root/repo/src/rapid/rt/report.cpp" "src/rapid/rt/CMakeFiles/rapid_rt.dir/report.cpp.o" "gcc" "src/rapid/rt/CMakeFiles/rapid_rt.dir/report.cpp.o.d"
+  "/root/repo/src/rapid/rt/sim_executor.cpp" "src/rapid/rt/CMakeFiles/rapid_rt.dir/sim_executor.cpp.o" "gcc" "src/rapid/rt/CMakeFiles/rapid_rt.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/rapid/rt/threaded_executor.cpp" "src/rapid/rt/CMakeFiles/rapid_rt.dir/threaded_executor.cpp.o" "gcc" "src/rapid/rt/CMakeFiles/rapid_rt.dir/threaded_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/sched/CMakeFiles/rapid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/mem/CMakeFiles/rapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/machine/CMakeFiles/rapid_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/graph/CMakeFiles/rapid_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

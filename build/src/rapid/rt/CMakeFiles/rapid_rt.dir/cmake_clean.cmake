@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_rt.dir/map_engine.cpp.o"
+  "CMakeFiles/rapid_rt.dir/map_engine.cpp.o.d"
+  "CMakeFiles/rapid_rt.dir/plan.cpp.o"
+  "CMakeFiles/rapid_rt.dir/plan.cpp.o.d"
+  "CMakeFiles/rapid_rt.dir/report.cpp.o"
+  "CMakeFiles/rapid_rt.dir/report.cpp.o.d"
+  "CMakeFiles/rapid_rt.dir/sim_executor.cpp.o"
+  "CMakeFiles/rapid_rt.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/rapid_rt.dir/threaded_executor.cpp.o"
+  "CMakeFiles/rapid_rt.dir/threaded_executor.cpp.o.d"
+  "librapid_rt.a"
+  "librapid_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/sched/dsc.cpp" "src/rapid/sched/CMakeFiles/rapid_sched.dir/dsc.cpp.o" "gcc" "src/rapid/sched/CMakeFiles/rapid_sched.dir/dsc.cpp.o.d"
+  "/root/repo/src/rapid/sched/liveness.cpp" "src/rapid/sched/CMakeFiles/rapid_sched.dir/liveness.cpp.o" "gcc" "src/rapid/sched/CMakeFiles/rapid_sched.dir/liveness.cpp.o.d"
+  "/root/repo/src/rapid/sched/mapping.cpp" "src/rapid/sched/CMakeFiles/rapid_sched.dir/mapping.cpp.o" "gcc" "src/rapid/sched/CMakeFiles/rapid_sched.dir/mapping.cpp.o.d"
+  "/root/repo/src/rapid/sched/ordering.cpp" "src/rapid/sched/CMakeFiles/rapid_sched.dir/ordering.cpp.o" "gcc" "src/rapid/sched/CMakeFiles/rapid_sched.dir/ordering.cpp.o.d"
+  "/root/repo/src/rapid/sched/schedule.cpp" "src/rapid/sched/CMakeFiles/rapid_sched.dir/schedule.cpp.o" "gcc" "src/rapid/sched/CMakeFiles/rapid_sched.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/graph/CMakeFiles/rapid_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/machine/CMakeFiles/rapid_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_sched.dir/dsc.cpp.o"
+  "CMakeFiles/rapid_sched.dir/dsc.cpp.o.d"
+  "CMakeFiles/rapid_sched.dir/liveness.cpp.o"
+  "CMakeFiles/rapid_sched.dir/liveness.cpp.o.d"
+  "CMakeFiles/rapid_sched.dir/mapping.cpp.o"
+  "CMakeFiles/rapid_sched.dir/mapping.cpp.o.d"
+  "CMakeFiles/rapid_sched.dir/ordering.cpp.o"
+  "CMakeFiles/rapid_sched.dir/ordering.cpp.o.d"
+  "CMakeFiles/rapid_sched.dir/schedule.cpp.o"
+  "CMakeFiles/rapid_sched.dir/schedule.cpp.o.d"
+  "librapid_sched.a"
+  "librapid_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

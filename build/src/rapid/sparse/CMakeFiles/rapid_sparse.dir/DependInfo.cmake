@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/sparse/blocks.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/blocks.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/blocks.cpp.o.d"
+  "/root/repo/src/rapid/sparse/coo.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/coo.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/rapid/sparse/csc.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/csc.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/rapid/sparse/etree.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/etree.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/etree.cpp.o.d"
+  "/root/repo/src/rapid/sparse/generators.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/generators.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/rapid/sparse/matrix_market.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/matrix_market.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/rapid/sparse/ordering.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/ordering.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/ordering.cpp.o.d"
+  "/root/repo/src/rapid/sparse/symbolic.cpp" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/symbolic.cpp.o" "gcc" "src/rapid/sparse/CMakeFiles/rapid_sparse.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_sparse.dir/blocks.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/blocks.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/coo.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/csc.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/etree.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/etree.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/generators.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/ordering.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/ordering.cpp.o.d"
+  "CMakeFiles/rapid_sparse.dir/symbolic.cpp.o"
+  "CMakeFiles/rapid_sparse.dir/symbolic.cpp.o.d"
+  "librapid_sparse.a"
+  "librapid_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapid/support/check.cpp" "src/rapid/support/CMakeFiles/rapid_support.dir/check.cpp.o" "gcc" "src/rapid/support/CMakeFiles/rapid_support.dir/check.cpp.o.d"
+  "/root/repo/src/rapid/support/flags.cpp" "src/rapid/support/CMakeFiles/rapid_support.dir/flags.cpp.o" "gcc" "src/rapid/support/CMakeFiles/rapid_support.dir/flags.cpp.o.d"
+  "/root/repo/src/rapid/support/log.cpp" "src/rapid/support/CMakeFiles/rapid_support.dir/log.cpp.o" "gcc" "src/rapid/support/CMakeFiles/rapid_support.dir/log.cpp.o.d"
+  "/root/repo/src/rapid/support/str.cpp" "src/rapid/support/CMakeFiles/rapid_support.dir/str.cpp.o" "gcc" "src/rapid/support/CMakeFiles/rapid_support.dir/str.cpp.o.d"
+  "/root/repo/src/rapid/support/table.cpp" "src/rapid/support/CMakeFiles/rapid_support.dir/table.cpp.o" "gcc" "src/rapid/support/CMakeFiles/rapid_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_support.dir/check.cpp.o"
+  "CMakeFiles/rapid_support.dir/check.cpp.o.d"
+  "CMakeFiles/rapid_support.dir/flags.cpp.o"
+  "CMakeFiles/rapid_support.dir/flags.cpp.o.d"
+  "CMakeFiles/rapid_support.dir/log.cpp.o"
+  "CMakeFiles/rapid_support.dir/log.cpp.o.d"
+  "CMakeFiles/rapid_support.dir/str.cpp.o"
+  "CMakeFiles/rapid_support.dir/str.cpp.o.d"
+  "CMakeFiles/rapid_support.dir/table.cpp.o"
+  "CMakeFiles/rapid_support.dir/table.cpp.o.d"
+  "librapid_support.a"
+  "librapid_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_app_test.dir/cholesky_app_test.cpp.o"
+  "CMakeFiles/cholesky_app_test.dir/cholesky_app_test.cpp.o.d"
+  "cholesky_app_test"
+  "cholesky_app_test.pdb"
+  "cholesky_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_test.dir/dcg_test.cpp.o"
+  "CMakeFiles/dcg_test.dir/dcg_test.cpp.o.d"
+  "dcg_test"
+  "dcg_test.pdb"
+  "dcg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

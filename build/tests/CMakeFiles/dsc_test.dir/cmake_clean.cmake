@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsc_test.dir/dsc_test.cpp.o"
+  "CMakeFiles/dsc_test.dir/dsc_test.cpp.o.d"
+  "dsc_test"
+  "dsc_test.pdb"
+  "dsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_test.dir/liveness_test.cpp.o"
+  "CMakeFiles/liveness_test.dir/liveness_test.cpp.o.d"
+  "liveness_test"
+  "liveness_test.pdb"
+  "liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

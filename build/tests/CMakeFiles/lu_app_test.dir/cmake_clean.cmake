@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_app_test.dir/lu_app_test.cpp.o"
+  "CMakeFiles/lu_app_test.dir/lu_app_test.cpp.o.d"
+  "lu_app_test"
+  "lu_app_test.pdb"
+  "lu_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

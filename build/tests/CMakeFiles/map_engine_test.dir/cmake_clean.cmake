@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_engine_test.dir/map_engine_test.cpp.o"
+  "CMakeFiles/map_engine_test.dir/map_engine_test.cpp.o.d"
+  "map_engine_test"
+  "map_engine_test.pdb"
+  "map_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

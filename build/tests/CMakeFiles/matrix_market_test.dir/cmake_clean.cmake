@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_market_test.dir/matrix_market_test.cpp.o"
+  "CMakeFiles/matrix_market_test.dir/matrix_market_test.cpp.o.d"
+  "matrix_market_test"
+  "matrix_market_test.pdb"
+  "matrix_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

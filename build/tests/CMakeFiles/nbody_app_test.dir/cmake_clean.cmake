@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_app_test.dir/nbody_app_test.cpp.o"
+  "CMakeFiles/nbody_app_test.dir/nbody_app_test.cpp.o.d"
+  "nbody_app_test"
+  "nbody_app_test.pdb"
+  "nbody_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

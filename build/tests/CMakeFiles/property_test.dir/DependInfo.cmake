@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rapid/num/CMakeFiles/rapid_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/rt/CMakeFiles/rapid_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/sched/CMakeFiles/rapid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/graph/CMakeFiles/rapid_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/sparse/CMakeFiles/rapid_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/mem/CMakeFiles/rapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/machine/CMakeFiles/rapid_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapid/support/CMakeFiles/rapid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trisolve_app_test.dir/trisolve_app_test.cpp.o"
+  "CMakeFiles/trisolve_app_test.dir/trisolve_app_test.cpp.o.d"
+  "trisolve_app_test"
+  "trisolve_app_test.pdb"
+  "trisolve_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trisolve_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

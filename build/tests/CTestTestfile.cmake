@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_market_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/dcg_test[1]_include.cmake")
+include("/root/repo/build/tests/arena_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/dsc_test[1]_include.cmake")
+include("/root/repo/build/tests/liveness_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/map_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/cholesky_app_test[1]_include.cmake")
+include("/root/repo/build/tests/lu_app_test[1]_include.cmake")
+include("/root/repo/build/tests/trisolve_app_test[1]_include.cmake")
+include("/root/repo/build/tests/nbody_app_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/app_sweep_test[1]_include.cmake")
