@@ -7,6 +7,7 @@
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
 #include "rapid/support/str.hpp"
+#include "rapid/verify/auditor.hpp"
 
 namespace rapid::bench {
 
@@ -77,6 +78,17 @@ sched::Schedule make_schedule(const Instance& instance, OrderingKind kind,
 SimResult run_sim(const Instance& instance, const sched::Schedule& schedule,
                   std::int64_t capacity, bool active_memory) {
   const rt::RunPlan plan = rt::build_run_plan(*instance.graph, schedule);
+  // Auditor pre-check: a table entry is only trustworthy if the plan obeys
+  // the Theorem 1 preconditions. Capacity findings are deliberately not
+  // checked here — infeasible capacities are what the sweeps measure (the
+  // "∞" cells), and the simulator reports them via RunReport::executable.
+  {
+    verify::AuditOptions audit_options;
+    audit_options.capacity_per_proc = 0;
+    const verify::AuditReport audit =
+        verify::audit_plan(*instance.graph, schedule, plan, audit_options);
+    RAPID_CHECK(audit.clean(), audit.to_string());
+  }
   rt::RunConfig config;
   config.params = instance.params;
   config.capacity_per_proc = capacity;

@@ -81,6 +81,15 @@ void TaskGraph::finalize() {
   finalized_ = true;
 }
 
+void TaskGraph::drop_edge_for_test(std::int32_t edge_index) {
+  RAPID_CHECK(finalized_, "graph not finalized");
+  RAPID_CHECK(edge_index >= 0 &&
+                  edge_index < static_cast<std::int32_t>(edges_.size()),
+              cat("unknown edge index ", edge_index));
+  edges_[static_cast<std::size_t>(edge_index)].redundant = true;
+  build_adjacency();
+}
+
 namespace {
 
 /// Per-object inspector state (see header comment for the commuting-epoch

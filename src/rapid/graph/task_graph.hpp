@@ -106,6 +106,13 @@ class TaskGraph {
   /// tests can force either path.
   static constexpr std::int64_t kRedundancyWorkCap = 64 * 1000 * 1000;
 
+  /// Fault injection for the plan auditor's negative tests: removes the
+  /// edge at `edge_index` from the transformed graph (marks it redundant
+  /// and rebuilds adjacency) while leaving the tasks' access sets intact —
+  /// the result is deliberately NOT dependence complete unless a true path
+  /// subsumed the edge. Test-only; executing such a graph is undefined.
+  void drop_edge_for_test(std::int32_t edge_index);
+
  private:
   void derive_edges();
   void mark_redundant_edges();

@@ -46,6 +46,10 @@ struct RunConfig {
   /// the overhead of buffer managing"); larger values let a MAP finish
   /// without waiting for slow consumers — an ablatable design choice.
   std::int32_t mailbox_slots = 1;
+  /// Run the static plan auditor (rapid::verify) before executing. Capacity
+  /// findings surface as NonExecutableError (so RunReport::executable stays
+  /// the "∞" channel); protocol-level findings throw verify::AuditError.
+  bool audit = false;
 };
 
 struct RunReport {

@@ -9,6 +9,7 @@
 #include "rapid/machine/event_queue.hpp"
 #include "rapid/rt/map_engine.hpp"
 #include "rapid/support/str.hpp"
+#include "rapid/verify/auditor.hpp"
 
 namespace rapid::rt {
 
@@ -341,6 +342,7 @@ class Simulator {
 
 RunReport simulate(const RunPlan& plan, const RunConfig& config) {
   try {
+    if (config.audit) verify::audit_or_throw(plan, config);
     Simulator sim(plan, config);
     return sim.run();
   } catch (const NonExecutableError& e) {

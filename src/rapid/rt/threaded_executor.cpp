@@ -13,6 +13,7 @@
 #include "rapid/rt/map_engine.hpp"
 #include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
+#include "rapid/verify/auditor.hpp"
 
 namespace rapid::rt {
 
@@ -344,6 +345,7 @@ RunReport ThreadedExecutor::run() {
   impl.priv.resize(static_cast<std::size_t>(plan.num_procs));
   impl.epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
   try {
+    if (impl.config.audit) verify::audit_or_throw(plan, impl.config);
     for (ProcId q = 0; q < plan.num_procs; ++q) {
       auto sh = std::make_unique<Impl::Shared>();
       sh->received_version.assign(

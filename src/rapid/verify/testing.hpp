@@ -1,0 +1,42 @@
+// GTest glue for the plan auditor. Header-only and gtest-dependent, so it
+// lives outside the rapid_verify library proper — include it from test
+// targets only.
+//
+//   EXPECT_PLAN_CLEAN(graph, schedule, plan);            // plan-level rules
+//   EXPECT_PLAN_CLEAN_AT(graph, schedule, plan, bytes);  // + Def. 6 replay
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "rapid/verify/auditor.hpp"
+
+namespace rapid::verify::testing {
+
+inline ::testing::AssertionResult plan_clean(const graph::TaskGraph& graph,
+                                             const sched::Schedule& schedule,
+                                             const rt::RunPlan& plan,
+                                             const AuditOptions& options) {
+  const AuditReport report = audit_plan(graph, schedule, plan, options);
+  if (report.clean()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << report.to_string();
+}
+
+inline AuditOptions at_capacity(std::int64_t capacity_per_proc) {
+  AuditOptions options;
+  options.capacity_per_proc = capacity_per_proc;
+  return options;
+}
+
+}  // namespace rapid::verify::testing
+
+/// Asserts the plan passes every static audit rule (capacity replay
+/// skipped). The failure message is the full audit report.
+#define EXPECT_PLAN_CLEAN(graph, schedule, plan)                         \
+  EXPECT_TRUE(::rapid::verify::testing::plan_clean(                      \
+      (graph), (schedule), (plan), ::rapid::verify::AuditOptions{}))
+
+/// Same, plus the symbolic MAP replay at `capacity` bytes per processor.
+#define EXPECT_PLAN_CLEAN_AT(graph, schedule, plan, capacity)            \
+  EXPECT_TRUE(::rapid::verify::testing::plan_clean(                      \
+      (graph), (schedule), (plan),                                       \
+      ::rapid::verify::testing::at_capacity(capacity)))

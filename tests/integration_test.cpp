@@ -15,6 +15,7 @@
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
+#include "rapid/verify/testing.hpp"
 
 namespace rapid {
 namespace {
@@ -43,6 +44,10 @@ struct Pipeline {
   rt::RunReport run(const sched::Schedule& s, std::int64_t capacity,
                     bool active = true) const {
     const rt::RunPlan plan = rt::build_run_plan(*graph, s);
+    // Protocol-level audit only: these tests sweep deliberately infeasible
+    // capacities, so capacity feasibility is the assertion's job, not the
+    // auditor's (EXPECT_PLAN_CLEAN skips the capacity replay).
+    EXPECT_PLAN_CLEAN(*graph, s, plan);
     rt::RunConfig config;
     config.params = params;
     config.capacity_per_proc = capacity;

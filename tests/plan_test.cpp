@@ -6,6 +6,7 @@
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
 #include "rapid/support/check.hpp"
+#include "rapid/verify/testing.hpp"
 
 namespace rapid::rt {
 namespace {
@@ -28,6 +29,7 @@ TEST(Plan, BuildsForPaperExample) {
   EXPECT_EQ(plan.num_procs, 2);
   EXPECT_EQ(plan.objects.size(), 11u);
   EXPECT_EQ(plan.tasks.size(), 20u);
+  EXPECT_PLAN_CLEAN(f.graph, f.schedule, plan);
 }
 
 TEST(Plan, EpochsFollowProgramOrderOfWriters) {

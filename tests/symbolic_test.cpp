@@ -85,7 +85,9 @@ TEST(Etree, PostorderChildrenBeforeParents) {
   std::vector<Index> pos(40);
   for (Index i = 0; i < 40; ++i) pos[order[i]] = i;
   for (Index v = 0; v < 40; ++v) {
-    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+    if (parent[v] != -1) {
+      EXPECT_LT(pos[v], pos[parent[v]]);
+    }
   }
 }
 
