@@ -135,7 +135,7 @@ int main(int argc, char** argv) {
     table.add_row({c.name, human_bytes(static_cast<double>(c.min_mem)),
                    margin(ff), margin(bf)});
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "ablation_allocator", table);
   std::printf(
       "\nexpected shape: ~0%% margin for uniform-size objects; a small but "
       "real margin\nfor mixed sizes — the reason the paper's conclusion "

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "ablation_mailbox", table);
   std::printf(
       "\nexpected shape: near-zero differences — because every blocking "
       "state services RA,\nsingle-slot mailboxes rarely stall, vindicating "

@@ -14,7 +14,7 @@ using namespace rapid;
 namespace {
 
 void run_panel(const char* title, bool lu, double scale, sparse::Index block,
-               int procs) {
+               int procs, JsonValue& panels) {
   const num::Workload workload =
       lu ? num::goodwin_like(scale) : num::bcsstk24_like(scale);
   const bench::Instance inst =
@@ -49,6 +49,7 @@ void run_panel(const char* title, bool lu, double scale, sparse::Index block,
     add_row("DTS merge " + fixed(budget_frac, 2) + "*MIN_MEM(DTS)", merged);
   }
   std::fputs(table.render().c_str(), stdout);
+  panels[lu ? "lu" : "cholesky"] = bench::table_to_json(table);
   std::printf("\n");
 }
 
@@ -65,11 +66,18 @@ int main(int argc, char** argv) {
       "Cholesky + LU",
       "MIN_MEM/S1*p = per-processor memory relative to the S1/p lower bound "
       "(1.0 = perfect)");
-  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, 16);
-  run_panel("(b) sparse LU", /*lu=*/true, scale, block, 16);
+  JsonValue panels = JsonValue::object();
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, 16, panels);
+  run_panel("(b) sparse LU", /*lu=*/true, scale, block, 16, panels);
   std::printf(
       "expected shape: larger budgets monotonically trade memory for time, "
       "approaching\nRCP's makespan from above while MIN_MEM climbs from the "
       "DTS floor.\n");
+  JsonValue doc = JsonValue::object();
+  doc["artifact"] = "ablation_orderings";
+  doc["scale"] = scale;
+  doc["block"] = static_cast<std::int64_t>(block);
+  doc["panels"] = std::move(panels);
+  bench::write_json_file(flags, doc);
   return 0;
 }

@@ -153,8 +153,45 @@ bool parse_common_flags(Flags& flags, int argc, const char* const* argv) {
                "problem sizes (slower)");
   flags.define("block", "24", "block size for the 2-D/1-D partitions");
   flags.define("procs", "2,4,8,16,32", "processor counts to sweep");
+  flags.define("json", "",
+               "also write machine-readable results to this path");
   flags.parse(argc, argv);
   return flags.help_requested();
+}
+
+JsonValue table_to_json(const TextTable& table) {
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : table.rows()) {
+    JsonValue obj = JsonValue::object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      obj[table.header()[c]] = row[c];
+    }
+    rows.push_back(std::move(obj));
+  }
+  return rows;
+}
+
+bool write_json_file(const Flags& flags, const JsonValue& doc) {
+  const std::string path = flags.get("json");
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  RAPID_CHECK(f != nullptr, cat("cannot open --json path ", path));
+  const std::string text = doc.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("\njson results written to %s\n", path.c_str());
+  return true;
+}
+
+void emit_table(const Flags& flags, const std::string& artifact,
+                const TextTable& table) {
+  std::fputs(table.render().c_str(), stdout);
+  JsonValue doc = JsonValue::object();
+  doc["artifact"] = artifact;
+  doc["scale"] = flags.get_double("scale");
+  doc["block"] = flags.get_int("block");
+  doc["rows"] = table_to_json(table);
+  write_json_file(flags, doc);
 }
 
 void print_header(const std::string& artifact, const std::string& workload,

@@ -17,6 +17,7 @@
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/schedule.hpp"
 #include "rapid/support/flags.hpp"
+#include "rapid/support/json.hpp"
 #include "rapid/support/table.hpp"
 
 namespace rapid::bench {
@@ -81,11 +82,26 @@ std::string maps_cell(const SimResult& run);
 /// PT_b / PT_a − 1 as a percentage; "*" when only b runs; "-" when neither.
 std::string compare_cell(const SimResult& a, const SimResult& b);
 
-/// Common flags for the table benches; returns true if --help was printed.
+/// Common flags for the table benches (including --json); returns true if
+/// --help was printed.
 bool parse_common_flags(Flags& flags, int argc, const char* const* argv);
 
 /// Prints a standard bench header naming the paper artifact reproduced.
 void print_header(const std::string& artifact, const std::string& workload,
                   const std::string& notes);
+
+/// Converts a table to an array of one JSON object per row, keyed by the
+/// header cells.
+JsonValue table_to_json(const TextTable& table);
+
+/// Writes `doc` to the path given by --json; no-op (returns false) when the
+/// flag is empty. Prints the destination on success.
+bool write_json_file(const Flags& flags, const JsonValue& doc);
+
+/// Prints the table to stdout and, when --json=<path> was given, writes
+/// {"artifact": ..., "rows": [...]} to <path>. The standard tail call of
+/// every table/figure bench.
+void emit_table(const Flags& flags, const std::string& artifact,
+                const TextTable& table);
 
 }  // namespace rapid::bench

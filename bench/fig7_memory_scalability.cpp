@@ -15,7 +15,7 @@ using namespace rapid;
 namespace {
 
 void run_panel(const char* title, bool lu, double scale, sparse::Index block,
-               const std::vector<std::int64_t>& procs) {
+               const std::vector<std::int64_t>& procs, JsonValue& panels) {
   std::printf("--- %s ---\n", title);
   TextTable table({"p", "perfect (=p)", "RCP", "MPO", "DTS"});
   for (const auto p : procs) {
@@ -38,6 +38,7 @@ void run_panel(const char* title, bool lu, double scale, sparse::Index block,
     table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
+  panels[lu ? "lu" : "cholesky"] = bench::table_to_json(table);
   std::printf("\n");
 }
 
@@ -54,11 +55,18 @@ int main(int argc, char** argv) {
                       "(a) " + num::bcsstk24_like(scale).name + "   (b) " +
                           num::goodwin_like(scale).name,
                       "S_p = MIN_MEM of the schedule; perfect = S1/(S1/p) = p");
-  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs);
+  JsonValue panels = JsonValue::object();
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs, panels);
   run_panel("(b) sparse LU with partial pivoting", /*lu=*/true, scale, block,
-            procs);
+            procs, panels);
   std::printf(
       "expected shape: DTS tracks the perfect curve, MPO reduces memory "
       "substantially,\nRCP is not memory scalable (flat), worst for LU.\n");
+  JsonValue doc = JsonValue::object();
+  doc["artifact"] = "fig7_memory_scalability";
+  doc["scale"] = scale;
+  doc["block"] = static_cast<std::int64_t>(block);
+  doc["panels"] = std::move(panels);
+  bench::write_json_file(flags, doc);
   return 0;
 }

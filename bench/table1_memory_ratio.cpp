@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(p), fixed(paper[row++], 2),
                    fixed(ratio_sum / count, 2)});
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "table1_memory_ratio", table);
   std::printf(
       "\nexpected shape: the ratio grows with p — more processors mean more "
       "remote reads, hence more volatile replicas per processor.\n");

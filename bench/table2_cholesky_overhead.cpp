@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(p), pt_cell(0), pt_cell(1), map_cell(1),
                    pt_cell(2), map_cell(2), pt_cell(3), map_cell(3)});
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "table2_cholesky_overhead", table);
   std::printf(
       "\nexpected shape: degradation grows as memory shrinks and as p grows;"
       "\nsmall p + small memory is non-executable while large p stays "

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "table3_lu_overhead", table);
   std::printf(
       "\nexpected shape: more 'inf' cells than Cholesky (1-D mapping makes "
       "fewer,\nlarger objects, so less allocation freedom) and lower PT "

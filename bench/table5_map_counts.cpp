@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "table5_map_counts", table);
   std::printf(
       "\nexpected shape: MPO needs no more MAPs than RCP (usually fewer), "
       "and MAP counts\nfall as p grows and rise as memory shrinks.\n");

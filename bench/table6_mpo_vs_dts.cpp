@@ -14,7 +14,7 @@ using namespace rapid;
 namespace {
 
 void run_panel(const char* title, bool lu, double scale, sparse::Index block,
-               const std::vector<std::int64_t>& procs) {
+               const std::vector<std::int64_t>& procs, JsonValue& panels) {
   std::printf("--- %s (MPO vs DTS) ---\n", title);
   TextTable table({"p", "75%", "50%", "40%", "25%"});
   const double fractions[] = {0.75, 0.5, 0.4, 0.25};
@@ -41,6 +41,7 @@ void run_panel(const char* title, bool lu, double scale, sparse::Index block,
     table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
+  panels[lu ? "lu" : "cholesky"] = bench::table_to_json(table);
   std::printf("\n");
 }
 
@@ -59,10 +60,17 @@ int main(int argc, char** argv) {
           num::goodwin_like(scale).name,
       "cell = PT_DTS/PT_MPO - 1;  '*' = DTS executable where MPO is not; "
       "'-' = neither");
-  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs);
-  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs);
+  JsonValue panels = JsonValue::object();
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs, panels);
+  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs, panels);
   std::printf(
       "expected shape: DTS slower (positive cells), gap growing with p; DTS "
       "still\nexecutable at the tightest memory where MPO fails.\n");
+  JsonValue doc = JsonValue::object();
+  doc["artifact"] = "table6_mpo_vs_dts";
+  doc["scale"] = scale;
+  doc["block"] = static_cast<std::int64_t>(block);
+  doc["panels"] = std::move(panels);
+  bench::write_json_file(flags, doc);
   return 0;
 }

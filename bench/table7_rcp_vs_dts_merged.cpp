@@ -15,7 +15,7 @@ using namespace rapid;
 namespace {
 
 void run_panel(const char* title, bool lu, double scale, sparse::Index block,
-               const std::vector<std::int64_t>& procs) {
+               const std::vector<std::int64_t>& procs, JsonValue& panels) {
   std::printf("--- %s (RCP vs DTS+merge) ---\n", title);
   TextTable table({"p", "75%", "50%", "40%", "25%"});
   const double fractions[] = {0.75, 0.5, 0.4, 0.25};
@@ -44,6 +44,7 @@ void run_panel(const char* title, bool lu, double scale, sparse::Index block,
     table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
+  panels[lu ? "lu" : "cholesky"] = bench::table_to_json(table);
   std::printf("\n");
 }
 
@@ -63,10 +64,17 @@ int main(int argc, char** argv) {
           num::goodwin_like(scale).name,
       "cell = PT_DTS+merge/PT_RCP - 1;  '*' = DTS+merge executable where "
       "RCP is not; '-' = neither");
-  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs);
-  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs);
+  JsonValue panels = JsonValue::object();
+  run_panel("(a) sparse Cholesky", /*lu=*/false, scale, block, procs, panels);
+  run_panel("(b) sparse LU", /*lu=*/true, scale, block, procs, panels);
   std::printf(
       "expected shape: merged DTS within ~20%% of RCP (merging restores "
       "critical-path\nfreedom), and executable in more cells than RCP.\n");
+  JsonValue doc = JsonValue::object();
+  doc["artifact"] = "table7_rcp_vs_dts_merged";
+  doc["scale"] = scale;
+  doc["block"] = static_cast<std::int64_t>(block);
+  doc["panels"] = std::move(panels);
+  bench::write_json_file(flags, doc);
   return 0;
 }

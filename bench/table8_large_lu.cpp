@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
                    row < 3 ? fixed(paper_mflops[row], 1) : std::string("-")});
     ++row;
   }
-  std::fputs(table.render().c_str(), stdout);
+  bench::emit_table(flags, "table8_large_lu", table);
   std::printf(
       "\nexpected shape: the no-recycling baseline does not fit (the paper's "
       "'previously\nunsolvable' situation) while active memory management "

@@ -1,29 +1,20 @@
 #include "rapid/rt/threaded_executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <deque>
-#include <map>
 #include <mutex>
-#include <optional>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "rapid/rt/map_engine.hpp"
+#include "rapid/support/backoff.hpp"
 #include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/auditor.hpp"
 
 namespace rapid::rt {
-
-namespace {
-
-struct PendingSend {
-  ContentSend send;
-};
-
-}  // namespace
 
 struct ThreadedExecutor::Impl {
   const RunPlan& plan;
@@ -32,15 +23,29 @@ struct ThreadedExecutor::Impl {
   TaskBody body;
   ThreadedOptions options;
 
-  /// Per-processor shared state: remote threads deposit data, flags and
-  /// address packages here under the mutex; the heap memcpy happens under
-  /// the same lock so the version publish orders after the payload.
+  /// Per-processor shared state — the RMA window. The heap and the
+  /// per-object version slots form a lock-free data plane: a sender memcpys
+  /// the payload into the destination heap (nobody else touches those
+  /// bytes: regions are disjoint per object, and owner-compute makes the
+  /// object's owner the only writer), then publishes visibility with a
+  /// release store on received_version; readers gate on acquire loads.
+  /// Completion flags are a dense atomic array with the same discipline.
+  /// Only the multi-slot address-package mailbox keeps a mutex — it is a
+  /// many-producer queue of variable-size packages, off the data path.
+  /// docs/RUNTIME.md has the full memory-ordering argument.
   struct Shared {
-    std::mutex m;
-    std::vector<std::int32_t> received_version;  // per object, -1 = none
-    std::unordered_set<TaskId> flags;
-    std::vector<std::deque<AddrPackage>> mailbox;  // per source proc
     std::vector<std::byte> heap;
+    /// Per object, -1 = none yet. Single writer per slot (the object's
+    /// owner), so max-merge is a plain compare + release store.
+    std::unique_ptr<std::atomic<std::int32_t>[]> received_version;
+    /// Per task, 1 = completion flag delivered. Single writer per slot.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> flags;
+
+    std::mutex mailbox_m;
+    std::vector<std::deque<AddrPackage>> mailbox;  // per source proc
+    /// Lock-free "is there anything to drain" hint; modified under
+    /// mailbox_m, read without it on the RA fast path.
+    std::atomic<std::int32_t> mailbox_pending{0};
   };
 
   /// Per-processor private state, touched only by its own thread.
@@ -48,9 +53,18 @@ struct ThreadedExecutor::Impl {
     std::unique_ptr<ProcMemory> memory;
     std::int32_t pos = 0;
     std::int32_t maps = 0;
-    // Owner-side: (object, dest) -> offset in the dest heap.
-    std::map<std::pair<DataId, ProcId>, mem::Offset> known_addrs;
-    std::deque<ContentSend> suspended;
+    /// Owner-side address table: offset of owned object d inside reader
+    /// r's heap, at [owned_index[d] * num_procs + r]; kNullOffset =
+    /// unknown. Flat array — the send path does no tree walks.
+    std::vector<mem::Offset> known_addrs;
+    /// Suspended sends grouped by destination, plus per-peer epochs: a
+    /// destination's queue is rescanned only when new addresses from that
+    /// peer arrived since the last scan (addr_epoch advanced past
+    /// scanned_epoch), not on every poll.
+    std::vector<std::deque<ContentSend>> suspended_by_dest;
+    std::vector<std::uint32_t> addr_epoch;
+    std::vector<std::uint32_t> scanned_epoch;
+    std::int64_t suspended_count = 0;
     std::vector<std::int32_t> epoch_remaining;  // flattened, see epoch_base
     std::vector<std::int32_t> current_version;  // per owned object
   };
@@ -58,13 +72,23 @@ struct ThreadedExecutor::Impl {
   std::vector<std::unique_ptr<Shared>> shared;
   std::vector<Private> priv;
   std::vector<std::size_t> epoch_base;  // per object, into epoch_remaining
+  /// Dense index of each object among its owner's permanents (for the
+  /// known_addrs tables); -1 until built.
+  std::vector<std::int32_t> owned_index;
+
+  /// Data-plane doorbell: rung on every protocol event; blocked workers
+  /// park on it. The control doorbell is rung only on run termination
+  /// events (failure, global quiescence) so the watchdog can park without
+  /// making every bump_progress() pay a notify.
+  Doorbell bell;
+  Doorbell control_bell;
 
   std::atomic<bool> abort{false};
-  std::atomic<std::uint64_t> progress{0};
   std::atomic<int> quiescent_count{0};
   std::mutex error_m;
   std::string error_text;
   bool non_executable = false;
+  bool completed = false;  // run() finished cleanly; gates read_object()
 
   // Counters (relaxed; exact totals gathered after join).
   std::atomic<std::int64_t> content_messages{0}, content_bytes{0},
@@ -88,34 +112,43 @@ struct ThreadedExecutor::Impl {
       }
     }
     abort.store(true, std::memory_order_release);
+    bell.ring();          // wake parked workers so they observe the abort
+    control_bell.ring();  // and the watchdog
   }
 
-  void bump_progress() {
-    progress.fetch_add(1, std::memory_order_relaxed);
+  void bump_progress() { bell.ring(); }
+
+  mem::Offset& addr_slot(Private& me, DataId d, ProcId reader) {
+    return me.known_addrs[static_cast<std::size_t>(owned_index[d]) *
+                              static_cast<std::size_t>(plan.num_procs) +
+                          static_cast<std::size_t>(reader)];
   }
 
   // ---- owner-side sending ----------------------------------------------
 
+  /// The RMA put: payload memcpy into the destination heap with no lock
+  /// held, then a release publish of the version. Always runs on the
+  /// owner's thread (complete_task / initial sends / CQ dispatch), so per
+  /// (object, dest) the copies are program-ordered and the version slot
+  /// has a single writer.
   void transmit(ProcId q, const ContentSend& s) {
     Private& me = priv[q];
     RAPID_CHECK(me.current_version[s.object] == s.version,
                 cat("object ", plan.graph->data(s.object).name,
                     " overwritten before version ", s.version, " was sent"));
-    const auto it = me.known_addrs.find({s.object, s.dest});
-    RAPID_CHECK(it != me.known_addrs.end(), "transmit without address");
+    const mem::Offset dst_off = addr_slot(me, s.object, s.dest);
+    RAPID_CHECK(dst_off != mem::kNullOffset, "transmit without address");
     const std::int64_t size = plan.graph->data(s.object).size_bytes;
     const mem::Offset src_off = me.memory->offset_of(s.object);
-    Shared& src_shared = *shared[q];
     Shared& dst = *shared[s.dest];
-    {
-      std::lock_guard<std::mutex> lock(dst.m);
-      if (size > 0) {
-        std::memcpy(dst.heap.data() + it->second,
-                    src_shared.heap.data() + src_off,
-                    static_cast<std::size_t>(size));
-      }
-      auto& rv = dst.received_version[s.object];
-      rv = std::max(rv, s.version);
+    if (size > 0) {
+      std::memcpy(dst.heap.data() + dst_off,
+                  shared[q]->heap.data() + src_off,
+                  static_cast<std::size_t>(size));
+    }
+    auto& slot = dst.received_version[s.object];
+    if (slot.load(std::memory_order_relaxed) < s.version) {
+      slot.store(s.version, std::memory_order_release);
     }
     content_messages.fetch_add(1, std::memory_order_relaxed);
     content_bytes.fetch_add(size, std::memory_order_relaxed);
@@ -124,21 +157,18 @@ struct ThreadedExecutor::Impl {
 
   void trigger_send(ProcId q, const ContentSend& s) {
     Private& me = priv[q];
-    if (me.known_addrs.count({s.object, s.dest})) {
+    if (addr_slot(me, s.object, s.dest) != mem::kNullOffset) {
       transmit(q, s);
     } else {
       RAPID_CHECK(config.active_memory, "baseline must know every address");
-      me.suspended.push_back(s);
+      me.suspended_by_dest[s.dest].push_back(s);
+      ++me.suspended_count;
       suspended_sends.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   void send_flag(ProcId dest, TaskId t) {
-    Shared& dst = *shared[dest];
-    {
-      std::lock_guard<std::mutex> lock(dst.m);
-      dst.flags.insert(t);
-    }
+    shared[dest]->flags[t].store(1, std::memory_order_release);
     flag_messages.fetch_add(1, std::memory_order_relaxed);
     bump_progress();
   }
@@ -146,47 +176,71 @@ struct ThreadedExecutor::Impl {
   // ---- RA / CQ -----------------------------------------------------------
 
   /// RA: consume address packages from my mailbox slots. CQ: dispatch
-  /// suspended sends whose addresses became known.
-  void service_ra_cq(ProcId q) {
+  /// suspended sends whose addresses became known. Returns whether any
+  /// package was consumed or send dispatched (the caller's backoff resets
+  /// on progress).
+  bool service_ra_cq(ProcId q) {
     Private& me = priv[q];
-    std::vector<AddrPackage> consumed;
-    {
-      Shared& mine = *shared[q];
-      std::lock_guard<std::mutex> lock(mine.m);
-      for (auto& slot : mine.mailbox) {
-        while (!slot.empty()) {
-          consumed.push_back(std::move(slot.front()));
-          slot.pop_front();
+    Shared& mine = *shared[q];
+    bool progressed = false;
+    if (mine.mailbox_pending.load(std::memory_order_acquire) != 0) {
+      std::vector<AddrPackage> consumed;
+      {
+        std::lock_guard<std::mutex> lock(mine.mailbox_m);
+        for (auto& slot : mine.mailbox) {
+          while (!slot.empty()) {
+            consumed.push_back(std::move(slot.front()));
+            slot.pop_front();
+          }
+        }
+        mine.mailbox_pending.store(0, std::memory_order_relaxed);
+      }
+      for (const AddrPackage& pkg : consumed) {
+        for (const auto& [d, offset] : pkg.entries) {
+          addr_slot(me, d, pkg.reader) = offset;
+        }
+        ++me.addr_epoch[pkg.reader];
+        progressed = true;
+        bump_progress();
+      }
+    }
+    if (me.suspended_count > 0) {
+      for (ProcId r = 0; r < plan.num_procs; ++r) {
+        auto& queue = me.suspended_by_dest[r];
+        if (queue.empty() || me.scanned_epoch[r] == me.addr_epoch[r]) {
+          continue;  // no new addresses from r since the last scan
+        }
+        me.scanned_epoch[r] = me.addr_epoch[r];
+        for (auto it = queue.begin(); it != queue.end();) {
+          if (addr_slot(me, it->object, r) != mem::kNullOffset) {
+            transmit(q, *it);
+            it = queue.erase(it);
+            --me.suspended_count;
+            progressed = true;
+          } else {
+            ++it;
+          }
         }
       }
     }
-    for (const AddrPackage& pkg : consumed) {
-      for (const auto& [d, offset] : pkg.entries) {
-        me.known_addrs.emplace(std::make_pair(d, pkg.reader), offset);
-      }
-      bump_progress();
-    }
-    for (auto it = me.suspended.begin(); it != me.suspended.end();) {
-      if (me.known_addrs.count({it->object, it->dest})) {
-        transmit(q, *it);
-        it = me.suspended.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    return progressed;
   }
 
-  /// Blocking send of one address package (MAP state): spins on the
-  /// destination slot, servicing RA/CQ like the paper requires.
+  /// Blocking send of one address package (MAP state): spins then parks on
+  /// the doorbell while the destination slot is full, servicing RA/CQ like
+  /// the paper requires.
   bool send_addr_package_blocking(ProcId q, ProcId dest,
                                   const AddrPackage& pkg) {
+    Backoff backoff(bell, options.spin_iters, options.park_timeout_us);
     while (!abort.load(std::memory_order_acquire)) {
+      const std::uint64_t seen = bell.value();
       {
         Shared& dst = *shared[dest];
-        std::lock_guard<std::mutex> lock(dst.m);
+        std::lock_guard<std::mutex> lock(dst.mailbox_m);
         if (static_cast<std::int32_t>(dst.mailbox[q].size()) <
             config.mailbox_slots) {
           dst.mailbox[q].push_back(pkg);
+          dst.mailbox_pending.fetch_add(1, std::memory_order_release);
           addr_packages.fetch_add(1, std::memory_order_relaxed);
           addr_entries.fetch_add(
               static_cast<std::int64_t>(pkg.entries.size()),
@@ -195,23 +249,31 @@ struct ThreadedExecutor::Impl {
           return true;
         }
       }
-      service_ra_cq(q);
-      std::this_thread::yield();
+      if (service_ra_cq(q)) {
+        backoff.reset();
+      } else {
+        backoff.pause(seen);
+      }
     }
     return false;
   }
 
   // ---- readiness ---------------------------------------------------------
 
+  /// Lock-free: acquire loads pair with the senders' release stores, so a
+  /// `true` result makes the payload bytes (and the flagged predecessors'
+  /// effects) visible to the task body.
   bool task_ready(ProcId q, TaskId t) {
     const TaskRuntimePlan& tp = plan.tasks[t];
     Shared& mine = *shared[q];
-    std::lock_guard<std::mutex> lock(mine.m);
     for (const RemoteRead& rr : tp.remote_reads) {
-      if (mine.received_version[rr.object] < rr.version) return false;
+      if (mine.received_version[rr.object].load(std::memory_order_acquire) <
+          rr.version) {
+        return false;
+      }
     }
     for (TaskId u : tp.remote_sync_preds) {
-      if (!mine.flags.count(u)) return false;
+      if (mine.flags[u].load(std::memory_order_acquire) == 0) return false;
     }
     return true;
   }
@@ -277,6 +339,7 @@ struct ThreadedExecutor::Impl {
       }
       for (const ContentSend& s : pp.initial_sends) trigger_send(q, s);
 
+      Backoff backoff(bell, options.spin_iters, options.park_timeout_us);
       const auto n = static_cast<std::int32_t>(pp.order.size());
       bool counted_quiescent = false;
       while (!abort.load(std::memory_order_acquire)) {
@@ -289,30 +352,47 @@ struct ThreadedExecutor::Impl {
               if (!send_addr_package_blocking(q, dest, pkg)) return;
             }
             bump_progress();
+            backoff.reset();
             continue;
           }
           const TaskId t = pp.order[me.pos];
+          // Doorbell value read BEFORE the readiness check: an input that
+          // arrives between the check and the park moves the bell past
+          // `seen`, so the park returns immediately instead of sleeping
+          // through the wakeup.
+          const std::uint64_t seen = bell.value();
           if (task_ready(q, t)) {
             body(t, resolver);  // EXE
             ++me.pos;
             complete_task(q, t);  // SND
+            backoff.reset();
+          } else if (service_ra_cq(q)) {  // REC
+            backoff.reset();
           } else {
-            service_ra_cq(q);  // REC
-            std::this_thread::yield();
+            backoff.pause(seen);
           }
           continue;
         }
         // END: drain, then wait for global quiescence.
-        service_ra_cq(q);
-        if (!counted_quiescent && me.suspended.empty()) {
+        const std::uint64_t seen = bell.value();
+        const bool progressed = service_ra_cq(q);
+        if (!counted_quiescent && me.suspended_count == 0) {
           counted_quiescent = true;
-          quiescent_count.fetch_add(1, std::memory_order_acq_rel);
+          if (quiescent_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+              plan.num_procs) {
+            control_bell.ring();  // the run is over: wake the watchdog
+          }
+          bump_progress();  // and any peers parked waiting for quiescence
         }
         if (quiescent_count.load(std::memory_order_acquire) ==
             plan.num_procs) {
           return;
         }
-        std::this_thread::yield();
+        if (progressed) {
+          backoff.reset();
+        } else {
+          backoff.pause(seen);
+        }
       }
     } catch (const NonExecutableError& e) {
       fail(e.what(), /*capacity_failure=*/true);
@@ -340,16 +420,32 @@ RunReport ThreadedExecutor::run() {
 
   // Set up heaps and memory managers; capacity failures surface here or at
   // the first MAP inside a worker.
+  impl.completed = false;
   impl.shared.clear();
   impl.priv.clear();
   impl.priv.resize(static_cast<std::size_t>(plan.num_procs));
   impl.epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
+  impl.owned_index.assign(static_cast<std::size_t>(plan.graph->num_data()),
+                          -1);
+  for (ProcId q = 0; q < plan.num_procs; ++q) {
+    std::int32_t next = 0;
+    for (DataId d : plan.procs[q].permanents) impl.owned_index[d] = next++;
+  }
   try {
     if (impl.config.audit) verify::audit_or_throw(plan, impl.config);
     for (ProcId q = 0; q < plan.num_procs; ++q) {
       auto sh = std::make_unique<Impl::Shared>();
-      sh->received_version.assign(
-          static_cast<std::size_t>(plan.graph->num_data()), -1);
+      const auto num_data = static_cast<std::size_t>(plan.graph->num_data());
+      const auto num_tasks = static_cast<std::size_t>(plan.graph->num_tasks());
+      sh->received_version =
+          std::make_unique<std::atomic<std::int32_t>[]>(num_data);
+      for (std::size_t d = 0; d < num_data; ++d) {
+        sh->received_version[d].store(-1, std::memory_order_relaxed);
+      }
+      sh->flags = std::make_unique<std::atomic<std::uint8_t>[]>(num_tasks);
+      for (std::size_t t = 0; t < num_tasks; ++t) {
+        sh->flags[t].store(0, std::memory_order_relaxed);
+      }
       sh->mailbox.resize(static_cast<std::size_t>(plan.num_procs));
       sh->heap.resize(static_cast<std::size_t>(impl.config.capacity_per_proc));
       impl.shared.push_back(std::move(sh));
@@ -360,6 +456,13 @@ RunReport ThreadedExecutor::run() {
       if (!impl.config.active_memory) pr.memory->preallocate_all();
       pr.current_version.assign(
           static_cast<std::size_t>(plan.graph->num_data()), 0);
+      pr.known_addrs.assign(
+          plan.procs[q].permanents.size() *
+              static_cast<std::size_t>(plan.num_procs),
+          mem::kNullOffset);
+      pr.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
+      pr.addr_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
+      pr.scanned_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
     }
   } catch (const NonExecutableError& e) {
     report.executable = false;
@@ -388,9 +491,8 @@ RunReport ThreadedExecutor::run() {
     for (ProcId reader = 0; reader < plan.num_procs; ++reader) {
       for (const sched::VolatileLifetime& v : plan.procs[reader].volatiles) {
         const ProcId owner = plan.graph->data(v.object).owner;
-        impl.priv[owner].known_addrs.emplace(
-            std::make_pair(v.object, reader),
-            impl.priv[reader].memory->offset_of(v.object));
+        impl.addr_slot(impl.priv[owner], v.object, reader) =
+            impl.priv[reader].memory->offset_of(v.object);
       }
     }
   }
@@ -403,21 +505,34 @@ RunReport ThreadedExecutor::run() {
   for (ProcId q = 0; q < plan.num_procs; ++q) {
     threads.emplace_back([&impl, q] { impl.worker(q); });
   }
-  // Watchdog: abort if no global progress for options.watchdog_seconds.
+  // Watchdog: parked on the control doorbell (rung on failure and on global
+  // quiescence), waking on a heartbeat to sample the progress doorbell;
+  // aborts if it has not moved for options.watchdog_seconds.
   {
-    std::uint64_t last = impl.progress.load();
+    const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(impl.options.watchdog_seconds * 1e6 / 4),
+        1000, 250000);
+    std::uint64_t last = impl.bell.value();
     Stopwatch since_progress;
-    while (impl.quiescent_count.load(std::memory_order_acquire) <
-               plan.num_procs &&
-           !impl.abort.load(std::memory_order_acquire)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      const std::uint64_t now = impl.progress.load();
+    for (;;) {
+      // Control value read before the exit checks: a ring that lands after
+      // the read makes the park return immediately, so run termination is
+      // never charged a full heartbeat of latency.
+      const std::uint64_t control_seen = impl.control_bell.value();
+      if (impl.quiescent_count.load(std::memory_order_acquire) >=
+              plan.num_procs ||
+          impl.abort.load(std::memory_order_acquire)) {
+        break;
+      }
+      const std::uint64_t now = impl.bell.value();
       if (now != last) {
         last = now;
         since_progress.reset();
       } else if (since_progress.seconds() > impl.options.watchdog_seconds) {
         impl.fail("watchdog: no protocol progress", false);
+        break;
       }
+      impl.control_bell.wait(control_seen, heartbeat_us);
     }
   }
   for (auto& th : threads) th.join();
@@ -442,11 +557,15 @@ RunReport ThreadedExecutor::run() {
   report.addr_entries = impl.addr_entries.load();
   report.suspended_sends = impl.suspended_sends.load();
   report.tasks_executed = impl.tasks_executed.load();
+  impl.completed = report.executable;
   return report;
 }
 
 std::vector<std::byte> ThreadedExecutor::read_object(DataId d) const {
   const Impl& impl = *impl_;
+  RAPID_CHECK(impl.completed,
+              "ThreadedExecutor::read_object called before a successful "
+              "run() — the owner heaps hold no defined content yet");
   const ProcId owner = impl.plan.graph->data(d).owner;
   const std::int64_t size = impl.plan.graph->data(d).size_bytes;
   const mem::Offset off = impl.priv[owner].memory->offset_of(d);

@@ -6,6 +6,14 @@
 // bodies run real kernels, so a run both demonstrates protocol liveness
 // under true concurrency and produces numerical results that tests compare
 // against reference solvers.
+//
+// The communication data plane is lock-free, like the shmem_put RMA it
+// models: senders memcpy payloads straight into the destination heap and
+// publish visibility with a per-object release store; readiness checks are
+// acquire loads. Only the multi-slot address-package mailbox keeps a mutex.
+// Blocked states spin briefly and then park on a shared progress doorbell
+// instead of yield-spinning. docs/RUNTIME.md states the memory-ordering
+// argument.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +45,12 @@ using TaskBody = std::function<void(TaskId, ObjectResolver&)>;
 struct ThreadedOptions {
   /// Abort with ProtocolDeadlockError if no global progress for this long.
   double watchdog_seconds = 30.0;
+  /// Blocked-state backoff: iterations of cheap spinning (cpu_relax, then
+  /// yield) before a blocked processor parks on the progress doorbell.
+  std::int32_t spin_iters = 64;
+  /// Park timeout (µs): an explicit doorbell ring normally ends a park;
+  /// the timeout is the bound on how stale a parked thread can go.
+  std::int64_t park_timeout_us = 2000;
 };
 
 class ThreadedExecutor {
@@ -53,8 +67,9 @@ class ThreadedExecutor {
   /// capacity failures are reported via RunReport::executable.
   RunReport run();
 
-  /// Final content of an object, copied from its owner's heap. Only valid
-  /// after a successful run().
+  /// Final content of an object, copied from its owner's heap. Throws
+  /// rapid::Error unless run() completed successfully first — heap state
+  /// before that point is uninitialized or partial.
   std::vector<std::byte> read_object(DataId d) const;
 
  private:

@@ -1,0 +1,21 @@
+#include "rapid/support/backoff.hpp"
+
+#include <thread>
+
+namespace rapid {
+
+void Backoff::pause(std::uint64_t seen) {
+  if (attempts_ < spin_iters_) {
+    if (attempts_ < spin_iters_ / 2) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+    ++attempts_;
+    return;
+  }
+  ++parks_;
+  bell_.wait(seen, park_timeout_us_);
+}
+
+}  // namespace rapid

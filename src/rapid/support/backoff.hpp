@@ -1,0 +1,102 @@
+// Progress doorbell + adaptive spin-then-park backoff for the threaded
+// runtime. Every protocol event (content put, flag, address package,
+// mailbox consumption, task completion) rings the doorbell; blocked states
+// spin briefly and then park on it instead of yield-thrashing, which is
+// what keeps runs with num_procs > hardware_concurrency from degrading.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rapid {
+
+/// Busy-wait hint: cheaper than yield(), keeps the core but releases
+/// pipeline resources to a hyperthread sibling.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// A monotonically increasing event counter with a condition variable
+/// attached. ring() is wait-free on the fast path (no sleepers): one
+/// fetch_add plus one load. wait(seen, ...) blocks until the counter has
+/// moved past `seen` or the timeout elapses; it never blocks if the counter
+/// already moved, and a ring can never be lost between the caller's
+/// predicate check and the park as long as `seen` was read *before* the
+/// predicate (see docs/RUNTIME.md, "Doorbell handshake").
+class Doorbell {
+ public:
+  std::uint64_t value() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes one unit of progress and wakes any sleepers. The counter
+  /// increment and the sleeper check are both seq_cst so they cannot
+  /// reorder against a waiter's (register-sleeper, re-check-counter) pair:
+  /// either the waiter sees the new count and skips the park, or this ring
+  /// sees the sleeper and notifies.
+  void ring() {
+    count_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+      // Taking the mutex (even empty) orders this notify after any waiter
+      // that has re-checked the counter under the lock but not yet parked.
+      { std::lock_guard<std::mutex> lock(m_); }
+      cv_.notify_all();
+    }
+  }
+
+  /// Parks until value() != seen, `timeout_us` elapses, or a spurious
+  /// wakeup. Callers re-check their own predicate afterwards regardless.
+  void wait(std::uint64_t seen, std::int64_t timeout_us) {
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      if (count_.load(std::memory_order_seq_cst) == seen) {
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+      }
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int32_t> sleepers_{0};
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+/// Per-blocked-state policy: the first half of the spin budget issues
+/// cpu_relax(), the second half yields, and past the budget the caller
+/// parks on the doorbell. reset() after every unit of local progress so a
+/// processor that is actively draining work never pays a park.
+class Backoff {
+ public:
+  Backoff(Doorbell& bell, std::int32_t spin_iters, std::int64_t park_timeout_us)
+      : bell_(bell),
+        spin_iters_(spin_iters),
+        park_timeout_us_(park_timeout_us) {}
+
+  /// One blocked iteration. `seen` must be a doorbell value read before
+  /// the caller's last (failed) predicate check.
+  void pause(std::uint64_t seen);
+
+  void reset() { attempts_ = 0; }
+
+  std::int64_t parks() const { return parks_; }
+
+ private:
+  Doorbell& bell_;
+  std::int32_t spin_iters_;
+  std::int64_t park_timeout_us_;
+  std::int32_t attempts_ = 0;
+  std::int64_t parks_ = 0;
+};
+
+}  // namespace rapid

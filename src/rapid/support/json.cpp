@@ -1,0 +1,131 @@
+#include "rapid/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  RAPID_CHECK(kind_ == Kind::kObject, "JsonValue::operator[] on non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, JsonValue());
+  return obj_.back().second;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  RAPID_CHECK(kind_ == Kind::kArray, "JsonValue::push_back on non-array");
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+void JsonValue::write(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kNumber: {
+      if (std::isfinite(num_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", num_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Kind::kString:
+      append_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad_in;
+        arr_[i].write(out, indent + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad_in;
+        append_escaped(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.write(out, indent + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace rapid

@@ -1,0 +1,65 @@
+// Minimal JSON value builder + writer for the bench harnesses'
+// machine-readable output (--json). Write-only by design: benches build a
+// JsonValue tree and dump() it; nothing in the repo parses JSON. Object keys
+// keep insertion order so emitted files diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rapid {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kInt), int_(i) {}
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(std::string s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT(google-explicit-constructor)
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  /// Object member access; inserts a null member on first use. Only valid
+  /// on objects (or null values, which become objects).
+  JsonValue& operator[](const std::string& key);
+
+  /// Appends to an array (null values become arrays).
+  JsonValue& push_back(JsonValue v);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level, suitable for committing as an artifact.
+  std::string dump() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kNumber, kString, kArray, kObject };
+
+  void write(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace rapid

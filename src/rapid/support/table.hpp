@@ -23,6 +23,8 @@ class TextTable {
   std::string render() const;
 
   std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> header_;

@@ -2,121 +2,28 @@
 
 #include <atomic>
 #include <chrono>
-#include <thread>
 #include <cstring>
-#include <numeric>
+#include <thread>
 
+#include "counter_app.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 #include "rapid/sched/liveness.hpp"
-#include "rapid/sched/mapping.hpp"
-#include "rapid/sched/ordering.hpp"
 #include "rapid/support/check.hpp"
 
 namespace rapid::rt {
 namespace {
 
-using graph::TaskGraph;
+using testing::CounterApp;
 
-/// A numeric micro-app over the Figure-2 DAG: every object is one int64
-/// counter (8 bytes); T[j] sets d_j := j+1; T[i,j] adds d_i into d_j;
-/// update tasks T[j] with reads double d_j. The expected final values are
-/// computed by a sequential interpreter, so a threaded run checks protocol
-/// correctness end to end (content transfer, versions, sync flags).
-struct CounterApp {
-  TaskGraph graph = graph::make_paper_figure2_graph();
-  sched::Schedule schedule;
-  RunPlan plan;
-  std::vector<std::int64_t> expected;
-
-  explicit CounterApp(int procs, bool mpo = false) {
-    // Resize objects to 8 bytes (the figure uses unit sizes).
-    // TaskGraph sizes are fixed at add_data time, so rebuild a scaled graph.
-    graph = rebuild_with_size(8, procs);
-    const auto assignment = sched::owner_compute_tasks(graph, procs);
-    const auto params = machine::MachineParams::cray_t3d(procs);
-    schedule = mpo ? sched::schedule_mpo(graph, assignment, procs, params)
-                   : sched::schedule_rcp(graph, assignment, procs, params);
-    plan = build_run_plan(graph, schedule);
-    expected = interpret();
+/// Asserts the executor's final heaps match the sequential interpretation.
+void check_results(const CounterApp& app, const ThreadedExecutor& exec) {
+  for (graph::DataId d = 0; d < app.graph.num_data(); ++d) {
+    const auto bytes = exec.read_object(d);
+    std::int64_t v = 0;
+    std::memcpy(&v, bytes.data(), sizeof(v));
+    EXPECT_EQ(v, app.expected[d]) << app.graph.data(d).name;
   }
-
-  static TaskGraph rebuild_with_size(std::int64_t bytes, int procs) {
-    const TaskGraph proto = graph::make_paper_figure2_graph();
-    TaskGraph g;
-    for (graph::DataId d = 0; d < proto.num_data(); ++d) {
-      g.add_data(proto.data(d).name, bytes,
-                 static_cast<graph::ProcId>(d % procs));
-    }
-    for (graph::TaskId t = 0; t < proto.num_tasks(); ++t) {
-      const graph::Task& task = proto.task(t);
-      g.add_task(task.name, task.reads, task.writes, task.flops,
-                 task.commute_group);
-    }
-    g.finalize();
-    return g;
-  }
-
-  /// Sequential reference semantics in program order.
-  std::vector<std::int64_t> interpret() const {
-    std::vector<std::int64_t> value(11, 0);
-    for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
-      apply(t, value);
-    }
-    return value;
-  }
-
-  void apply(graph::TaskId t, std::vector<std::int64_t>& value) const {
-    const graph::Task& task = graph.task(t);
-    const graph::DataId target = task.writes.front();
-    if (task.reads.empty()) {
-      value[target] = target + 1;  // producer
-    } else if (task.reads.front() == target) {
-      value[target] *= 2;  // updater T[j]
-    } else {
-      value[target] += value[task.reads.front()];  // T[i,j]
-    }
-  }
-
-  ObjectInit make_init() const {
-    return [](graph::DataId, std::span<std::byte> buf) {
-      std::memset(buf.data(), 0, buf.size());
-    };
-  }
-
-  TaskBody make_body() const {
-    return [this](graph::TaskId t, ObjectResolver& resolver) {
-      const graph::Task& task = graph.task(t);
-      const graph::DataId target = task.writes.front();
-      auto out = resolver.write(target);
-      auto* tv = reinterpret_cast<std::int64_t*>(out.data());
-      if (task.reads.empty()) {
-        *tv = target + 1;
-      } else if (task.reads.front() == target) {
-        *tv *= 2;
-      } else {
-        const auto in = resolver.read(task.reads.front());
-        *tv += *reinterpret_cast<const std::int64_t*>(in.data());
-      }
-    };
-  }
-
-  RunConfig config(std::int64_t capacity, bool active = true) const {
-    RunConfig c;
-    c.capacity_per_proc = capacity;
-    c.active_memory = active;
-    c.params = machine::MachineParams::cray_t3d(plan.num_procs);
-    return c;
-  }
-
-  void check_results(const ThreadedExecutor& exec) const {
-    for (graph::DataId d = 0; d < graph.num_data(); ++d) {
-      const auto bytes = exec.read_object(d);
-      std::int64_t v = 0;
-      std::memcpy(&v, bytes.data(), sizeof(v));
-      EXPECT_EQ(v, expected[d]) << graph.data(d).name;
-    }
-  }
-};
+}
 
 TEST(ThreadedExecutor, ComputesCorrectResultsWithAmpleMemory) {
   CounterApp app(2);
@@ -125,7 +32,7 @@ TEST(ThreadedExecutor, ComputesCorrectResultsWithAmpleMemory) {
   const RunReport r = exec.run();
   ASSERT_TRUE(r.executable) << r.failure;
   EXPECT_EQ(r.tasks_executed, 20);
-  app.check_results(exec);
+  check_results(app, exec);
 }
 
 TEST(ThreadedExecutor, ComputesCorrectResultsAtMinMem) {
@@ -135,7 +42,7 @@ TEST(ThreadedExecutor, ComputesCorrectResultsAtMinMem) {
                         app.make_init(), app.make_body());
   const RunReport r = exec.run();
   ASSERT_TRUE(r.executable) << r.failure;
-  app.check_results(exec);
+  check_results(app, exec);
   EXPECT_GT(r.avg_maps(), 1.0);  // recycling actually happened
   for (std::int64_t peak : r.peak_bytes_per_proc) {
     EXPECT_LE(peak, liveness.min_mem());
@@ -160,7 +67,7 @@ TEST(ThreadedExecutor, BaselineModeMatches) {
   const RunReport r = exec.run();
   ASSERT_TRUE(r.executable) << r.failure;
   EXPECT_EQ(r.maps_per_proc[0], 0);
-  app.check_results(exec);
+  check_results(app, exec);
 }
 
 TEST(ThreadedExecutor, MpoOrderAlsoCorrect) {
@@ -170,7 +77,7 @@ TEST(ThreadedExecutor, MpoOrderAlsoCorrect) {
                         app.make_init(), app.make_body());
   const RunReport r = exec.run();
   ASSERT_TRUE(r.executable) << r.failure;
-  app.check_results(exec);
+  check_results(app, exec);
 }
 
 TEST(ThreadedExecutor, RepeatedTightRunsStayCorrect) {
@@ -183,7 +90,7 @@ TEST(ThreadedExecutor, RepeatedTightRunsStayCorrect) {
                           app.make_init(), app.make_body());
     const RunReport r = exec.run();
     ASSERT_TRUE(r.executable) << r.failure;
-    app.check_results(exec);
+    check_results(app, exec);
   }
 }
 
@@ -215,7 +122,37 @@ TEST(ThreadedExecutor, MultiSlotMailboxesAlsoCorrect) {
   ThreadedExecutor exec(app.plan, config, app.make_init(), app.make_body());
   const RunReport r = exec.run();
   ASSERT_TRUE(r.executable) << r.failure;
-  app.check_results(exec);
+  check_results(app, exec);
+}
+
+TEST(ThreadedExecutor, ReadObjectBeforeRunThrows) {
+  CounterApp app(2);
+  ThreadedExecutor exec(app.plan, app.config(1 << 16), app.make_init(),
+                        app.make_body());
+  EXPECT_THROW(exec.read_object(0), Error);
+}
+
+TEST(ThreadedExecutor, ReadObjectAfterNonExecutableRunThrows) {
+  CounterApp app(2);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.min_mem() - 8),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_FALSE(r.executable);
+  EXPECT_THROW(exec.read_object(0), Error);
+}
+
+TEST(ThreadedExecutor, OversubscribedProcsStayCorrect) {
+  // More worker threads than objects-per-proc niceties or hardware cores:
+  // the spin-then-park backoff must keep the protocol live and correct
+  // when every thread fights for the same core.
+  CounterApp app(8);
+  const auto liveness = sched::analyze_liveness(app.graph, app.schedule);
+  ThreadedExecutor exec(app.plan, app.config(liveness.min_mem()),
+                        app.make_init(), app.make_body());
+  const RunReport r = exec.run();
+  ASSERT_TRUE(r.executable) << r.failure;
+  check_results(app, exec);
 }
 
 TEST(ThreadedExecutor, TaskBodyErrorSurfacesAsDeadlockError) {
