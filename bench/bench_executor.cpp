@@ -32,7 +32,8 @@ struct RunStats {
 /// executor's own measurement (threads only, no plan building). The first
 /// repeat's numerics are checked against the dense reference.
 RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
-                      std::int64_t capacity, bool active, int repeats) {
+                      std::int64_t capacity, bool active, int repeats,
+                      const rt::FaultPlan& faults = {}) {
   rt::RunConfig config;
   config.params = inst.params;
   config.capacity_per_proc = capacity;
@@ -41,11 +42,13 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
       inst.cholesky ? inst.cholesky->make_init() : inst.lu->make_init();
   const rt::TaskBody body =
       inst.cholesky ? inst.cholesky->make_body() : inst.lu->make_body();
+  rt::ThreadedOptions options;
+  options.faults = faults;
 
   RunStats stats;
   stats.best_ms = 1e300;
   for (int rep = 0; rep < repeats; ++rep) {
-    rt::ThreadedExecutor exec(plan, config, init, body);
+    rt::ThreadedExecutor exec(plan, config, init, body, options);
     const rt::RunReport report = exec.run();
     if (!report.executable) {
       stats.report = report;
@@ -102,19 +105,34 @@ int main(int argc, char** argv) {
                "active-memory capacity as a fraction of TOT (clamped up to "
                "MIN_MEM)");
   flags.define("workload", "both", "cholesky, lu, or both");
+  flags.define("faults", "",
+               "fault-injection preset for the active runs: addr, put, slow, "
+               "or park (empty = injection off; see docs/FAULTS.md)");
+  flags.define("fault_seed", "1", "seed for the --faults preset");
   if (bench::parse_common_flags(flags, argc, argv)) return 0;
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
   const int repeats = std::max<int>(1, static_cast<int>(flags.get_int("repeats")));
   const double frac = flags.get_double("frac");
   const std::string which = flags.get("workload");
+  const std::string fault_preset = flags.get("faults");
+  rt::FaultPlan faults;  // disabled unless --faults names a preset
+  if (!fault_preset.empty()) {
+    faults = rt::FaultPlan::preset(
+        fault_preset,
+        static_cast<std::uint64_t>(flags.get_int("fault_seed")));
+  }
 
   bench::print_header(
       "Executor benchmark: threaded (std::thread) wall time & throughput",
       "Cholesky (bcsstk24-like, RCP) and LU (goodwin-like, RCP)",
       cat("hardware_concurrency = ", std::thread::hardware_concurrency(),
           ", repeats = ", repeats, ", active capacity = max(MIN_MEM, ",
-          frac, " * TOT)"));
+          frac, " * TOT)",
+          fault_preset.empty()
+              ? ""
+              : cat(", FAULT INJECTION '", fault_preset,
+                    "' on active runs — times are not comparable")));
 
   TextTable table({"workload", "p", "mode", "cap/TOT", "best ms", "mean ms",
                    "tasks/s", "maps", "msgs", "susp"});
@@ -148,7 +166,7 @@ int main(int argc, char** argv) {
       for (;; used_frac += 0.1) {
         active_cap = std::max(
             min, static_cast<std::int64_t>(used_frac * static_cast<double>(tot)));
-        act = run_threaded(inst, plan, active_cap, true, repeats);
+        act = run_threaded(inst, plan, active_cap, true, repeats, faults);
         if (act.report.executable) break;
         RAPID_CHECK(used_frac < 1.5,
                     cat("active run never became executable: ",
@@ -185,6 +203,10 @@ int main(int argc, char** argv) {
   doc["block"] = static_cast<std::int64_t>(block);
   doc["repeats"] = repeats;
   doc["frac"] = frac;
+  doc["faults"] = fault_preset;
+  if (!fault_preset.empty()) {
+    doc["fault_seed"] = flags.get_int("fault_seed");
+  }
   doc["hardware_concurrency"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
   doc["runs"] = std::move(runs);

@@ -1,0 +1,105 @@
+#include "rapid/rt/faults.hpp"
+
+#include "rapid/support/str.hpp"
+
+namespace rapid::rt {
+
+namespace {
+
+/// splitmix64 finalizer: the same mixer Rng uses for seeding, applied as a
+/// stateless hash so concurrent sites never contend on generator state.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix3(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c) {
+  return mix(mix(mix(mix(seed) ^ a) ^ b) ^ c);
+}
+
+/// Bernoulli(prob) then uniform [1, max_us]; one 64-bit draw feeds both so
+/// a site's outcome is a single hash evaluation.
+std::int64_t draw_delay(std::uint64_t h, double prob, std::int64_t max_us) {
+  if (max_us <= 0 || prob <= 0.0) return 0;
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  if (u >= prob) return 0;
+  return 1 + static_cast<std::int64_t>(mix(h) %
+                                       static_cast<std::uint64_t>(max_us));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::address_delays(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.addr_delay_prob = 0.6;
+  p.addr_delay_max_us = 400;
+  return p;
+}
+
+FaultPlan FaultPlan::put_delays(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.put_delay_prob = 0.6;
+  p.put_delay_max_us = 250;
+  return p;
+}
+
+FaultPlan FaultPlan::slow_tasks(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.task_slow_prob = 0.5;
+  p.task_slow_max_us = 500;
+  return p;
+}
+
+FaultPlan FaultPlan::forced_park_timeouts(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.force_park_timeout = true;
+  p.forced_park_timeout_us = 50;
+  // A light task jitter keeps the timeout wakeups landing at varied protocol
+  // points instead of only at the initial barrier.
+  p.task_slow_prob = 0.25;
+  p.task_slow_max_us = 120;
+  return p;
+}
+
+FaultPlan FaultPlan::preset(const std::string& name, std::uint64_t seed) {
+  if (name == "addr") return address_delays(seed);
+  if (name == "put") return put_delays(seed);
+  if (name == "slow") return slow_tasks(seed);
+  if (name == "park") return forced_park_timeouts(seed);
+  RAPID_FAIL(cat("unknown fault preset '", name,
+                 "' (expected addr, put, slow, or park)"));
+}
+
+std::int64_t FaultPlan::addr_delay_us(graph::ProcId src, graph::ProcId dest,
+                                      std::int64_t ordinal) const {
+  return draw_delay(mix3(seed ^ 0xA11Aull, static_cast<std::uint64_t>(src),
+                         static_cast<std::uint64_t>(dest),
+                         static_cast<std::uint64_t>(ordinal)),
+                    addr_delay_prob, addr_delay_max_us);
+}
+
+std::int64_t FaultPlan::put_delay_us(graph::DataId object,
+                                     std::int32_t version,
+                                     graph::ProcId dest) const {
+  return draw_delay(mix3(seed ^ 0x9D7ull, static_cast<std::uint64_t>(object),
+                         static_cast<std::uint64_t>(version),
+                         static_cast<std::uint64_t>(dest)),
+                    put_delay_prob, put_delay_max_us);
+}
+
+std::int64_t FaultPlan::task_delay_us(graph::TaskId task) const {
+  return draw_delay(mix3(seed ^ 0x7A5Cull, static_cast<std::uint64_t>(task),
+                         0, 0),
+                    task_slow_prob, task_slow_max_us);
+}
+
+}  // namespace rapid::rt

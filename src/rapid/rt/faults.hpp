@@ -1,0 +1,95 @@
+// Deterministic fault injection for the threaded executor. Theorem 1
+// promises liveness only when the protocol's assumptions hold; this layer
+// exists to adversarially bend them at run time — stretching message
+// timings until latent orderings surface, and breaking delivery outright to
+// prove the stall diagnostics (rt/stall.hpp) can explain the resulting
+// deadlock. Every perturbation is a pure function of (seed, site), so a
+// failing seed replays bit-identically; with the plan disabled (the
+// default) the executor pays one predictable branch per hook site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rapid/graph/ids.hpp"
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+
+/// Thrown by the executor when FaultPlan::throw_in_task fires — kept
+/// distinct from user task-body exceptions so RunReport::failure_kind can
+/// tell an injected failure from a real kernel bug.
+class InjectedFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A reproducible perturbation schedule for one ThreadedExecutor run.
+/// Delay draws are stateless hashes of (seed, site identifiers), never a
+/// shared RNG stream, so they are thread-safe and independent of the
+/// interleaving they themselves create. All classes are off by default;
+/// enabled() gates every hook in the executor.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Class 1 — address-package delivery delay: the sender sleeps before
+  /// pushing a package into the destination mailbox, which reorders
+  /// deliveries relative to other sources and to the content puts the
+  /// addresses unlock.
+  double addr_delay_prob = 0.0;
+  std::int64_t addr_delay_max_us = 0;
+
+  /// Class 2 — content-put publication delay: the payload memcpy completes
+  /// but the release store of received_version is deferred, widening the
+  /// window a reader could (incorrectly) observe unpublished bytes.
+  double put_delay_prob = 0.0;
+  std::int64_t put_delay_max_us = 0;
+
+  /// Class 3 — task-body slowdown: a pseudorandom sleep before the body
+  /// runs, so protocol states overlap in orders a fast kernel never shows.
+  double task_slow_prob = 0.0;
+  std::int64_t task_slow_max_us = 0;
+
+  /// Class 4 — forced park-timeout wakeups: shrinks the doorbell park
+  /// timeout so every blocked state keeps waking by timeout instead of by
+  /// ring, exercising the stale-wakeup re-check paths.
+  bool force_park_timeout = false;
+  std::int64_t forced_park_timeout_us = 50;
+
+  /// Induced failure — drop the nth (1-based) address package that
+  /// processor `drop_addr_src` sends, counted in that processor's own
+  /// deterministic program order. The owner never learns those addresses,
+  /// its content sends suspend forever, and the run deadlocks — the
+  /// canonical input for the stall-diagnosis tests.
+  graph::ProcId drop_addr_src = graph::kInvalidProc;
+  std::int64_t drop_addr_nth = -1;
+
+  /// Induced failure — throw InjectedFaultError instead of running this
+  /// task's body (cooperative-cancellation test input).
+  graph::TaskId throw_in_task = graph::kInvalidTask;
+
+  bool enabled() const {
+    return addr_delay_prob > 0.0 || put_delay_prob > 0.0 ||
+           task_slow_prob > 0.0 || force_park_timeout ||
+           (drop_addr_src != graph::kInvalidProc && drop_addr_nth > 0) ||
+           throw_in_task != graph::kInvalidTask;
+  }
+
+  /// Sweep presets: one per fault class, fully determined by the seed.
+  static FaultPlan address_delays(std::uint64_t seed);
+  static FaultPlan put_delays(std::uint64_t seed);
+  static FaultPlan slow_tasks(std::uint64_t seed);
+  static FaultPlan forced_park_timeouts(std::uint64_t seed);
+  /// Preset by name ("addr", "put", "slow", "park") for CLI flags; throws
+  /// rapid::Error on unknown names.
+  static FaultPlan preset(const std::string& name, std::uint64_t seed);
+
+  /// Deterministic per-site draws (µs to sleep; 0 = no delay at this site).
+  std::int64_t addr_delay_us(graph::ProcId src, graph::ProcId dest,
+                             std::int64_t ordinal) const;
+  std::int64_t put_delay_us(graph::DataId object, std::int32_t version,
+                            graph::ProcId dest) const;
+  std::int64_t task_delay_us(graph::TaskId task) const;
+};
+
+}  // namespace rapid::rt

@@ -40,9 +40,13 @@ MapResult ProcMemory::perform_map(std::int32_t pos) {
   for (auto it = allocated_by_last_pos_.begin();
        it != allocated_by_last_pos_.end() && it->first < pos;) {
     const DataId d = it->second;
-    arena_.deallocate(offsets_.at(d));
+    const mem::Offset off = offsets_.at(d);
+    arena_.deallocate(off);
     offsets_.erase(d);
     vol_state_[vol_index_.at(d)] = VolState::kFreed;
+    // Hook runs with the object fully dead (deallocated + unmapped) and
+    // strictly before the allocation phase below can reuse the region.
+    if (free_hook_) free_hook_(d, off, plan_.graph->data(d).size_bytes);
     result.freed.push_back(d);
     it = allocated_by_last_pos_.erase(it);
   }

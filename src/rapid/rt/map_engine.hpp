@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,14 @@ class ProcMemory {
   mem::Offset offset_of(DataId d) const;
   bool is_allocated(DataId d) const;
 
+  /// Called for every volatile freed by a MAP, with its (offset, size)
+  /// region — after the deallocation and strictly before any reallocation
+  /// in the same MAP. The threaded executor uses it to poison freed heap
+  /// regions in debug builds so use-after-free across MAP reuse reads as
+  /// garbage instead of stale-but-plausible content.
+  using FreeHook = std::function<void(DataId, mem::Offset, std::int64_t)>;
+  void set_free_hook(FreeHook hook) { free_hook_ = std::move(hook); }
+
   std::int64_t peak_bytes() const { return arena_.stats().peak_in_use; }
   const mem::Arena& arena() const { return arena_; }
 
@@ -80,6 +89,7 @@ class ProcMemory {
   std::vector<VolState> vol_state_;   // parallel to plan volatiles
   std::multimap<std::int32_t, DataId> allocated_by_last_pos_;
   std::int32_t alloc_upto_ = 0;
+  FreeHook free_hook_;
 };
 
 }  // namespace rapid::rt

@@ -4,6 +4,18 @@
 
 namespace rapid::rt {
 
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kNonExecutable: return "non-executable";
+    case FailureKind::kTaskError: return "task-error";
+    case FailureKind::kInjectedFault: return "injected-fault";
+    case FailureKind::kDeadlock: return "deadlock";
+    case FailureKind::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
 double RunReport::avg_maps() const {
   if (maps_per_proc.empty()) return 0.0;
   double total = 0.0;

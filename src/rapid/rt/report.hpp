@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rapid/machine/params.hpp"
@@ -10,6 +12,8 @@
 #include "rapid/support/check.hpp"
 
 namespace rapid::rt {
+
+struct StallReport;  // rt/stall.hpp — full diagnosis of a stalled run
 
 /// Thrown when a schedule cannot execute under the configured capacity
 /// (paper Def. 6: MIN_MEM exceeds the per-processor memory). The bench
@@ -21,11 +25,49 @@ class NonExecutableError : public Error {
 
 /// Thrown when the protocol stops making progress. Theorem 1 says this
 /// never happens for dependence-complete graphs; hitting it indicates a bug
-/// (or a deliberately broken protocol in the fault-injection tests).
+/// (or a deliberately broken protocol in the fault-injection tests). The
+/// threaded executor attaches the stall monitor's structured diagnosis —
+/// per-processor protocol states and the wait-for cycle — when it has one.
 class ProtocolDeadlockError : public Error {
  public:
-  using Error::Error;
+  explicit ProtocolDeadlockError(
+      std::string what, std::shared_ptr<const StallReport> report = nullptr)
+      : Error(std::move(what)), report_(std::move(report)) {}
+
+  /// The structured stall diagnosis, or nullptr (simulator deadlocks and
+  /// legacy paths carry text only).
+  const StallReport* report() const { return report_.get(); }
+
+ private:
+  std::shared_ptr<const StallReport> report_;
 };
+
+/// Thrown by the threaded executor when one or more task bodies failed (a
+/// real exception or an injected fault) and the run was cooperatively
+/// cancelled. Carries every per-processor failure, not just the first.
+class ExecutionFailedError : public Error {
+ public:
+  ExecutionFailedError(std::string what, std::vector<std::string> errors)
+      : Error(std::move(what)), errors_(std::move(errors)) {}
+
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::string> errors_;
+};
+
+/// How a run ended, recorded in RunReport (and implied by the exception
+/// type for the throwing dispositions).
+enum class FailureKind : std::uint8_t {
+  kNone,           // clean completion
+  kNonExecutable,  // capacity failure (RunReport::executable == false)
+  kTaskError,      // a task body threw
+  kInjectedFault,  // a FaultPlan-induced failure fired
+  kDeadlock,       // stall monitor proved a wait-for cycle
+  kWatchdog,       // no progress for watchdog_seconds, no cycle proven
+};
+
+const char* to_string(FailureKind kind);
 
 struct RunConfig {
   /// Memory available on each processor for data objects (bytes).
@@ -56,6 +98,13 @@ struct RunReport {
   bool executable = true;
   /// Why the run was not executable (empty when executable).
   std::string failure;
+  /// Failure disposition. kNone on success; kNonExecutable pairs with
+  /// executable == false; the throwing kinds are filled in on the report
+  /// the executor keeps internally and mirrored into the exception.
+  FailureKind failure_kind = FailureKind::kNone;
+  /// Every captured per-processor failure (a multi-thread failure is not
+  /// masked by whichever thread lost the race to report first).
+  std::vector<std::string> errors;
 
   /// Modeled (simulator) or measured (threaded) parallel time, µs.
   double parallel_time_us = 0.0;

@@ -1,0 +1,113 @@
+// Stall diagnosis for the threaded executor: when the progress monitor
+// suspects a stall it snapshots every processor's protocol state, builds
+// the processor-level wait-for graph, and either names the cycle (genuine
+// deadlock — Theorem 1's preconditions were violated) or reports "slow
+// progress" so the monitor resumes waiting. The snapshot protocol is
+// cooperative: each worker publishes its own private state when asked, so
+// the monitor never races worker-owned data (docs/RUNTIME.md, "Failure
+// modes and stall diagnosis").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rapid/rt/plan.hpp"
+#include "rapid/support/json.hpp"
+
+namespace rapid::rt {
+
+/// Where a processor's worker thread is inside the REC/EXE/SND/MAP/END
+/// protocol (paper Figure 3(b)), as published for diagnosis.
+enum class ProcState : std::uint8_t {
+  kStart,       // before the first protocol loop iteration
+  kMap,         // running the MAP procedure
+  kMapBlocked,  // MAP blocked: destination mailbox slot full
+  kExe,         // executing a task body (or between EXE and SND)
+  kRecBlocked,  // REC: waiting for a remote version or completion flag
+  kEndDrain,    // END: own order finished, draining suspended sends
+  kQuiescent,   // END: drained, waiting for global quiescence
+  kFailed,      // worker unwound with an error
+};
+
+const char* to_string(ProcState state);
+
+/// One processor's state at the stall instant. `detailed` snapshots are
+/// filled by the worker itself (full private state); light snapshots are
+/// synthesized by the monitor from the always-published atomics when a
+/// worker cannot respond (it is inside a long task body).
+struct ProcSnapshot {
+  ProcId proc = graph::kInvalidProc;
+  bool detailed = false;
+  ProcState state = ProcState::kStart;
+  std::int32_t pos = 0;         // position in the static task order
+  std::int32_t order_size = 0;
+  TaskId current_task = graph::kInvalidTask;
+
+  // REC-blocked cause: the first unmet gate of current_task.
+  DataId waiting_object = graph::kInvalidData;
+  std::int32_t waiting_version = -1;  // version required
+  std::int32_t have_version = -1;     // version actually received
+  TaskId waiting_flag_task = graph::kInvalidTask;
+
+  // MAP-blocked cause.
+  ProcId mailbox_full_dest = graph::kInvalidProc;
+
+  std::int64_t suspended_sends = 0;
+  std::vector<std::int64_t> suspended_by_dest;  // per destination processor
+  std::vector<std::uint32_t> addr_epoch;        // per-peer address epochs
+  std::int64_t mailbox_packages = 0;  // occupancy of this proc's own mailbox
+  std::int64_t parks = 0;
+  std::int64_t park_timeouts = 0;
+};
+
+/// One wait-for edge: `from` cannot progress until `to` acts.
+struct WaitEdge {
+  enum class Kind : std::uint8_t {
+    kContent,      // waiting for a version of an object owned by `to`
+    kFlag,         // waiting for a completion flag from a task on `to`
+    kAddrPackage,  // suspended sends to `to` awaiting its address package
+    kMailboxSlot,  // MAP blocked until `to` drains its mailbox
+  };
+  ProcId from = graph::kInvalidProc;
+  ProcId to = graph::kInvalidProc;
+  Kind kind = Kind::kContent;
+  DataId object = graph::kInvalidData;  // kContent: the blocked object
+  std::string reason;                   // human-readable, with names
+};
+
+/// The structured diagnosis attached to ProtocolDeadlockError. summary()
+/// renders it for terminals and exception messages; to_json() for CI
+/// artifacts (support/json escapes arbitrary message content).
+struct StallReport {
+  double stalled_seconds = 0.0;
+  std::vector<ProcSnapshot> procs;
+  std::vector<WaitEdge> edges;
+  /// Processors forming a wait-for cycle, in cycle order; empty when the
+  /// stall was not (yet) provably a deadlock.
+  std::vector<ProcId> cycle;
+  /// True when the stall cannot resolve on its own: a wait-for cycle, or a
+  /// wait targeting an already-quiescent processor.
+  bool genuine_deadlock = false;
+  /// Every per-processor failure captured this run (not just the first).
+  std::vector<std::string> errors;
+
+  std::string summary() const;
+  JsonValue to_json() const;
+};
+
+/// Builds wait-for edges from the snapshots. Edges only originate from
+/// blocked states; a processor inside EXE is presumed to make progress.
+std::vector<WaitEdge> build_wait_edges(const RunPlan& plan,
+                                       const std::vector<ProcSnapshot>& procs);
+
+/// Finds one cycle in the processor wait-for graph (empty if acyclic).
+std::vector<ProcId> find_cycle(int num_procs,
+                               const std::vector<WaitEdge>& edges);
+
+/// Full diagnosis: edges, cycle, genuine-deadlock classification.
+StallReport diagnose_stall(const RunPlan& plan,
+                           std::vector<ProcSnapshot> procs,
+                           double stalled_seconds,
+                           std::vector<std::string> errors);
+
+}  // namespace rapid::rt

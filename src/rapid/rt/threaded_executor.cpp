@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "rapid/rt/map_engine.hpp"
+#include "rapid/rt/stall.hpp"
 #include "rapid/support/backoff.hpp"
 #include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
@@ -16,23 +19,36 @@
 
 namespace rapid::rt {
 
+namespace {
+
+void sleep_us(std::int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
 struct ThreadedExecutor::Impl {
   const RunPlan& plan;
   const RunConfig config;  // by value: callers often pass temporaries
   ObjectInit init;
   TaskBody body;
   ThreadedOptions options;
+  /// Copied out of options so every hook site is one `if (faults_on)`
+  /// branch on a const member; enabled() false means zero injected work.
+  const FaultPlan faults;
+  const bool faults_on;
+  const std::int64_t effective_park_us;
 
   /// Per-processor shared state — the RMA window. The heap and the
   /// per-object version slots form a lock-free data plane: a sender memcpys
-  /// the payload into the destination heap (nobody else touches those
-  /// bytes: regions are disjoint per object, and owner-compute makes the
-  /// object's owner the only writer), then publishes visibility with a
-  /// release store on received_version; readers gate on acquire loads.
-  /// Completion flags are a dense atomic array with the same discipline.
-  /// Only the multi-slot address-package mailbox keeps a mutex — it is a
-  /// many-producer queue of variable-size packages, off the data path.
-  /// docs/RUNTIME.md has the full memory-ordering argument.
+  /// the payload into the destination heap with **no lock held** (nobody else
+  /// touches those bytes: regions are disjoint per object, and owner-compute
+  /// makes the object's owner the only writer), then publishes visibility
+  /// with a release store on received_version; readers gate on acquire
+  /// loads. Completion flags are a dense atomic array with the same
+  /// discipline. Only the multi-slot address-package mailbox keeps a mutex —
+  /// it is a many-producer queue of variable-size packages, off the data
+  /// path. docs/RUNTIME.md has the full memory-ordering argument.
   struct Shared {
     std::vector<std::byte> heap;
     /// Per object, -1 = none yet. Single writer per slot (the object's
@@ -67,10 +83,27 @@ struct ThreadedExecutor::Impl {
     std::int64_t suspended_count = 0;
     std::vector<std::int32_t> epoch_remaining;  // flattened, see epoch_base
     std::vector<std::int32_t> current_version;  // per owned object
+    /// END-state bookkeeping and stall-snapshot plumbing (worker-private).
+    bool counted_quiescent = false;
+    std::optional<Backoff> backoff;  // the worker loop's backoff
+    std::uint64_t snap_seen = 0;     // last snapshot generation served
+    std::int64_t addr_pkgs_sent = 0;  // deterministic per-proc ordinal
+    std::int64_t park_accum = 0;      // parks from finished MAP-send waits
+    std::int64_t timeout_accum = 0;
+  };
+
+  /// Always-published light status (relaxed-cost stores at protocol state
+  /// transitions) so the monitor can describe even a worker that is stuck
+  /// inside a task body and cannot answer a snapshot request.
+  struct alignas(64) LightStatus {
+    std::atomic<std::uint8_t> state{
+        static_cast<std::uint8_t>(ProcState::kStart)};
+    std::atomic<std::int32_t> pos{0};
   };
 
   std::vector<std::unique_ptr<Shared>> shared;
   std::vector<Private> priv;
+  std::unique_ptr<LightStatus[]> status;
   std::vector<std::size_t> epoch_base;  // per object, into epoch_remaining
   /// Dense index of each object among its owner's permanents (for the
   /// known_addrs tables); -1 until built.
@@ -78,7 +111,7 @@ struct ThreadedExecutor::Impl {
 
   /// Data-plane doorbell: rung on every protocol event; blocked workers
   /// park on it. The control doorbell is rung only on run termination
-  /// events (failure, global quiescence) so the watchdog can park without
+  /// events (failure, global quiescence) so the monitor can park without
   /// making every bump_progress() pay a notify.
   Doorbell bell;
   Doorbell control_bell;
@@ -86,14 +119,25 @@ struct ThreadedExecutor::Impl {
   std::atomic<bool> abort{false};
   std::atomic<int> quiescent_count{0};
   std::mutex error_m;
-  std::string error_text;
-  bool non_executable = false;
+  std::string error_text;            // first failure (defines disposition)
+  std::vector<std::string> errors;   // every failure, in capture order
+  FailureKind first_kind = FailureKind::kNone;
+  std::shared_ptr<const StallReport> stall_report;  // set by the monitor
   bool completed = false;  // run() finished cleanly; gates read_object()
+
+  /// Cooperative stall-snapshot handshake: the monitor bumps snap_gen;
+  /// each worker notices at the top of its protocol loop (or inside a
+  /// blocked MAP send), publishes its own private state into snap_slots,
+  /// and acks. The monitor never touches worker-private data directly.
+  std::atomic<std::uint64_t> snap_gen{0};
+  std::mutex snap_m;
+  std::vector<ProcSnapshot> snap_slots;
+  std::atomic<std::int32_t> snap_acked{0};
 
   // Counters (relaxed; exact totals gathered after join).
   std::atomic<std::int64_t> content_messages{0}, content_bytes{0},
       flag_messages{0}, addr_packages{0}, addr_entries{0}, suspended_sends{0},
-      tasks_executed{0};
+      tasks_executed{0}, dropped_packages{0};
 
   Impl(const RunPlan& plan_, const RunConfig& config_, ObjectInit init_,
        TaskBody body_, ThreadedOptions options_)
@@ -101,22 +145,33 @@ struct ThreadedExecutor::Impl {
         config(config_),
         init(std::move(init_)),
         body(std::move(body_)),
-        options(options_) {}
+        options(options_),
+        faults(options_.faults),
+        faults_on(options_.faults.enabled()),
+        effective_park_us(faults_on && options_.faults.force_park_timeout
+                              ? options_.faults.forced_park_timeout_us
+                              : options_.park_timeout_us) {}
 
-  void fail(std::string what, bool capacity_failure) {
+  void fail(std::string what, FailureKind kind) {
     {
       std::lock_guard<std::mutex> lock(error_m);
+      errors.push_back(what);
       if (error_text.empty()) {
         error_text = std::move(what);
-        non_executable = capacity_failure;
+        first_kind = kind;
       }
     }
     abort.store(true, std::memory_order_release);
     bell.ring();          // wake parked workers so they observe the abort
-    control_bell.ring();  // and the watchdog
+    control_bell.ring();  // and the monitor
   }
 
   void bump_progress() { bell.ring(); }
+
+  void set_state(ProcId q, ProcState s) {
+    status[static_cast<std::size_t>(q)].state.store(
+        static_cast<std::uint8_t>(s), std::memory_order_release);
+  }
 
   mem::Offset& addr_slot(Private& me, DataId d, ProcId reader) {
     return me.known_addrs[static_cast<std::size_t>(owned_index[d]) *
@@ -130,7 +185,9 @@ struct ThreadedExecutor::Impl {
   /// held, then a release publish of the version. Always runs on the
   /// owner's thread (complete_task / initial sends / CQ dispatch), so per
   /// (object, dest) the copies are program-ordered and the version slot
-  /// has a single writer.
+  /// has a single writer. The put-delay fault stretches the window between
+  /// the two — bytes written, visibility withheld — which a correct reader
+  /// must never notice.
   void transmit(ProcId q, const ContentSend& s) {
     Private& me = priv[q];
     RAPID_CHECK(me.current_version[s.object] == s.version,
@@ -145,6 +202,11 @@ struct ThreadedExecutor::Impl {
       std::memcpy(dst.heap.data() + dst_off,
                   shared[q]->heap.data() + src_off,
                   static_cast<std::size_t>(size));
+    }
+    if (faults_on) {
+      const std::int64_t delay = faults.put_delay_us(s.object, s.version,
+                                                     s.dest);
+      if (delay > 0) sleep_us(delay);
     }
     auto& slot = dst.received_version[s.object];
     if (slot.load(std::memory_order_relaxed) < s.version) {
@@ -228,11 +290,27 @@ struct ThreadedExecutor::Impl {
 
   /// Blocking send of one address package (MAP state): spins then parks on
   /// the doorbell while the destination slot is full, servicing RA/CQ like
-  /// the paper requires.
+  /// the paper requires. Fault hooks: the package may be delayed (reordering
+  /// delivery relative to other sources) or dropped outright — the induced
+  /// deadlock the stall diagnostics must explain.
   bool send_addr_package_blocking(ProcId q, ProcId dest,
                                   const AddrPackage& pkg) {
-    Backoff backoff(bell, options.spin_iters, options.park_timeout_us);
+    Private& me = priv[q];
+    if (faults_on) {
+      const std::int64_t ordinal = ++me.addr_pkgs_sent;
+      if (faults.drop_addr_src == q && faults.drop_addr_nth == ordinal) {
+        dropped_packages.fetch_add(1, std::memory_order_relaxed);
+        return true;  // swallowed: a lost control message
+      }
+      const std::int64_t delay = faults.addr_delay_us(q, dest, ordinal);
+      if (delay > 0) sleep_us(delay);
+    }
+    Backoff backoff(bell, options.spin_iters, effective_park_us);
+    bool sent = false;
     while (!abort.load(std::memory_order_acquire)) {
+      if (snap_gen.load(std::memory_order_acquire) != me.snap_seen) {
+        publish_snapshot(q, backoff.parks(), backoff.park_timeouts(), dest);
+      }
       const std::uint64_t seen = bell.value();
       {
         Shared& dst = *shared[dest];
@@ -245,9 +323,12 @@ struct ThreadedExecutor::Impl {
           addr_entries.fetch_add(
               static_cast<std::int64_t>(pkg.entries.size()),
               std::memory_order_relaxed);
-          bump_progress();
-          return true;
+          sent = true;
         }
+      }
+      if (sent) {
+        bump_progress();
+        break;
       }
       if (service_ra_cq(q)) {
         backoff.reset();
@@ -255,7 +336,9 @@ struct ThreadedExecutor::Impl {
         backoff.pause(seen);
       }
     }
-    return false;
+    me.park_accum += backoff.parks();
+    me.timeout_accum += backoff.park_timeouts();
+    return sent;
   }
 
   // ---- readiness ---------------------------------------------------------
@@ -276,6 +359,213 @@ struct ThreadedExecutor::Impl {
       if (mine.flags[u].load(std::memory_order_acquire) == 0) return false;
     }
     return true;
+  }
+
+  // ---- stall snapshots ---------------------------------------------------
+
+  /// Worker-side answer to a monitor snapshot request: publish everything
+  /// the diagnosis needs from this processor's own private state (never
+  /// read cross-thread), including a re-derivation of what the current
+  /// task is blocked on. `map_blocked_dest` marks the MAP-blocked state
+  /// when called from inside send_addr_package_blocking.
+  void publish_snapshot(ProcId q, std::int64_t extra_parks,
+                        std::int64_t extra_timeouts, ProcId map_blocked_dest) {
+    Private& me = priv[q];
+    const std::uint64_t gen = snap_gen.load(std::memory_order_acquire);
+    const ProcPlan& pp = plan.procs[q];
+    const auto n = static_cast<std::int32_t>(pp.order.size());
+    ProcSnapshot s;
+    s.proc = q;
+    s.detailed = true;
+    s.pos = me.pos;
+    s.order_size = n;
+    s.suspended_sends = me.suspended_count;
+    s.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs), 0);
+    for (ProcId r = 0; r < plan.num_procs; ++r) {
+      s.suspended_by_dest[static_cast<std::size_t>(r)] =
+          static_cast<std::int64_t>(
+              me.suspended_by_dest[static_cast<std::size_t>(r)].size());
+    }
+    s.addr_epoch = me.addr_epoch;
+    {
+      Shared& mine = *shared[q];
+      std::lock_guard<std::mutex> lock(mine.mailbox_m);
+      for (const auto& slot : mine.mailbox) {
+        s.mailbox_packages += static_cast<std::int64_t>(slot.size());
+      }
+    }
+    s.parks = me.park_accum + (me.backoff ? me.backoff->parks() : 0) +
+              extra_parks;
+    s.park_timeouts = me.timeout_accum +
+                      (me.backoff ? me.backoff->park_timeouts() : 0) +
+                      extra_timeouts;
+    if (map_blocked_dest != graph::kInvalidProc) {
+      s.state = ProcState::kMapBlocked;
+      s.mailbox_full_dest = map_blocked_dest;
+      if (me.pos < n) s.current_task = pp.order[me.pos];
+    } else if (me.pos >= n) {
+      s.state = me.counted_quiescent ? ProcState::kQuiescent
+                                     : ProcState::kEndDrain;
+    } else if (config.active_memory && me.memory->needs_map(me.pos)) {
+      s.state = ProcState::kMap;
+      s.current_task = pp.order[me.pos];
+    } else {
+      const TaskId t = pp.order[me.pos];
+      s.current_task = t;
+      s.state = ProcState::kExe;  // ready-to-run unless a gate is unmet
+      const TaskRuntimePlan& tp = plan.tasks[t];
+      Shared& mine = *shared[q];
+      for (const RemoteRead& rr : tp.remote_reads) {
+        const std::int32_t have =
+            mine.received_version[rr.object].load(std::memory_order_acquire);
+        if (have < rr.version) {
+          s.state = ProcState::kRecBlocked;
+          s.waiting_object = rr.object;
+          s.waiting_version = rr.version;
+          s.have_version = have;
+          break;
+        }
+      }
+      if (s.state == ProcState::kExe) {
+        for (TaskId u : tp.remote_sync_preds) {
+          if (mine.flags[u].load(std::memory_order_acquire) == 0) {
+            s.state = ProcState::kRecBlocked;
+            s.waiting_flag_task = u;
+            break;
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(snap_m);
+      snap_slots[static_cast<std::size_t>(q)] = std::move(s);
+    }
+    snap_acked.fetch_add(1, std::memory_order_release);
+    me.snap_seen = gen;
+  }
+
+  /// Monitor-side: request snapshots, wait for the responsive workers,
+  /// synthesize light entries for the rest (they are inside task bodies),
+  /// and run the wait-for-graph analysis. Deliberately rings no doorbell:
+  /// bell.value() is the progress signal the caller re-checks to know the
+  /// collected snapshots describe one frozen instant.
+  StallReport collect_and_diagnose(double stalled_seconds) {
+    {
+      std::lock_guard<std::mutex> lock(snap_m);
+      snap_slots.assign(static_cast<std::size_t>(plan.num_procs),
+                        ProcSnapshot{});
+    }
+    snap_acked.store(0, std::memory_order_relaxed);
+    snap_gen.fetch_add(1, std::memory_order_release);
+    // Parked workers wake within one park timeout and notice the request;
+    // no ring needed (and a ring would corrupt the progress signal).
+    const std::int64_t deadline_us = std::max<std::int64_t>(
+        static_cast<std::int64_t>(options.snapshot_wait_seconds * 1e6),
+        4 * effective_park_us);
+    Stopwatch sw;
+    for (;;) {
+      int expected = 0;
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        const auto st = static_cast<ProcState>(
+            status[static_cast<std::size_t>(q)].state.load(
+                std::memory_order_acquire));
+        // kExe workers are inside a body and cannot answer; kFailed
+        // workers have unwound. Everyone else loops and will respond.
+        if (st != ProcState::kExe && st != ProcState::kFailed) ++expected;
+      }
+      if (snap_acked.load(std::memory_order_acquire) >= expected) break;
+      if (sw.seconds() * 1e6 > static_cast<double>(deadline_us)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::vector<ProcSnapshot> snaps;
+    {
+      std::lock_guard<std::mutex> lock(snap_m);
+      snaps = snap_slots;
+    }
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      ProcSnapshot& s = snaps[static_cast<std::size_t>(q)];
+      if (s.detailed) continue;
+      auto& light = status[static_cast<std::size_t>(q)];
+      s.proc = q;
+      s.state =
+          static_cast<ProcState>(light.state.load(std::memory_order_acquire));
+      s.pos = light.pos.load(std::memory_order_acquire);
+      s.order_size = static_cast<std::int32_t>(plan.procs[q].order.size());
+    }
+    std::vector<std::string> errs;
+    {
+      std::lock_guard<std::mutex> lock(error_m);
+      errs = errors;
+    }
+    return diagnose_stall(plan, std::move(snaps), stalled_seconds,
+                          std::move(errs));
+  }
+
+  /// The progress monitor (replaces the blind watchdog): parked on the
+  /// control doorbell, it samples the data doorbell on a heartbeat. After
+  /// stall_check_seconds without progress it collects a snapshot and builds
+  /// the wait-for graph — a genuine cycle (or a wait on a quiescent
+  /// processor) fails the run immediately with the StallReport; anything
+  /// else is slow progress and the run resumes. watchdog_seconds stays the
+  /// hard ceiling, now failing with the diagnosis attached instead of a
+  /// bare message. An unchanged bell across the whole snapshot window is
+  /// what makes the per-processor snapshots mutually consistent: every
+  /// unblocking event rings the bell, so "bell unmoved" means no processor
+  /// changed protocol state while the snapshots were taken.
+  void monitor() {
+    const double stall_after =
+        std::min(options.stall_check_seconds, options.watchdog_seconds);
+    const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(stall_after * 1e6 / 4), 1000, 250000);
+    std::uint64_t last = bell.value();
+    Stopwatch since_progress;
+    bool diagnosed = false;  // already analyzed this bell value
+    std::shared_ptr<const StallReport> pending;  // slow-progress diagnosis
+    for (;;) {
+      // Control value read before the exit checks: a ring that lands after
+      // the read makes the park return immediately, so run termination is
+      // never charged a full heartbeat of latency.
+      const std::uint64_t control_seen = control_bell.value();
+      if (quiescent_count.load(std::memory_order_acquire) >=
+              plan.num_procs ||
+          abort.load(std::memory_order_acquire)) {
+        break;
+      }
+      const std::uint64_t now = bell.value();
+      if (now != last) {
+        last = now;
+        since_progress.reset();
+        diagnosed = false;
+        pending.reset();
+      }
+      const double stalled = since_progress.seconds();
+      if (stalled > stall_after && !diagnosed) {
+        auto report =
+            std::make_shared<StallReport>(collect_and_diagnose(stalled));
+        if (bell.value() != now) continue;  // progressed mid-snapshot
+        diagnosed = true;
+        if (report->genuine_deadlock) {
+          stall_report = report;
+          fail(cat("protocol deadlock after ", fixed(stalled, 2), " s: ",
+                   report->summary()),
+               FailureKind::kDeadlock);
+          break;
+        }
+        pending = std::move(report);  // slow progress: hold for the watchdog
+      }
+      if (stalled > options.watchdog_seconds) {
+        if (!pending) {
+          pending =
+              std::make_shared<StallReport>(collect_and_diagnose(stalled));
+        }
+        stall_report = pending;
+        fail(cat("watchdog: no protocol progress for ", fixed(stalled, 2),
+                 " s: ", pending->summary()),
+             FailureKind::kWatchdog);
+        break;
+      }
+      control_bell.wait(control_seen, heartbeat_us);
+    }
   }
 
   // ---- worker ------------------------------------------------------------
@@ -328,8 +618,8 @@ struct ThreadedExecutor::Impl {
   }
 
   void worker(ProcId q) {
+    Private& me = priv[q];
     try {
-      Private& me = priv[q];
       const ProcPlan& pp = plan.procs[q];
       // Initialize owned objects, then issue version-0 sends (they suspend
       // in active mode until reader addresses arrive).
@@ -339,13 +629,17 @@ struct ThreadedExecutor::Impl {
       }
       for (const ContentSend& s : pp.initial_sends) trigger_send(q, s);
 
-      Backoff backoff(bell, options.spin_iters, options.park_timeout_us);
+      me.backoff.emplace(bell, options.spin_iters, effective_park_us);
+      Backoff& backoff = *me.backoff;
       const auto n = static_cast<std::int32_t>(pp.order.size());
-      bool counted_quiescent = false;
       while (!abort.load(std::memory_order_acquire)) {
+        if (snap_gen.load(std::memory_order_acquire) != me.snap_seen) {
+          publish_snapshot(q, 0, 0, graph::kInvalidProc);
+        }
         if (me.pos < n) {
           if (config.active_memory && me.memory->needs_map(me.pos)) {
             // MAP state.
+            set_state(q, ProcState::kMap);
             const MapResult map = me.memory->perform_map(me.pos);
             ++me.maps;
             for (const auto& [dest, pkg] : map.packages) {
@@ -362,13 +656,26 @@ struct ThreadedExecutor::Impl {
           // through the wakeup.
           const std::uint64_t seen = bell.value();
           if (task_ready(q, t)) {
+            set_state(q, ProcState::kExe);
+            if (faults_on) {
+              if (t == faults.throw_in_task) {
+                throw InjectedFaultError(
+                    cat("injected fault: task ", plan.graph->task(t).name,
+                        " forced to fail"));
+              }
+              const std::int64_t delay = faults.task_delay_us(t);
+              if (delay > 0) sleep_us(delay);
+            }
             body(t, resolver);  // EXE
             ++me.pos;
+            status[static_cast<std::size_t>(q)].pos.store(
+                me.pos, std::memory_order_release);
             complete_task(q, t);  // SND
             backoff.reset();
           } else if (service_ra_cq(q)) {  // REC
             backoff.reset();
           } else {
+            set_state(q, ProcState::kRecBlocked);
             backoff.pause(seen);
           }
           continue;
@@ -376,13 +683,16 @@ struct ThreadedExecutor::Impl {
         // END: drain, then wait for global quiescence.
         const std::uint64_t seen = bell.value();
         const bool progressed = service_ra_cq(q);
-        if (!counted_quiescent && me.suspended_count == 0) {
-          counted_quiescent = true;
+        if (!me.counted_quiescent && me.suspended_count == 0) {
+          me.counted_quiescent = true;
+          set_state(q, ProcState::kQuiescent);
           if (quiescent_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
               plan.num_procs) {
-            control_bell.ring();  // the run is over: wake the watchdog
+            control_bell.ring();  // the run is over: wake the monitor
           }
           bump_progress();  // and any peers parked waiting for quiescence
+        } else if (!me.counted_quiescent) {
+          set_state(q, ProcState::kEndDrain);
         }
         if (quiescent_count.load(std::memory_order_acquire) ==
             plan.num_procs) {
@@ -395,9 +705,14 @@ struct ThreadedExecutor::Impl {
         }
       }
     } catch (const NonExecutableError& e) {
-      fail(e.what(), /*capacity_failure=*/true);
+      set_state(q, ProcState::kFailed);
+      fail(e.what(), FailureKind::kNonExecutable);
+    } catch (const InjectedFaultError& e) {
+      set_state(q, ProcState::kFailed);
+      fail(cat("processor ", q, ": ", e.what()), FailureKind::kInjectedFault);
     } catch (const std::exception& e) {
-      fail(cat("processor ", q, ": ", e.what()), /*capacity_failure=*/false);
+      set_state(q, ProcState::kFailed);
+      fail(cat("processor ", q, ": ", e.what()), FailureKind::kTaskError);
     }
   }
 };
@@ -424,6 +739,17 @@ RunReport ThreadedExecutor::run() {
   impl.shared.clear();
   impl.priv.clear();
   impl.priv.resize(static_cast<std::size_t>(plan.num_procs));
+  impl.status =
+      std::make_unique<Impl::LightStatus[]>(static_cast<std::size_t>(
+          plan.num_procs));
+  impl.snap_slots.assign(static_cast<std::size_t>(plan.num_procs),
+                         ProcSnapshot{});
+  impl.snap_gen.store(0);
+  impl.snap_acked.store(0);
+  impl.error_text.clear();
+  impl.errors.clear();
+  impl.first_kind = FailureKind::kNone;
+  impl.stall_report.reset();
   impl.epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
   impl.owned_index.assign(static_cast<std::size_t>(plan.graph->num_data()),
                           -1);
@@ -453,6 +779,22 @@ RunReport ThreadedExecutor::run() {
       pr.memory = std::make_unique<ProcMemory>(
           plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
           impl.config.alloc_policy);
+      if (impl.options.poison_freed) {
+        // Poison-fill freed volatile regions so a read through a stale
+        // address (use-after-free across MAP reuse) yields garbage that the
+        // numeric checks catch, not stale-but-plausible content. The hook
+        // fires between a MAP's frees and its reallocations, and the
+        // protocol guarantees no put is in flight to a dead region (see
+        // docs/RUNTIME.md), so the memset cannot race a sender.
+        Impl::Shared* window = impl.shared.back().get();
+        pr.memory->set_free_hook(
+            [window](DataId, mem::Offset off, std::int64_t size) {
+              if (size > 0) {
+                std::memset(window->heap.data() + off, 0xA5,
+                            static_cast<std::size_t>(size));
+              }
+            });
+      }
       if (!impl.config.active_memory) pr.memory->preallocate_all();
       pr.current_version.assign(
           static_cast<std::size_t>(plan.graph->num_data()), 0);
@@ -467,6 +809,8 @@ RunReport ThreadedExecutor::run() {
   } catch (const NonExecutableError& e) {
     report.executable = false;
     report.failure = e.what();
+    report.failure_kind = FailureKind::kNonExecutable;
+    report.errors.push_back(e.what());
     return report;
   }
   // Flattened epoch counters (owner-private: every writer of an object runs
@@ -505,45 +849,23 @@ RunReport ThreadedExecutor::run() {
   for (ProcId q = 0; q < plan.num_procs; ++q) {
     threads.emplace_back([&impl, q] { impl.worker(q); });
   }
-  // Watchdog: parked on the control doorbell (rung on failure and on global
-  // quiescence), waking on a heartbeat to sample the progress doorbell;
-  // aborts if it has not moved for options.watchdog_seconds.
-  {
-    const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
-        static_cast<std::int64_t>(impl.options.watchdog_seconds * 1e6 / 4),
-        1000, 250000);
-    std::uint64_t last = impl.bell.value();
-    Stopwatch since_progress;
-    for (;;) {
-      // Control value read before the exit checks: a ring that lands after
-      // the read makes the park return immediately, so run termination is
-      // never charged a full heartbeat of latency.
-      const std::uint64_t control_seen = impl.control_bell.value();
-      if (impl.quiescent_count.load(std::memory_order_acquire) >=
-              plan.num_procs ||
-          impl.abort.load(std::memory_order_acquire)) {
-        break;
-      }
-      const std::uint64_t now = impl.bell.value();
-      if (now != last) {
-        last = now;
-        since_progress.reset();
-      } else if (since_progress.seconds() > impl.options.watchdog_seconds) {
-        impl.fail("watchdog: no protocol progress", false);
-        break;
-      }
-      impl.control_bell.wait(control_seen, heartbeat_us);
-    }
-  }
+  impl.monitor();
   for (auto& th : threads) th.join();
   report.parallel_time_us = wall.seconds() * 1e6;
 
   if (!impl.error_text.empty()) {
-    if (impl.non_executable) {
-      report.executable = false;
-      report.failure = impl.error_text;
-    } else {
-      throw ProtocolDeadlockError(impl.error_text);
+    report.failure = impl.error_text;
+    report.failure_kind = impl.first_kind;
+    report.errors = impl.errors;
+    switch (impl.first_kind) {
+      case FailureKind::kNonExecutable:
+        report.executable = false;
+        break;  // the "∞" channel: reported, not thrown
+      case FailureKind::kDeadlock:
+      case FailureKind::kWatchdog:
+        throw ProtocolDeadlockError(impl.error_text, impl.stall_report);
+      default:
+        throw ExecutionFailedError(impl.error_text, impl.errors);
     }
   }
   for (ProcId q = 0; q < plan.num_procs; ++q) {

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "rapid/rt/faults.hpp"
 #include "rapid/rt/plan.hpp"
 #include "rapid/rt/report.hpp"
 
@@ -43,14 +44,35 @@ using ObjectInit = std::function<void(DataId, std::span<std::byte>)>;
 using TaskBody = std::function<void(TaskId, ObjectResolver&)>;
 
 struct ThreadedOptions {
-  /// Abort with ProtocolDeadlockError if no global progress for this long.
+  /// Hard limit: abort with ProtocolDeadlockError (carrying the last stall
+  /// diagnosis) if no global progress for this long.
   double watchdog_seconds = 30.0;
+  /// Soft limit: after this long without progress the monitor snapshots
+  /// every processor and builds the wait-for graph. A genuine cycle fails
+  /// the run immediately with a structured StallReport; anything else is
+  /// classified as slow progress and the run resumes — so diagnosis of a
+  /// real deadlock fires in seconds, not watchdog_seconds.
+  double stall_check_seconds = 0.5;
+  /// How long the monitor waits for workers to publish their snapshots
+  /// (workers blocked in a long task body are reported from light state).
+  double snapshot_wait_seconds = 0.25;
   /// Blocked-state backoff: iterations of cheap spinning (cpu_relax, then
   /// yield) before a blocked processor parks on the progress doorbell.
   std::int32_t spin_iters = 64;
   /// Park timeout (µs): an explicit doorbell ring normally ends a park;
   /// the timeout is the bound on how stale a parked thread can go.
   std::int64_t park_timeout_us = 2000;
+  /// Fill volatile regions freed by a MAP with 0xA5 so use-after-free
+  /// across heap reuse reads as garbage, not stale content. Debug default;
+  /// off in NDEBUG builds (it is a memset per freed object).
+#ifdef NDEBUG
+  bool poison_freed = false;
+#else
+  bool poison_freed = true;
+#endif
+  /// Deterministic fault injection (off by default — enabled() false means
+  /// every hook reduces to one predictable branch). See docs/FAULTS.md.
+  FaultPlan faults;
 };
 
 class ThreadedExecutor {
@@ -63,8 +85,12 @@ class ThreadedExecutor {
   ThreadedExecutor(const ThreadedExecutor&) = delete;
   ThreadedExecutor& operator=(const ThreadedExecutor&) = delete;
 
-  /// Runs to completion. Throws ProtocolDeadlockError on watchdog expiry;
-  /// capacity failures are reported via RunReport::executable.
+  /// Runs to completion. Capacity failures are reported via
+  /// RunReport::executable. Throws ProtocolDeadlockError — carrying a
+  /// StallReport with per-processor states and the wait-for cycle — when
+  /// the stall monitor proves a deadlock or the watchdog expires, and
+  /// ExecutionFailedError (with every per-processor failure) when task
+  /// bodies threw and the run was cooperatively cancelled.
   RunReport run();
 
   /// Final content of an object, copied from its owner's heap. Throws

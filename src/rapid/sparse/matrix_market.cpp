@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "rapid/sparse/coo.hpp"
@@ -42,19 +43,37 @@ CscMatrix read_matrix_market(std::istream& in) {
   const bool pattern_only = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
 
-  // Skip comments, read the size line.
-  Index n_rows = 0, n_cols = 0;
-  long long nnz = 0;
+  // Skip comments, read the size line. Dimensions are parsed as 64-bit
+  // first so an overflowing header fails with a range message instead of a
+  // stream-state mystery (Index is 32-bit).
+  constexpr long long kMaxIndex = std::numeric_limits<Index>::max();
+  long long rows64 = -1, cols64 = -1, nnz = -1;
+  bool have_sizes = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream sizes(line);
-    RAPID_CHECK(static_cast<bool>(sizes >> n_rows >> n_cols >> nnz),
-                cat("line ", line_no, ": malformed size line '", line, "'"));
+    RAPID_CHECK(static_cast<bool>(sizes >> rows64 >> cols64 >> nnz),
+                cat("line ", line_no, ": malformed size line '", line,
+                    "' (want 'rows cols nnz')"));
+    have_sizes = true;
     break;
   }
-  RAPID_CHECK(n_rows > 0 && n_cols > 0,
-              cat("line ", line_no, ": missing or empty size line"));
+  RAPID_CHECK(have_sizes,
+              cat("truncated stream: no size line in the first ", line_no,
+                  " line(s)"));
+  RAPID_CHECK(rows64 > 0 && cols64 > 0,
+              cat("line ", line_no, ": non-positive dimensions ", rows64,
+                  " x ", cols64));
+  RAPID_CHECK(rows64 <= kMaxIndex && cols64 <= kMaxIndex,
+              cat("line ", line_no, ": dimensions ", rows64, " x ", cols64,
+                  " overflow the 32-bit index type (max ", kMaxIndex, ")"));
+  RAPID_CHECK(nnz >= 0, cat("line ", line_no, ": negative nnz ", nnz));
+  RAPID_CHECK(!symmetric || rows64 == cols64,
+              cat("line ", line_no, ": symmetric matrix must be square, got ",
+                  rows64, " x ", cols64));
+  const auto n_rows = static_cast<Index>(rows64);
+  const auto n_cols = static_cast<Index>(cols64);
 
   CooBuilder coo(n_rows, n_cols);
   long long seen = 0;
@@ -71,7 +90,9 @@ CscMatrix read_matrix_market(std::istream& in) {
                   cat("line ", line_no, ": missing value in '", line, "'"));
     }
     RAPID_CHECK(row >= 1 && row <= n_rows && col >= 1 && col <= n_cols,
-                cat("line ", line_no, ": index out of range in '", line, "'"));
+                cat("line ", line_no, ": index (", row, ", ", col,
+                    ") out of range for ", n_rows, " x ", n_cols, " in '",
+                    line, "'"));
     coo.add(static_cast<Index>(row - 1), static_cast<Index>(col - 1), value);
     if (symmetric && row != col) {
       coo.add(static_cast<Index>(col - 1), static_cast<Index>(row - 1),
@@ -80,14 +101,21 @@ CscMatrix read_matrix_market(std::istream& in) {
     ++seen;
   }
   RAPID_CHECK(seen == nnz,
-              cat("expected ", nnz, " entries, found ", seen));
+              cat("truncated after line ", line_no, ": header promised ", nnz,
+                  " entries, stream ended at ", seen));
   return coo.to_csc();
 }
 
 CscMatrix read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
   RAPID_CHECK(in.good(), cat("cannot open '", path, "'"));
-  return read_matrix_market(in);
+  try {
+    return read_matrix_market(in);
+  } catch (const Error& e) {
+    // Re-wrap with the file name so a failure inside a multi-file driver
+    // names its input.
+    throw Error(cat(path, ": ", e.what()));
+  }
 }
 
 void write_matrix_market(std::ostream& out, const CscMatrix& matrix) {

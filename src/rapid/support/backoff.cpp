@@ -15,7 +15,7 @@ void Backoff::pause(std::uint64_t seen) {
     return;
   }
   ++parks_;
-  bell_.wait(seen, park_timeout_us_);
+  if (!bell_.wait(seen, park_timeout_us_)) ++park_timeouts_;
 }
 
 }  // namespace rapid

@@ -54,7 +54,10 @@ class Doorbell {
 
   /// Parks until value() != seen, `timeout_us` elapses, or a spurious
   /// wakeup. Callers re-check their own predicate afterwards regardless.
-  void wait(std::uint64_t seen, std::int64_t timeout_us) {
+  /// Returns whether the counter moved past `seen` (i.e. the wakeup carried
+  /// progress) — false means a pure timeout/spurious wakeup, which the
+  /// stall diagnostics count separately from productive rings.
+  bool wait(std::uint64_t seen, std::int64_t timeout_us) {
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
       std::unique_lock<std::mutex> lock(m_);
@@ -63,6 +66,7 @@ class Doorbell {
       }
     }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire) != seen;
   }
 
  private:
@@ -90,6 +94,10 @@ class Backoff {
   void reset() { attempts_ = 0; }
 
   std::int64_t parks() const { return parks_; }
+  /// Parks that ended on the timeout (or a spurious wakeup) rather than a
+  /// productive ring — the signal the forced-park-timeout fault class
+  /// amplifies and the stall snapshots record.
+  std::int64_t park_timeouts() const { return park_timeouts_; }
 
  private:
   Doorbell& bell_;
@@ -97,6 +105,7 @@ class Backoff {
   std::int64_t park_timeout_us_;
   std::int32_t attempts_ = 0;
   std::int64_t parks_ = 0;
+  std::int64_t park_timeouts_ = 0;
 };
 
 }  // namespace rapid

@@ -28,13 +28,23 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\r':
         out += "\\r";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // Cast before formatting: a plain (signed) char promotes to a
+          // negative int for bytes >= 0x80, which %x would render as
+          // "￿ffXX" — invalid JSON.
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
-          out += c;
+          out += c;  // UTF-8 payload bytes pass through untouched
         }
     }
   }

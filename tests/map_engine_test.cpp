@@ -157,5 +157,33 @@ TEST(MapEngine, PartialAllocationRollsBack) {
   }
 }
 
+TEST(MapEngine, FreeHookFiresForEveryFreedRegionBeforeReallocation) {
+  PipelineFixture f;
+  ProcMemory memory(f.plan, 1, 16);
+  struct FreeEvent {
+    graph::DataId object;
+    mem::Offset offset;
+    std::int64_t size;
+    bool region_was_free;  // at hook time — i.e. before any reallocation
+  };
+  std::vector<FreeEvent> events;
+  memory.set_free_hook([&](graph::DataId d, mem::Offset off,
+                           std::int64_t size) {
+    events.push_back({d, off, size, !memory.is_allocated(d)});
+  });
+  memory.perform_map(0);  // allocates a
+  EXPECT_TRUE(events.empty());
+  const mem::Offset off_a = memory.offset_of(f.a);
+  memory.perform_map(1);  // frees a, allocates b
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object, f.a);
+  EXPECT_EQ(events[0].offset, off_a);
+  EXPECT_EQ(events[0].size, 8);
+  EXPECT_TRUE(events[0].region_was_free);
+  memory.perform_map(2);  // frees b, allocates c
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].object, f.b);
+}
+
 }  // namespace
 }  // namespace rapid::rt

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "rapid/sparse/generators.hpp"
@@ -87,6 +88,119 @@ TEST(MatrixMarket, RejectsMalformedInputsWithLineNumbers) {
         "2 2 3\n"
         "1 1 1.0\n");  // truncated
     EXPECT_THROW(read_matrix_market(in), Error);
+  }
+}
+
+TEST(MatrixMarket, RejectsDimensionOverflowAndBadSizes) {
+  {
+    // 2^33 rows: must fail with an explicit overflow message, not a
+    // garbled parse of a wrapped 32-bit value.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "8589934592 3 1\n"
+        "1 1 1.0\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "-2 3 1\n"
+        "1 1 1.0\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-positive"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 -1\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("negative nnz"), std::string::npos);
+    }
+  }
+  {
+    // Symmetric requires square.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 3 1\n"
+        "1 1 1.0\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("square"), std::string::npos);
+    }
+  }
+  {
+    // Header only, no size line at all.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% nothing but comments\n");
+    try {
+      read_matrix_market(in);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+    }
+  }
+}
+
+TEST(MatrixMarket, TruncatedBodyNamesLineAndCounts) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos);
+    EXPECT_NE(what.find("5"), std::string::npos);
+    EXPECT_NE(what.find("2"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, MissingValueOnRealEntryThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "/rapid_mm_bad.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 3\n"
+        << "1 1 1.0\n";  // truncated: promised 3, wrote 1
+  }
+  try {
+    read_matrix_market_file(path);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("truncated"), std::string::npos);
   }
 }
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "rapid/support/check.hpp"
 #include "rapid/support/flags.hpp"
+#include "rapid/support/json.hpp"
 #include "rapid/support/rng.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/support/table.hpp"
@@ -143,6 +145,61 @@ TEST(Flags, BoolParsing) {
   const char* argv[] = {"prog", "--on=true"};
   flags.parse(2, argv);
   EXPECT_TRUE(flags.get_bool("on"));
+}
+
+TEST(Json, EscapesQuotesAndBackslashes) {
+  JsonValue v(std::string("say \"hi\" c:\\temp"));
+  EXPECT_EQ(v.dump(), "\"say \\\"hi\\\" c:\\\\temp\"\n");
+}
+
+TEST(Json, EscapesNamedControlCharacters) {
+  JsonValue v(std::string("a\nb\tc\rd\be\ff"));
+  EXPECT_EQ(v.dump(), "\"a\\nb\\tc\\rd\\be\\ff\"\n");
+}
+
+TEST(Json, EscapesUnnamedControlCharactersAsUnicode) {
+  std::string s = "x";
+  s += '\x01';
+  s += '\x1f';
+  s.push_back('\0');  // embedded NUL must not truncate the output
+  JsonValue v(s);
+  EXPECT_EQ(v.dump(), "\"x\\u0001\\u001f\\u0000\"\n");
+}
+
+TEST(Json, HighBytesPassThroughUnharmed) {
+  // UTF-8 payload bytes (>= 0x80) must not be mangled into \uffXX by
+  // signed-char promotion — they pass through verbatim.
+  const std::string snowman = "\xe2\x98\x83";
+  JsonValue v(snowman);
+  EXPECT_EQ(v.dump(), "\"" + snowman + "\"\n");
+}
+
+TEST(Json, AdversarialKeyAndValueRoundTripStructurally) {
+  // An object whose key and value both carry every escape class at once:
+  // the dump must stay balanced and contain no raw control bytes.
+  JsonValue root = JsonValue::object();
+  std::string nasty = "\"\\\n\r\t\b\f";
+  nasty += '\x02';
+  nasty += "\xc3\xa9";  // é
+  root[nasty] = nasty;
+  const std::string out = root.dump();
+  for (const char c : out) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte leaked into output";
+  }
+  EXPECT_NE(out.find("\\u0002"), std::string::npos);
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\xc3\xa9"), std::string::npos);
+}
+
+TEST(Json, InfAndNanBecomeNull) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(std::numeric_limits<double>::infinity());
+  arr.push_back(std::numeric_limits<double>::quiet_NaN());
+  const std::string out = arr.dump();
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_NE(out.find("null"), std::string::npos);
 }
 
 TEST(Table, RendersAligned) {

@@ -155,12 +155,64 @@ TEST(ThreadedExecutor, OversubscribedProcsStayCorrect) {
   check_results(app, exec);
 }
 
-TEST(ThreadedExecutor, TaskBodyErrorSurfacesAsDeadlockError) {
+TEST(ThreadedExecutor, TaskBodyErrorSurfacesAsExecutionFailed) {
   CounterApp app(2);
   ThreadedExecutor exec(
       app.plan, app.config(1 << 16), app.make_init(),
       [](graph::TaskId, ObjectResolver&) { throw std::runtime_error("bug"); });
-  EXPECT_THROW(exec.run(), ProtocolDeadlockError);
+  try {
+    exec.run();
+    FAIL() << "expected ExecutionFailedError";
+  } catch (const ExecutionFailedError& e) {
+    EXPECT_NE(std::string(e.what()).find("bug"), std::string::npos);
+    ASSERT_FALSE(e.errors().empty());
+  }
+}
+
+TEST(ThreadedExecutor, AllConcurrentFailuresAreRecorded) {
+  // Two independent producer tasks, one per processor, rendezvous on a
+  // barrier and then both throw, so two failures race into the executor:
+  // the report and the exception must carry both, not just whichever
+  // thread won.
+  graph::TaskGraph g;
+  const auto d0 = g.add_data("d0", 8, 0);
+  const auto d1 = g.add_data("d1", 8, 1);
+  const auto t0 = g.add_task("A0", {}, {d0}, 1.0);
+  const auto t1 = g.add_task("A1", {}, {d1}, 1.0);
+  g.finalize();
+  sched::Schedule s;
+  s.num_procs = 2;
+  s.order = {{t0}, {t1}};
+  s.rebuild_index(g.num_tasks());
+  const RunPlan plan = build_run_plan(g, s);
+  RunConfig config;
+  config.capacity_per_proc = 1 << 10;
+  config.active_memory = true;
+  config.params = machine::MachineParams::cray_t3d(2);
+  std::atomic<int> entered{0};
+  ThreadedExecutor exec(
+      plan, config, {},
+      [&](graph::TaskId t, ObjectResolver&) {
+        entered.fetch_add(1);
+        // Wait (bounded) until the other processor's task has also
+        // started, so neither failure can cancel the other pre-emptively.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (entered.load() < 2 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+        throw std::runtime_error("task " + g.task(t).name + " failed");
+      });
+  try {
+    exec.run();
+    FAIL() << "expected ExecutionFailedError";
+  } catch (const ExecutionFailedError& e) {
+    EXPECT_GE(e.errors().size(), 2u) << e.what();
+    for (const std::string& err : e.errors()) {
+      EXPECT_NE(err.find("failed"), std::string::npos);
+    }
+  }
 }
 
 TEST(ThreadedExecutor, WritingNonOwnedObjectThrows) {
@@ -181,7 +233,7 @@ TEST(ThreadedExecutor, WritingNonOwnedObjectThrows) {
         }
         app.make_body()(t, resolver);
       });
-  EXPECT_THROW(exec.run(), ProtocolDeadlockError);
+  EXPECT_THROW(exec.run(), ExecutionFailedError);
   EXPECT_TRUE(violated.load());
 }
 
