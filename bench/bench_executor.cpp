@@ -33,7 +33,8 @@ struct RunStats {
 /// repeat's numerics are checked against the dense reference.
 RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
                       std::int64_t capacity, bool active, int repeats,
-                      const rt::FaultPlan& faults = {}) {
+                      const rt::FaultPlan& faults = {}, bool checksum = true,
+                      bool recovery = false) {
   rt::RunConfig config;
   config.params = inst.params;
   config.capacity_per_proc = capacity;
@@ -44,6 +45,8 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
       inst.cholesky ? inst.cholesky->make_body() : inst.lu->make_body();
   rt::ThreadedOptions options;
   options.faults = faults;
+  options.checksum = checksum;
+  if (recovery) options.retry = RetryPolicy::standard();
 
   RunStats stats;
   stats.best_ms = 1e300;
@@ -93,6 +96,14 @@ JsonValue run_json(const std::string& workload, int procs, const char* mode,
   r["addr_packages"] = s.report.addr_packages;
   r["suspended_sends"] = s.report.suspended_sends;
   r["residual"] = s.residual;
+  JsonValue rec = JsonValue::object();
+  rec["nacks_sent"] = s.report.recovery.nacks_sent;
+  rec["resends"] = s.report.recovery.resends;
+  rec["flag_resends"] = s.report.recovery.flag_resends;
+  rec["duplicate_suppressions"] = s.report.recovery.duplicate_suppressions;
+  rec["checksum_rejections"] = s.report.recovery.checksum_rejections;
+  rec["task_retries"] = s.report.recovery.task_retries;
+  r["recovery"] = std::move(rec);
   return r;
 }
 
@@ -109,6 +120,14 @@ int main(int argc, char** argv) {
                "fault-injection preset for the active runs: addr, put, slow, "
                "or park (empty = injection off; see docs/FAULTS.md)");
   flags.define("fault_seed", "1", "seed for the --faults preset");
+  flags.define("checksum", "1",
+               "integrity-checked RMA (CRC32C on every put and address "
+               "package); 0 isolates the checksum overhead vs the PR 2 "
+               "data plane");
+  flags.define("recovery", "0",
+               "add an active+recovery row (bounded re-request recovery "
+               "armed, RetryPolicy::standard) so one artifact shows the "
+               "clean-run recovery overhead");
   if (bench::parse_common_flags(flags, argc, argv)) return 0;
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
@@ -116,6 +135,8 @@ int main(int argc, char** argv) {
   const double frac = flags.get_double("frac");
   const std::string which = flags.get("workload");
   const std::string fault_preset = flags.get("faults");
+  const bool checksum = flags.get_int("checksum") != 0;
+  const bool recovery = flags.get_int("recovery") != 0;
   rt::FaultPlan faults;  // disabled unless --faults names a preset
   if (!fault_preset.empty()) {
     faults = rt::FaultPlan::preset(
@@ -157,7 +178,8 @@ int main(int argc, char** argv) {
       const std::int64_t tot = bench::tot_mem(inst, schedule);
       const std::int64_t min = bench::min_mem(inst, schedule);
 
-      const RunStats base = run_threaded(inst, plan, tot, false, repeats);
+      const RunStats base =
+          run_threaded(inst, plan, tot, false, repeats, {}, checksum);
       // Fragmentation and 8-byte alignment put the practical floor above
       // MIN_MEM; escalate the capacity fraction until the run executes.
       double used_frac = frac;
@@ -166,17 +188,28 @@ int main(int argc, char** argv) {
       for (;; used_frac += 0.1) {
         active_cap = std::max(
             min, static_cast<std::int64_t>(used_frac * static_cast<double>(tot)));
-        act = run_threaded(inst, plan, active_cap, true, repeats, faults);
+        act = run_threaded(inst, plan, active_cap, true, repeats, faults,
+                           checksum);
         if (act.report.executable) break;
         RAPID_CHECK(used_frac < 1.5,
                     cat("active run never became executable: ",
                         act.report.failure));
       }
 
-      for (const auto& [mode, cap, s] :
-           {std::tuple<const char*, std::int64_t, const RunStats&>{
-                "baseline", tot, base},
-            {"active", active_cap, act}}) {
+      RunStats rec;
+      if (recovery) {
+        // Same plan and capacity with the full self-healing layer armed:
+        // the delta against the "active" row is the recovery overhead on a
+        // clean run (deadline bookkeeping; checksums are governed by
+        // --checksum in both rows).
+        rec = run_threaded(inst, plan, active_cap, true, repeats, faults,
+                           checksum, /*recovery=*/true);
+      }
+      std::vector<std::tuple<const char*, std::int64_t, const RunStats*>>
+          rows = {{"baseline", tot, &base}, {"active", active_cap, &act}};
+      if (recovery) rows.push_back({"act+rec", active_cap, &rec});
+      for (const auto& [mode, cap, sp] : rows) {
+        const RunStats& s = *sp;
         const double cap_pct =
             100.0 * static_cast<double>(cap) / static_cast<double>(tot);
         table.add_row({workload, std::to_string(p), mode,
@@ -204,6 +237,8 @@ int main(int argc, char** argv) {
   doc["repeats"] = repeats;
   doc["frac"] = frac;
   doc["faults"] = fault_preset;
+  doc["checksum"] = checksum;
+  doc["recovery"] = recovery;
   if (!fault_preset.empty()) {
     doc["fault_seed"] = flags.get_int("fault_seed");
   }

@@ -70,13 +70,34 @@ FaultPlan FaultPlan::forced_park_timeouts(std::uint64_t seed) {
   return p;
 }
 
+FaultPlan FaultPlan::payload_corruption(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.corrupt_prob = 0.5;
+  p.corrupt_max_attempts = 1;  // resends deliver clean bytes
+  return p;
+}
+
+FaultPlan FaultPlan::package_duplication(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.dup_addr_prob = 0.6;
+  // Light delivery jitter so duplicates land both before and after the
+  // original has been consumed.
+  p.addr_delay_prob = 0.3;
+  p.addr_delay_max_us = 150;
+  return p;
+}
+
 FaultPlan FaultPlan::preset(const std::string& name, std::uint64_t seed) {
   if (name == "addr") return address_delays(seed);
   if (name == "put") return put_delays(seed);
   if (name == "slow") return slow_tasks(seed);
   if (name == "park") return forced_park_timeouts(seed);
+  if (name == "corrupt") return payload_corruption(seed);
+  if (name == "dup") return package_duplication(seed);
   RAPID_FAIL(cat("unknown fault preset '", name,
-                 "' (expected addr, put, slow, or park)"));
+                 "' (expected addr, put, slow, park, corrupt, or dup)"));
 }
 
 std::int64_t FaultPlan::addr_delay_us(graph::ProcId src, graph::ProcId dest,
@@ -100,6 +121,38 @@ std::int64_t FaultPlan::task_delay_us(graph::TaskId task) const {
   return draw_delay(mix3(seed ^ 0x7A5Cull, static_cast<std::uint64_t>(task),
                          0, 0),
                     task_slow_prob, task_slow_max_us);
+}
+
+bool FaultPlan::corrupt_put(graph::DataId object, std::int32_t version,
+                            graph::ProcId dest, std::uint32_t attempt) const {
+  if (corrupt_prob <= 0.0 ||
+      attempt > static_cast<std::uint32_t>(corrupt_max_attempts)) {
+    return false;
+  }
+  const std::uint64_t h =
+      mix3(seed ^ 0xC0DEull, static_cast<std::uint64_t>(object),
+           static_cast<std::uint64_t>(version),
+           static_cast<std::uint64_t>(dest));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < corrupt_prob;
+}
+
+std::pair<std::uint64_t, std::uint8_t> FaultPlan::corrupt_site(
+    graph::DataId object, std::int32_t version, graph::ProcId dest) const {
+  const std::uint64_t h =
+      mix(mix3(seed ^ 0xC0DEull, static_cast<std::uint64_t>(object),
+               static_cast<std::uint64_t>(version),
+               static_cast<std::uint64_t>(dest)));
+  return {h >> 8, static_cast<std::uint8_t>(h | 1u)};  // mask never 0
+}
+
+bool FaultPlan::dup_addr_package(graph::ProcId src, graph::ProcId dest,
+                                 std::int64_t ordinal) const {
+  if (dup_addr_prob <= 0.0) return false;
+  const std::uint64_t h =
+      mix3(seed ^ 0xD0Dull, static_cast<std::uint64_t>(src),
+           static_cast<std::uint64_t>(dest),
+           static_cast<std::uint64_t>(ordinal));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < dup_addr_prob;
 }
 
 }  // namespace rapid::rt

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "rapid/support/checksum.hpp"
 #include "rapid/support/str.hpp"
 
 namespace rapid::rt {
+
+std::uint32_t AddrPackage::checksum() const {
+  std::uint32_t crc32 = crc32c_u64(static_cast<std::uint64_t>(reader), 0);
+  crc32 = crc32c_u64(seq, crc32);
+  for (const auto& [d, offset] : entries) {
+    crc32 = crc32c_u64(static_cast<std::uint64_t>(d), crc32);
+    crc32 = crc32c_u64(static_cast<std::uint64_t>(offset), crc32);
+  }
+  return crc32;
+}
 
 ProcMemory::ProcMemory(const RunPlan& plan, ProcId proc, std::int64_t capacity,
                        std::int64_t alignment, mem::AllocPolicy policy)

@@ -21,10 +21,21 @@
 namespace rapid::rt {
 
 /// One address package: (object, offset in the reader's arena) entries for
-/// a single owner processor.
+/// a single owner processor. The integrity plane stamps each package with a
+/// per-(sender → owner) sequence number and a CRC32C at send time: the
+/// receiver suppresses replays by sequence and rejects corrupted packages
+/// before installing any entry.
 struct AddrPackage {
   ProcId reader = graph::kInvalidProc;  // who allocated the buffers
   std::vector<std::pair<DataId, mem::Offset>> entries;
+  /// 1-based per-(sender, owner) sequence number; 0 = unstamped (never sent).
+  std::uint32_t seq = 0;
+  /// CRC32C over (reader, seq, entries), folded field by field so struct
+  /// padding never enters the digest. Computed by checksum() at send time.
+  std::uint32_t crc = 0;
+
+  /// Digest of the package's logical content (everything but `crc`).
+  std::uint32_t checksum() const;
 };
 
 struct MapResult {
@@ -70,7 +81,11 @@ class ProcMemory {
   /// region — after the deallocation and strictly before any reallocation
   /// in the same MAP. The threaded executor uses it to poison freed heap
   /// regions in debug builds so use-after-free across MAP reuse reads as
-  /// garbage instead of stale-but-plausible content.
+  /// garbage instead of stale-but-plausible content, and to reset the
+  /// object's reader-side verification state so a recycled region is never
+  /// trusted on the strength of a previous lifetime's checksum (the
+  /// resend-safety contract: a region freed here has no put in flight to
+  /// it, so clearing per-object state here is race-free).
   using FreeHook = std::function<void(DataId, mem::Offset, std::int64_t)>;
   void set_free_hook(FreeHook hook) { free_hook_ = std::move(hook); }
 

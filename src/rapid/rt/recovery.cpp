@@ -1,0 +1,53 @@
+#include "rapid/rt/recovery.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::rt {
+
+RecoveryRun run_with_recovery(const RunPlan& plan, const RunConfig& config,
+                              ObjectInit init, TaskBody body,
+                              ThreadedOptions options,
+                              RunRecoveryOptions ropts) {
+  RAPID_CHECK(ropts.max_run_attempts >= 1,
+              "run_with_recovery needs at least one attempt");
+  RecoveryRun out;
+  RecoveryCounters accumulated;  // from failed attempts
+  std::int32_t failed_attempts = 0;
+  std::exception_ptr last_error;
+  for (std::int32_t attempt = 1; attempt <= ropts.max_run_attempts;
+       ++attempt) {
+    ThreadedOptions opts = options;
+    opts.run_attempt = attempt;
+    auto exec = std::make_unique<ThreadedExecutor>(plan, config, init, body,
+                                                   opts);
+    out.attempts = attempt;
+    try {
+      out.report = exec->run();
+    } catch (const Error&) {
+      // Deadlock/exhaustion or task failure: fold this attempt's partial
+      // counters in and restart from scratch (run() rebuilds all state).
+      last_error = std::current_exception();
+      const RunReport& partial = exec->last_report();
+      out.attempt_failures.push_back(partial.failure);
+      accumulated.merge(partial.recovery);
+      accumulated.run_attempts = ++failed_attempts;
+      continue;
+    }
+    out.executor = std::move(exec);
+    if (!out.report.executable) {
+      // Capacity failure: deterministic, a restart cannot change it.
+      out.report.recovery.merge(accumulated);
+      out.report.recovery.run_attempts = attempt;
+      return out;
+    }
+    out.report.recovery.merge(accumulated);
+    out.report.recovery.run_attempts = attempt;
+    return out;
+  }
+  std::rethrow_exception(last_error);
+}
+
+}  // namespace rapid::rt

@@ -1,0 +1,57 @@
+// Run-level restart: the outermost ring of the self-healing layer
+// (docs/FAULTS.md, "Recovery"). The inner rings — integrity-checked RMA and
+// bounded re-request/retry — heal lost or corrupted messages *within* a run;
+// run_with_recovery() bounds what happens when a run still fails (exhausted
+// retries, a task that keeps throwing): re-run the whole plan from scratch,
+// up to a configured attempt count, and merge every attempt's recovery
+// counters into the one report the caller sees.
+//
+// A restart is safe for the same reason a single run is deterministic: run()
+// rebuilds all heaps, versions, and protocol state from the plan, and task
+// bodies are pure functions of their resolved inputs. Nothing of a failed
+// attempt survives into the next one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rapid/rt/threaded_executor.hpp"
+
+namespace rapid::rt {
+
+struct RunRecoveryOptions {
+  /// Total run() attempts, including the first (1 = no restart, identical
+  /// to calling ThreadedExecutor::run() directly).
+  std::int32_t max_run_attempts = 3;
+};
+
+/// Result of run_with_recovery(): the successful attempt's report with the
+/// failed attempts' recovery counters merged in (and run_attempts set to the
+/// total number of attempts), plus the failure text of each failed attempt
+/// in order. `executor` is the instance that produced `report`, kept alive
+/// so read_object() works on the final state.
+struct RecoveryRun {
+  RunReport report;
+  std::unique_ptr<ThreadedExecutor> executor;
+  /// failure summary of attempt i+1 (empty when the first attempt
+  /// succeeded).
+  std::vector<std::string> attempt_failures;
+  std::int32_t attempts = 0;
+};
+
+/// Runs the plan under the threaded executor, restarting from scratch on
+/// ProtocolDeadlockError / ExecutionFailedError up to
+/// RunRecoveryOptions::max_run_attempts total attempts. Each attempt gets a
+/// fresh executor with options.run_attempt set to its 1-based index, so a
+/// FaultPlan gated by induced_fault_runs stops injecting on the restarts. A
+/// non-executable plan is reported immediately (restarting cannot make a
+/// capacity failure fit); exhausting the attempts rethrows the last
+/// attempt's exception.
+RecoveryRun run_with_recovery(const RunPlan& plan, const RunConfig& config,
+                              ObjectInit init, TaskBody body,
+                              ThreadedOptions options = {},
+                              RunRecoveryOptions ropts = {});
+
+}  // namespace rapid::rt

@@ -12,8 +12,19 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kInjectedFault: return "injected-fault";
     case FailureKind::kDeadlock: return "deadlock";
     case FailureKind::kWatchdog: return "watchdog";
+    case FailureKind::kIntegrity: return "integrity";
+    case FailureKind::kRetriesExhausted: return "retries-exhausted";
   }
   return "?";
+}
+
+void RecoveryCounters::merge(const RecoveryCounters& other) {
+  nacks_sent += other.nacks_sent;
+  resends += other.resends;
+  flag_resends += other.flag_resends;
+  duplicate_suppressions += other.duplicate_suppressions;
+  checksum_rejections += other.checksum_rejections;
+  task_retries += other.task_retries;
 }
 
 double RunReport::avg_maps() const {
@@ -35,6 +46,40 @@ double RunReport::idle_fraction() const {
   if (total <= 0.0) return 0.0;
   const double busy = compute_us + send_us + map_us;
   return std::max(0.0, 1.0 - busy / total);
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["executable"] = executable;
+  doc["failure"] = failure;
+  doc["failure_kind"] = to_string(failure_kind);
+  JsonValue errs = JsonValue::array();
+  for (const std::string& e : errors) errs.push_back(e);
+  doc["errors"] = std::move(errs);
+  doc["parallel_time_us"] = parallel_time_us;
+  JsonValue maps = JsonValue::array();
+  for (const std::int32_t m : maps_per_proc) maps.push_back(m);
+  doc["maps_per_proc"] = std::move(maps);
+  JsonValue peaks = JsonValue::array();
+  for (const std::int64_t b : peak_bytes_per_proc) peaks.push_back(b);
+  doc["peak_bytes_per_proc"] = std::move(peaks);
+  doc["content_messages"] = content_messages;
+  doc["content_bytes"] = content_bytes;
+  doc["flag_messages"] = flag_messages;
+  doc["addr_packages"] = addr_packages;
+  doc["addr_entries"] = addr_entries;
+  doc["suspended_sends"] = suspended_sends;
+  doc["tasks_executed"] = tasks_executed;
+  JsonValue rec = JsonValue::object();
+  rec["nacks_sent"] = recovery.nacks_sent;
+  rec["resends"] = recovery.resends;
+  rec["flag_resends"] = recovery.flag_resends;
+  rec["duplicate_suppressions"] = recovery.duplicate_suppressions;
+  rec["checksum_rejections"] = recovery.checksum_rejections;
+  rec["task_retries"] = recovery.task_retries;
+  rec["run_attempts"] = recovery.run_attempts;
+  doc["recovery"] = std::move(rec);
+  return doc;
 }
 
 }  // namespace rapid::rt

@@ -10,6 +10,7 @@
 #include "rapid/machine/params.hpp"
 #include "rapid/mem/arena.hpp"
 #include "rapid/support/check.hpp"
+#include "rapid/support/json.hpp"
 
 namespace rapid::rt {
 
@@ -65,9 +66,30 @@ enum class FailureKind : std::uint8_t {
   kInjectedFault,  // a FaultPlan-induced failure fired
   kDeadlock,       // stall monitor proved a wait-for cycle
   kWatchdog,       // no progress for watchdog_seconds, no cycle proven
+  kIntegrity,      // checksum mismatch detected with recovery disabled
+  kRetriesExhausted,  // a waiter's bounded re-requests ran out
 };
 
 const char* to_string(FailureKind kind);
+
+/// What the self-healing layer did during a run (all zero on a clean run
+/// with no faults). run_with_recovery() merges these across restart
+/// attempts into the final report.
+struct RecoveryCounters {
+  std::int64_t nacks_sent = 0;       // re-requests issued by waiters
+  std::int64_t resends = 0;          // content puts retransmitted by owners
+  std::int64_t flag_resends = 0;     // completion flags retransmitted
+  std::int64_t duplicate_suppressions = 0;  // replayed packages/NACKs ignored
+  std::int64_t checksum_rejections = 0;     // payloads/packages failing CRC
+  std::int64_t task_retries = 0;            // transient task re-executions
+  /// 1-based count of run() attempts merged into this report (run-level
+  /// restart); 1 means the first attempt succeeded.
+  std::int32_t run_attempts = 1;
+
+  /// Sums the event counters of a failed earlier attempt into this one
+  /// (run_attempts is set by the caller, not summed).
+  void merge(const RecoveryCounters& other);
+};
 
 struct RunConfig {
   /// Memory available on each processor for data objects (bytes).
@@ -120,6 +142,9 @@ struct RunReport {
   std::int64_t suspended_sends = 0;  // sends that had to wait for an address
   std::int64_t tasks_executed = 0;
 
+  /// Self-healing activity (threaded executor only).
+  RecoveryCounters recovery;
+
   /// Simulator-only time breakdown, summed across processors (µs): task
   /// execution, sender-side message occupancy, and MAP/address machinery.
   /// parallel_time_us × p − (sum of these) is idle/blocked time.
@@ -131,6 +156,9 @@ struct RunReport {
   std::int64_t peak_bytes() const;
   /// Fraction of total processor-time spent idle or blocked (simulator).
   double idle_fraction() const;
+  /// CI-artifact form: every counter, the recovery block, and the failure
+  /// disposition.
+  JsonValue to_json() const;
 };
 
 }  // namespace rapid::rt

@@ -58,19 +58,27 @@ std::vector<WaitEdge> build_wait_edges(
         e.to = plan.graph->data(s.waiting_object).owner;
         e.kind = WaitEdge::Kind::kContent;
         e.object = s.waiting_object;
+        e.retries = s.retry_attempts;
         e.reason = cat("task ", task_name(plan, s.current_task),
                        " needs version ", s.waiting_version, " of ",
                        object_name(plan, s.waiting_object), " (has ",
                        s.have_version, ") from p", e.to);
+        if (e.retries > 0) {
+          e.reason += cat("; ", e.retries, " re-request(s) sent");
+        }
         edges.push_back(std::move(e));
       } else if (s.waiting_flag_task != graph::kInvalidTask) {
         WaitEdge e;
         e.from = s.proc;
         e.to = task_proc[s.waiting_flag_task];
         e.kind = WaitEdge::Kind::kFlag;
+        e.retries = s.retry_attempts;
         e.reason = cat("task ", task_name(plan, s.current_task),
                        " needs the completion flag of ",
                        task_name(plan, s.waiting_flag_task), " from p", e.to);
+        if (e.retries > 0) {
+          e.reason += cat("; ", e.retries, " re-request(s) sent");
+        }
         edges.push_back(std::move(e));
       }
     }
@@ -155,6 +163,11 @@ StallReport diagnose_stall(const RunPlan& plan,
   report.edges = build_wait_edges(plan, report.procs);
   report.cycle = find_cycle(plan.num_procs, report.edges);
   report.genuine_deadlock = !report.cycle.empty();
+  for (const ProcSnapshot& s : report.procs) {
+    for (const RetryRecord& r : s.retry_history) {
+      if (r.exhausted) report.retries_exhausted = true;
+    }
+  }
   if (!report.genuine_deadlock) {
     // A wait pointed at an already-quiescent processor can never be
     // satisfied either: that processor performs no further MAPs, sends, or
@@ -194,6 +207,14 @@ std::string StallReport::summary() const {
     out += cat(", suspended=", s.suspended_sends,
                ", mailbox=", s.mailbox_packages, ", parks=", s.parks, "(",
                s.park_timeouts, " timeouts)\n");
+    for (const RetryRecord& r : s.retry_history) {
+      out += cat("    retry: ",
+                 r.object != graph::kInvalidData
+                     ? cat("object ", r.object, " v", r.version)
+                     : cat("flag of task ", r.flag_task),
+                 ", ", r.attempts, " attempt(s), waited ", r.waited_us,
+                 " us", r.exhausted ? " — EXHAUSTED" : "", "\n");
+    }
   }
   for (const WaitEdge& e : edges) {
     out += cat("  p", e.from, " -> p", e.to, ": ", e.reason, "\n");
@@ -208,6 +229,7 @@ JsonValue StallReport::to_json() const {
   JsonValue doc = JsonValue::object();
   doc["stalled_seconds"] = stalled_seconds;
   doc["genuine_deadlock"] = genuine_deadlock;
+  doc["retries_exhausted"] = retries_exhausted;
   JsonValue cyc = JsonValue::array();
   for (const ProcId q : cycle) cyc.push_back(q);
   doc["cycle"] = std::move(cyc);
@@ -229,6 +251,19 @@ JsonValue StallReport::to_json() const {
     p["mailbox_packages"] = s.mailbox_packages;
     p["parks"] = s.parks;
     p["park_timeouts"] = s.park_timeouts;
+    p["retry_attempts"] = s.retry_attempts;
+    JsonValue retries = JsonValue::array();
+    for (const RetryRecord& r : s.retry_history) {
+      JsonValue rr = JsonValue::object();
+      rr["object"] = r.object;
+      rr["version"] = r.version;
+      rr["flag_task"] = r.flag_task;
+      rr["attempts"] = r.attempts;
+      rr["waited_us"] = r.waited_us;
+      rr["exhausted"] = r.exhausted;
+      retries.push_back(std::move(rr));
+    }
+    p["retry_history"] = std::move(retries);
     JsonValue epochs = JsonValue::array();
     for (const std::uint32_t e : s.addr_epoch) {
       epochs.push_back(static_cast<std::int64_t>(e));
@@ -246,6 +281,7 @@ JsonValue StallReport::to_json() const {
     j["from"] = e.from;
     j["to"] = e.to;
     j["object"] = e.object;
+    j["retries"] = e.retries;
     j["reason"] = e.reason;
     es.push_back(std::move(j));
   }

@@ -31,6 +31,18 @@ enum class ProcState : std::uint8_t {
 
 const char* to_string(ProcState state);
 
+/// One bounded re-request (recovery) episode on a processor: either a wait
+/// that was healed after `attempts` NACKs, or one whose attempts ran out
+/// (`exhausted`) — the event that escalates to ProtocolDeadlockError.
+struct RetryRecord {
+  DataId object = graph::kInvalidData;   // content wait (or package target)
+  std::int32_t version = -1;             // version the waiter needed
+  TaskId flag_task = graph::kInvalidTask;  // flag wait (object invalid)
+  std::int32_t attempts = 0;             // NACKs sent for this wait
+  std::int64_t waited_us = 0;            // total steady-clock wait time
+  bool exhausted = false;
+};
+
 /// One processor's state at the stall instant. `detailed` snapshots are
 /// filled by the worker itself (full private state); light snapshots are
 /// synthesized by the monitor from the always-published atomics when a
@@ -58,6 +70,13 @@ struct ProcSnapshot {
   std::int64_t mailbox_packages = 0;  // occupancy of this proc's own mailbox
   std::int64_t parks = 0;
   std::int64_t park_timeouts = 0;
+
+  /// Re-requests issued for the wait the processor is currently blocked in
+  /// (0 when recovery is off or the wait is fresh).
+  std::int32_t retry_attempts = 0;
+  /// Finished recovery episodes this run, ending with the current wait if
+  /// it has sent any NACKs — the "retry history" the escalation carries.
+  std::vector<RetryRecord> retry_history;
 };
 
 /// One wait-for edge: `from` cannot progress until `to` acts.
@@ -72,6 +91,9 @@ struct WaitEdge {
   ProcId to = graph::kInvalidProc;
   Kind kind = Kind::kContent;
   DataId object = graph::kInvalidData;  // kContent: the blocked object
+  /// Re-requests the waiter has already issued along this edge (nonzero
+  /// only for the blocked wait of a recovery-enabled run).
+  std::int32_t retries = 0;
   std::string reason;                   // human-readable, with names
 };
 
@@ -88,6 +110,10 @@ struct StallReport {
   /// True when the stall cannot resolve on its own: a wait-for cycle, or a
   /// wait targeting an already-quiescent processor.
   bool genuine_deadlock = false;
+  /// True when recovery was enabled and a waiter ran out of re-request
+  /// attempts — the only way a recovery-enabled run escalates to
+  /// ProtocolDeadlockError before the scaled watchdog.
+  bool retries_exhausted = false;
   /// Every per-processor failure captured this run (not just the first).
   std::vector<std::string> errors;
 

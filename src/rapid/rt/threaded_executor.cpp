@@ -13,6 +13,7 @@
 #include "rapid/rt/map_engine.hpp"
 #include "rapid/rt/stall.hpp"
 #include "rapid/support/backoff.hpp"
+#include "rapid/support/checksum.hpp"
 #include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/auditor.hpp"
@@ -37,7 +38,35 @@ struct ThreadedExecutor::Impl {
   /// branch on a const member; enabled() false means zero injected work.
   const FaultPlan faults;
   const bool faults_on;
+  /// Induced (non-probabilistic) failures only fire on run attempts within
+  /// FaultPlan::induced_fault_runs — run_with_recovery's restarted attempts
+  /// then run clean.
+  const bool induced_on;
+  const bool checksum_on;
+  const bool recovery_on;
   const std::int64_t effective_park_us;
+  /// Watchdog budget scaled by the retry policy: an in-flight recovery
+  /// (bounded by RetryPolicy::total_wait_us per wait) must never be
+  /// misdiagnosed as a watchdog-level deadlock. All monitor and retry
+  /// deadlines are steady_clock-based (Stopwatch and WaitTracker), so
+  /// wall-clock jumps can neither starve nor spuriously fire them.
+  const double effective_watchdog;
+
+  /// A re-request: the waiter could not trust (or never received) a message
+  /// and asks the owner to send it again. Carries everything the owner
+  /// needs to service it idempotently: the waiter's own buffer address
+  /// (healing a lost address package — paper Fact I generalized: the waiter
+  /// always knows its own buffer), and the last put sequence number the
+  /// waiter observed, so the owner retransmits at most once per observed
+  /// state (docs/PROTOCOL.md, "Integrity and re-request recovery").
+  struct NackRequest {
+    ProcId requester = graph::kInvalidProc;
+    DataId object = graph::kInvalidData;  // content re-request …
+    std::int32_t version = -1;            // … the version still needed
+    TaskId flag_task = graph::kInvalidTask;  // or a flag re-request
+    mem::Offset reader_offset = mem::kNullOffset;
+    std::uint32_t observed_seq = 0;
+  };
 
   /// Per-processor shared state — the RMA window. The heap and the
   /// per-object version slots form a lock-free data plane: a sender memcpys
@@ -46,9 +75,13 @@ struct ThreadedExecutor::Impl {
   /// makes the object's owner the only writer), then publishes visibility
   /// with a release store on received_version; readers gate on acquire
   /// loads. Completion flags are a dense atomic array with the same
-  /// discipline. Only the multi-slot address-package mailbox keeps a mutex —
-  /// it is a many-producer queue of variable-size packages, off the data
-  /// path. docs/RUNTIME.md has the full memory-ordering argument.
+  /// discipline. The integrity plane adds two more single-writer-per-slot
+  /// arrays: the payload CRC and the put sequence number, published in the
+  /// order crc → version → seq so an acquire load of seq makes all three
+  /// (and the payload bytes) visible. Only the multi-slot address-package
+  /// mailbox and the re-request inbox keep mutexes — many-producer queues
+  /// of variable-size messages, off the data path. docs/RUNTIME.md has the
+  /// full memory-ordering argument; docs/PROTOCOL.md the recovery argument.
   struct Shared {
     std::vector<std::byte> heap;
     /// Per object, -1 = none yet. Single writer per slot (the object's
@@ -56,12 +89,50 @@ struct ThreadedExecutor::Impl {
     std::unique_ptr<std::atomic<std::int32_t>[]> received_version;
     /// Per task, 1 = completion flag delivered. Single writer per slot.
     std::unique_ptr<std::atomic<std::uint8_t>[]> flags;
+    /// Per object: CRC32C of the last put payload, and the 1-based put
+    /// sequence number that published it (0 = no put yet). Same single
+    /// writer as received_version.
+    std::unique_ptr<std::atomic<std::uint32_t>[]> received_crc;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> put_seq;
 
     std::mutex mailbox_m;
     std::vector<std::deque<AddrPackage>> mailbox;  // per source proc
     /// Lock-free "is there anything to drain" hint; modified under
     /// mailbox_m, read without it on the RA fast path.
     std::atomic<std::int32_t> mailbox_pending{0};
+
+    /// Re-request (NACK) inbox: many-producer, drained by this processor
+    /// in service_ra_cq.
+    std::mutex nack_m;
+    std::deque<NackRequest> nacks;
+    std::atomic<std::int32_t> nack_pending{0};
+  };
+
+  /// Identity + deadline of the wait a processor is currently blocked in
+  /// (worker-private). Deadlines are steady_clock-based and grow per the
+  /// RetryPolicy; identity changes reset the attempt count (a changed gate
+  /// means the previous one was satisfied — progress, not a retry).
+  struct WaitTracker {
+    bool active = false;
+    bool exhausted = false;
+    DataId object = graph::kInvalidData;
+    std::int32_t version = -1;
+    TaskId flag_task = graph::kInvalidTask;
+    std::int32_t attempts = 0;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// The first unmet gate of a task, as seen by its processor right now.
+  struct GateRef {
+    DataId object = graph::kInvalidData;
+    std::int32_t version = -1;
+    std::int32_t have = -1;
+    TaskId flag_task = graph::kInvalidTask;
+    /// The version arrived but its checksum was rejected: the wait is for a
+    /// resend, and the first re-request goes out without waiting for the
+    /// deadline.
+    bool rejected = false;
   };
 
   /// Per-processor private state, touched only by its own thread.
@@ -73,6 +144,11 @@ struct ThreadedExecutor::Impl {
     /// r's heap, at [owned_index[d] * num_procs + r]; kNullOffset =
     /// unknown. Flat array — the send path does no tree walks.
     std::vector<mem::Offset> known_addrs;
+    /// Owner-side put sequence numbers, parallel to known_addrs: how many
+    /// puts this owner has issued into (object, reader)'s slot. Single
+    /// lifetime window per (object, reader) keeps the slot's address stable,
+    /// so the counter spans original puts and resends alike.
+    std::vector<std::uint32_t> sent_seq;
     /// Suspended sends grouped by destination, plus per-peer epochs: a
     /// destination's queue is rescanned only when new addresses from that
     /// peer arrived since the last scan (addr_epoch advanced past
@@ -83,6 +159,25 @@ struct ThreadedExecutor::Impl {
     std::int64_t suspended_count = 0;
     std::vector<std::int32_t> epoch_remaining;  // flattened, see epoch_base
     std::vector<std::int32_t> current_version;  // per owned object
+    /// Reader-side verification state, per object: the put seq whose
+    /// payload last passed (verified) or failed (rejected) its CRC. Gating
+    /// recomputation on the seq makes verification race-free against
+    /// resends: bytes are only read at a seq the owner has fully published,
+    /// and never re-read at a seq already rejected (the owner's next
+    /// retransmit bumps the seq past it). Reset by the MAP free hook when
+    /// the object's region is recycled.
+    std::vector<std::uint32_t> verified_seq;
+    std::vector<std::uint32_t> rejected_seq;
+    /// A fresh checksum rejection fast-tracks exactly one re-request.
+    bool fast_nack = false;
+    /// Address-package sequence stamping (per destination) and replay
+    /// suppression (per source).
+    std::vector<std::uint32_t> pkg_seq_sent;
+    std::vector<std::uint32_t> pkg_seq_seen;
+    /// Bounded re-request bookkeeping.
+    WaitTracker wait;
+    std::vector<RetryRecord> retry_log;
+    std::size_t exhausted_index = 0;  // retry_log slot of the exhausted wait
     /// END-state bookkeeping and stall-snapshot plumbing (worker-private).
     bool counted_quiescent = false;
     std::optional<Backoff> backoff;  // the worker loop's backoff
@@ -111,8 +206,8 @@ struct ThreadedExecutor::Impl {
 
   /// Data-plane doorbell: rung on every protocol event; blocked workers
   /// park on it. The control doorbell is rung only on run termination
-  /// events (failure, global quiescence) so the monitor can park without
-  /// making every bump_progress() pay a notify.
+  /// events (failure, global quiescence, retry exhaustion) so the monitor
+  /// can park without making every bump_progress() pay a notify.
   Doorbell bell;
   Doorbell control_bell;
 
@@ -124,6 +219,7 @@ struct ThreadedExecutor::Impl {
   FailureKind first_kind = FailureKind::kNone;
   std::shared_ptr<const StallReport> stall_report;  // set by the monitor
   bool completed = false;  // run() finished cleanly; gates read_object()
+  RunReport last_report;   // filled by run() even on the throwing paths
 
   /// Cooperative stall-snapshot handshake: the monitor bumps snap_gen;
   /// each worker notices at the top of its protocol loop (or inside a
@@ -134,10 +230,19 @@ struct ThreadedExecutor::Impl {
   std::vector<ProcSnapshot> snap_slots;
   std::atomic<std::int32_t> snap_acked{0};
 
+  /// Waiters whose bounded re-requests ran out and are still unhealed. The
+  /// monitor escalates only when this is nonzero AND global progress has
+  /// stopped — exhaustion against a merely-slow owner heals itself and
+  /// decrements before the stall window closes.
+  std::atomic<std::int32_t> exhausted_waiters{0};
+
   // Counters (relaxed; exact totals gathered after join).
   std::atomic<std::int64_t> content_messages{0}, content_bytes{0},
       flag_messages{0}, addr_packages{0}, addr_entries{0}, suspended_sends{0},
       tasks_executed{0}, dropped_packages{0};
+  // Recovery counters (RunReport::recovery).
+  std::atomic<std::int64_t> nacks_sent{0}, resends{0}, flag_resends{0},
+      duplicate_suppressions{0}, checksum_rejections{0}, task_retries{0};
 
   Impl(const RunPlan& plan_, const RunConfig& config_, ObjectInit init_,
        TaskBody body_, ThreadedOptions options_)
@@ -148,9 +253,20 @@ struct ThreadedExecutor::Impl {
         options(options_),
         faults(options_.faults),
         faults_on(options_.faults.enabled()),
+        induced_on(faults_on &&
+                   options_.run_attempt <= options_.faults.induced_fault_runs),
+        checksum_on(options_.checksum),
+        recovery_on(options_.retry.enabled()),
         effective_park_us(faults_on && options_.faults.force_park_timeout
                               ? options_.faults.forced_park_timeout_us
-                              : options_.park_timeout_us) {}
+                              : options_.park_timeout_us),
+        effective_watchdog(
+            recovery_on
+                ? std::max(options_.watchdog_seconds,
+                           4.0 * static_cast<double>(
+                                     options_.retry.total_wait_us()) /
+                               1e6)
+                : options_.watchdog_seconds) {}
 
   void fail(std::string what, FailureKind kind) {
     {
@@ -173,21 +289,30 @@ struct ThreadedExecutor::Impl {
         static_cast<std::uint8_t>(s), std::memory_order_release);
   }
 
+  std::size_t slot_index(DataId d, ProcId reader) const {
+    return static_cast<std::size_t>(owned_index[d]) *
+               static_cast<std::size_t>(plan.num_procs) +
+           static_cast<std::size_t>(reader);
+  }
+
   mem::Offset& addr_slot(Private& me, DataId d, ProcId reader) {
-    return me.known_addrs[static_cast<std::size_t>(owned_index[d]) *
-                              static_cast<std::size_t>(plan.num_procs) +
-                          static_cast<std::size_t>(reader)];
+    return me.known_addrs[slot_index(d, reader)];
   }
 
   // ---- owner-side sending ----------------------------------------------
 
   /// The RMA put: payload memcpy into the destination heap with no lock
-  /// held, then a release publish of the version. Always runs on the
-  /// owner's thread (complete_task / initial sends / CQ dispatch), so per
-  /// (object, dest) the copies are program-ordered and the version slot
-  /// has a single writer. The put-delay fault stretches the window between
-  /// the two — bytes written, visibility withheld — which a correct reader
-  /// must never notice.
+  /// held, then a release publish of version and sequence. Always runs on
+  /// the owner's thread (complete_task / initial sends / CQ dispatch / NACK
+  /// resend), so per (object, dest) the copies are program-ordered and the
+  /// version/crc/seq slots have a single writer. Publication order is
+  /// crc (relaxed) → version (release) → seq (release): readiness gates on
+  /// version, trust gates on seq, and an acquire load of seq makes the
+  /// payload, crc, and version all visible. The put-delay fault stretches
+  /// the window between copy and publication — bytes written, visibility
+  /// withheld — which a correct reader must never notice; the corruption
+  /// fault flips a destination byte inside that same window, which the
+  /// checksum must catch before the content is trusted.
   void transmit(ProcId q, const ContentSend& s) {
     Private& me = priv[q];
     RAPID_CHECK(me.current_version[s.object] == s.version,
@@ -198,20 +323,42 @@ struct ThreadedExecutor::Impl {
     const std::int64_t size = plan.graph->data(s.object).size_bytes;
     const mem::Offset src_off = me.memory->offset_of(s.object);
     Shared& dst = *shared[s.dest];
+    const std::uint32_t attempt = ++me.sent_seq[slot_index(s.object, s.dest)];
     if (size > 0) {
       std::memcpy(dst.heap.data() + dst_off,
                   shared[q]->heap.data() + src_off,
                   static_cast<std::size_t>(size));
+    }
+    std::uint32_t crc = 0;
+    if (checksum_on) {
+      // Digest of the source bytes (stable: the owner is the only writer
+      // of its own object and is not inside a task body here).
+      crc = crc32c({shared[q]->heap.data() + src_off,
+                    static_cast<std::size_t>(size)});
+    }
+    if (faults_on && size > 0 &&
+        faults.corrupt_put(s.object, s.version, s.dest, attempt)) {
+      const auto [site, mask] = faults.corrupt_site(s.object, s.version,
+                                                    s.dest);
+      dst.heap[static_cast<std::size_t>(dst_off) +
+               static_cast<std::size_t>(site %
+                                        static_cast<std::uint64_t>(size))] ^=
+          static_cast<std::byte>(mask);
     }
     if (faults_on) {
       const std::int64_t delay = faults.put_delay_us(s.object, s.version,
                                                      s.dest);
       if (delay > 0) sleep_us(delay);
     }
+    if (checksum_on) {
+      dst.received_crc[s.object].store(crc, std::memory_order_relaxed);
+    }
     auto& slot = dst.received_version[s.object];
     if (slot.load(std::memory_order_relaxed) < s.version) {
       slot.store(s.version, std::memory_order_release);
     }
+    dst.put_seq[s.object].store(attempt, std::memory_order_release);
+    if (attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
     content_messages.fetch_add(1, std::memory_order_relaxed);
     content_bytes.fetch_add(size, std::memory_order_relaxed);
     bump_progress();
@@ -235,12 +382,196 @@ struct ThreadedExecutor::Impl {
     bump_progress();
   }
 
+  // ---- re-request (NACK) recovery --------------------------------------
+
+  /// Waiter side: ask the owner to (re)send the message the current wait
+  /// is missing. For content waits, the request carries the waiter's own
+  /// buffer offset — so a lost address package is healed by the re-request
+  /// itself — and the last put sequence the waiter *examined* (verified or
+  /// rejected), NOT a fresh load of put_seq: a newer, not-yet-examined put
+  /// means the wait is about to resolve, and advertising its sequence
+  /// would let the owner retransmit concurrently with this reader's first
+  /// CRC pass over those very bytes. With the examined sequence, a resend
+  /// can only target a sequence whose bytes this reader is done reading
+  /// (rejected copies are never re-read; verified ones are gated by the
+  /// WAR anti-edges), which is what makes the resend memcpy race-free.
+  void send_nack(ProcId q, const GateRef& gate) {
+    Private& me = priv[q];
+    NackRequest n;
+    n.requester = q;
+    ProcId owner;
+    if (gate.object != graph::kInvalidData) {
+      owner = plan.graph->data(gate.object).owner;
+      n.object = gate.object;
+      n.version = gate.version;
+      n.reader_offset = me.memory->offset_of(gate.object);
+      n.observed_seq = std::max(me.verified_seq[gate.object],
+                                me.rejected_seq[gate.object]);
+    } else {
+      owner = plan.schedule.proc_of_task[gate.flag_task];
+      n.flag_task = gate.flag_task;
+    }
+    nacks_sent.fetch_add(1, std::memory_order_relaxed);
+    if (induced_on && faults.drop_nacks) return;  // lost recovery traffic
+    Shared& dst = *shared[owner];
+    {
+      std::lock_guard<std::mutex> lock(dst.nack_m);
+      dst.nacks.push_back(n);
+    }
+    dst.nack_pending.fetch_add(1, std::memory_order_release);
+    bump_progress();  // wake the owner if parked
+  }
+
+  /// Owner side: service one re-request idempotently. Replay safety
+  /// (docs/PROTOCOL.md): the version/crc/seq slots are single-writer, an
+  /// object has one lifetime window per reader (so the slot address is
+  /// stable), and a resend is issued only when the request's observed_seq
+  /// equals this owner's sent_seq — at most one retransmit per observed
+  /// state, and never one that could race the reader's verification of a
+  /// newer put. A waiter still needing version v implies (by the WAR
+  /// anti-edges of a dependence-complete plan) the owner's current_version
+  /// is still v, so retransmitting current content is consistent.
+  bool service_nack(ProcId q, const NackRequest& n) {
+    Private& me = priv[q];
+    if (n.flag_task != graph::kInvalidTask) {
+      // Flag stores are idempotent; resend iff the task completed here.
+      if (plan.schedule.pos_of_task[n.flag_task] < me.pos) {
+        send_flag(n.requester, n.flag_task);
+        flag_resends.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      return false;  // not yet complete: normal completion will deliver it
+    }
+    const DataId d = n.object;
+    bool installed = false;
+    mem::Offset& slot = addr_slot(me, d, n.requester);
+    if (slot == mem::kNullOffset) {
+      // The address package carrying this buffer was lost: the re-request
+      // heals it (the waiter always knows its own buffer — Fact I). The CQ
+      // scan after this drain dispatches the suspended send.
+      slot = n.reader_offset;
+      ++me.addr_epoch[n.requester];
+      installed = true;
+    }
+    if (me.current_version[d] < n.version) {
+      // The epoch producing the needed version has not completed here yet;
+      // its completion will send normally. Nothing to resend.
+      return installed;
+    }
+    if (me.current_version[d] > n.version) {
+      // Stale re-request: the waiter was already satisfied (its NACK raced
+      // the delivery). WAR anti-edges forbid this while the wait is real.
+      duplicate_suppressions.fetch_add(1, std::memory_order_relaxed);
+      return installed;
+    }
+    auto& queue = me.suspended_by_dest[n.requester];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->object == d && it->version == n.version) {
+        // The original send never left: it was suspended waiting for the
+        // very address this re-request carried (or that arrived late).
+        // Dispatch it here AND erase it, so neither a second queued NACK
+        // nor the CQ scan after this drain can transmit it again — a
+        // double dispatch would memcpy over bytes the waiter may already
+        // be CRC-verifying from the first copy.
+        transmit(q, *it);
+        queue.erase(it);
+        --me.suspended_count;
+        return true;
+      }
+    }
+    if (installed) return true;  // nothing suspended: completion will send
+    if (me.sent_seq[slot_index(d, n.requester)] != n.observed_seq) {
+      // A newer put than the waiter observed is already published (the
+      // NACK raced it): replaying now could race the waiter's verification
+      // of that put. Suppress — the waiter re-checks before re-requesting.
+      duplicate_suppressions.fetch_add(1, std::memory_order_relaxed);
+      return installed;
+    }
+    transmit(q, ContentSend{d, n.version, n.requester});
+    return true;
+  }
+
+  /// Tracks the wait a blocked processor is in; sends a re-request when the
+  /// wait's steady-clock deadline expires, escalates when attempts run out.
+  void note_blocked_wait(ProcId q, const GateRef& gate) {
+    Private& me = priv[q];
+    WaitTracker& w = me.wait;
+    const auto now = std::chrono::steady_clock::now();
+    if (!w.active || w.object != gate.object || w.version != gate.version ||
+        w.flag_task != gate.flag_task) {
+      finish_wait(q);  // a changed gate means the previous one was satisfied
+      w.active = true;
+      w.exhausted = false;
+      w.object = gate.object;
+      w.version = gate.version;
+      w.flag_task = gate.flag_task;
+      w.attempts = 0;
+      w.started = now;
+      w.deadline = now + std::chrono::microseconds(options.retry.delay_us(1));
+    }
+    if (w.exhausted) return;
+    const bool fast = gate.rejected && me.fast_nack;
+    if (!fast && now < w.deadline) return;
+    me.fast_nack = false;
+    if (w.attempts >= options.retry.max_attempts) {
+      w.exhausted = true;
+      RetryRecord r;
+      r.object = w.object;
+      r.version = w.version;
+      r.flag_task = w.flag_task;
+      r.attempts = w.attempts;
+      r.waited_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - w.started)
+                        .count();
+      r.exhausted = true;
+      me.retry_log.push_back(r);
+      me.exhausted_index = me.retry_log.size() - 1;
+      exhausted_waiters.fetch_add(1, std::memory_order_acq_rel);
+      control_bell.ring();  // the monitor decides whether to escalate
+      return;
+    }
+    ++w.attempts;
+    w.deadline =
+        now + std::chrono::microseconds(options.retry.delay_us(w.attempts + 1));
+    send_nack(q, gate);
+  }
+
+  /// Closes the current wait episode: records it in the retry history when
+  /// re-requests were sent, and heals an exhausted wait that resolved after
+  /// all (a slow owner, not a lost message).
+  void finish_wait(ProcId q) {
+    Private& me = priv[q];
+    WaitTracker& w = me.wait;
+    if (!w.active) return;
+    const std::int64_t waited =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - w.started)
+            .count();
+    if (w.exhausted) {
+      RetryRecord& r = me.retry_log[me.exhausted_index];
+      r.exhausted = false;  // healed after exhausting: owner was slow
+      r.waited_us = waited;
+      exhausted_waiters.fetch_sub(1, std::memory_order_acq_rel);
+    } else if (w.attempts > 0) {
+      RetryRecord r;
+      r.object = w.object;
+      r.version = w.version;
+      r.flag_task = w.flag_task;
+      r.attempts = w.attempts;
+      r.waited_us = waited;
+      me.retry_log.push_back(r);
+    }
+    w = WaitTracker{};
+  }
+
   // ---- RA / CQ -----------------------------------------------------------
 
-  /// RA: consume address packages from my mailbox slots. CQ: dispatch
+  /// RA: consume address packages from my mailbox slots (suppressing
+  /// replays by per-source sequence and rejecting corrupted packages before
+  /// installing any entry), then drain re-requests, then CQ: dispatch
   /// suspended sends whose addresses became known. Returns whether any
-  /// package was consumed or send dispatched (the caller's backoff resets
-  /// on progress).
+  /// package was consumed, request serviced, or send dispatched (the
+  /// caller's backoff resets on progress).
   bool service_ra_cq(ProcId q) {
     Private& me = priv[q];
     Shared& mine = *shared[q];
@@ -258,12 +589,48 @@ struct ThreadedExecutor::Impl {
         mine.mailbox_pending.store(0, std::memory_order_relaxed);
       }
       for (const AddrPackage& pkg : consumed) {
+        if (pkg.seq != 0) {
+          auto& last_seen = me.pkg_seq_seen[pkg.reader];
+          if (pkg.seq <= last_seen) {
+            // Replayed/duplicated package: entries were already installed
+            // (idempotently installable anyway — one lifetime window per
+            // object keeps the offsets identical), only the count matters.
+            duplicate_suppressions.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (checksum_on && pkg.crc != pkg.checksum()) {
+            checksum_rejections.fetch_add(1, std::memory_order_relaxed);
+            if (!recovery_on) {
+              fail(cat("integrity: address package from p", pkg.reader,
+                       " to p", q, " failed its checksum"),
+                   FailureKind::kIntegrity);
+              return progressed;
+            }
+            // Dropped before advancing last_seen: the waiter's re-request
+            // carries the same addresses and heals this.
+            continue;
+          }
+          last_seen = pkg.seq;
+        }
         for (const auto& [d, offset] : pkg.entries) {
           addr_slot(me, d, pkg.reader) = offset;
         }
         ++me.addr_epoch[pkg.reader];
         progressed = true;
         bump_progress();
+      }
+    }
+    if (recovery_on &&
+        mine.nack_pending.load(std::memory_order_acquire) != 0) {
+      std::vector<NackRequest> requests;
+      {
+        std::lock_guard<std::mutex> lock(mine.nack_m);
+        requests.assign(mine.nacks.begin(), mine.nacks.end());
+        mine.nacks.clear();
+      }
+      mine.nack_pending.store(0, std::memory_order_release);
+      for (const NackRequest& n : requests) {
+        if (service_nack(q, n)) progressed = true;
       }
     }
     if (me.suspended_count > 0) {
@@ -290,21 +657,30 @@ struct ThreadedExecutor::Impl {
 
   /// Blocking send of one address package (MAP state): spins then parks on
   /// the doorbell while the destination slot is full, servicing RA/CQ like
-  /// the paper requires. Fault hooks: the package may be delayed (reordering
-  /// delivery relative to other sources) or dropped outright — the induced
-  /// deadlock the stall diagnostics must explain.
+  /// the paper requires. The package is stamped with its per-(sender, dest)
+  /// sequence number and CRC at send time. Fault hooks: the package may be
+  /// delayed (reordering delivery relative to other sources), dropped
+  /// outright — the induced deadlock the stall diagnostics must explain and
+  /// the re-request recovery must heal — or duplicated (delivered twice
+  /// with the same sequence number, bypassing the slot bound, which the
+  /// receiver must suppress).
   bool send_addr_package_blocking(ProcId q, ProcId dest,
                                   const AddrPackage& pkg) {
     Private& me = priv[q];
+    std::int64_t ordinal = 0;
     if (faults_on) {
-      const std::int64_t ordinal = ++me.addr_pkgs_sent;
-      if (faults.drop_addr_src == q && faults.drop_addr_nth == ordinal) {
+      ordinal = ++me.addr_pkgs_sent;
+      if (induced_on && faults.drop_addr_src == q &&
+          faults.drop_addr_nth == ordinal) {
         dropped_packages.fetch_add(1, std::memory_order_relaxed);
         return true;  // swallowed: a lost control message
       }
       const std::int64_t delay = faults.addr_delay_us(q, dest, ordinal);
       if (delay > 0) sleep_us(delay);
     }
+    AddrPackage stamped = pkg;
+    stamped.seq = ++me.pkg_seq_sent[dest];
+    stamped.crc = stamped.checksum();
     Backoff backoff(bell, options.spin_iters, effective_park_us);
     bool sent = false;
     while (!abort.load(std::memory_order_acquire)) {
@@ -317,11 +693,19 @@ struct ThreadedExecutor::Impl {
         std::lock_guard<std::mutex> lock(dst.mailbox_m);
         if (static_cast<std::int32_t>(dst.mailbox[q].size()) <
             config.mailbox_slots) {
-          dst.mailbox[q].push_back(pkg);
-          dst.mailbox_pending.fetch_add(1, std::memory_order_release);
+          dst.mailbox[q].push_back(stamped);
+          std::int32_t pushed = 1;
+          if (faults_on && faults.dup_addr_package(q, dest, ordinal)) {
+            // Network-level duplication: same sequence number, past the
+            // slot bound (the mailbox is a deque; the bound is a protocol
+            // courtesy the fault deliberately violates).
+            dst.mailbox[q].push_back(stamped);
+            ++pushed;
+          }
+          dst.mailbox_pending.fetch_add(pushed, std::memory_order_release);
           addr_packages.fetch_add(1, std::memory_order_relaxed);
           addr_entries.fetch_add(
-              static_cast<std::int64_t>(pkg.entries.size()),
+              static_cast<std::int64_t>(stamped.entries.size()),
               std::memory_order_relaxed);
           sent = true;
         }
@@ -343,20 +727,73 @@ struct ThreadedExecutor::Impl {
 
   // ---- readiness ---------------------------------------------------------
 
+  /// Reader-side trust in the last put of `d` (readiness already checked):
+  /// recompute the CRC only at a put sequence not yet verified or rejected.
+  /// Gating on the seq is what makes verification race-free against owner
+  /// resends — bytes are only read at a fully published seq, and a NACK for
+  /// a rejected seq reaches the owner (through the inbox mutex) strictly
+  /// after the reader's byte reads, ordering any retransmit's memcpy after
+  /// them.
+  bool content_trusted(ProcId q, DataId d, GateRef* gate) {
+    Private& me = priv[q];
+    Shared& mine = *shared[q];
+    const std::uint32_t seq = mine.put_seq[d].load(std::memory_order_acquire);
+    if (seq == 0) return false;  // version visible, seq racing: retry soon
+    if (me.verified_seq[d] == seq) return true;
+    if (me.rejected_seq[d] == seq) {
+      if (gate) gate->rejected = true;
+      return false;  // known-bad copy: wait for the resend
+    }
+    const std::int64_t size = plan.graph->data(d).size_bytes;
+    const mem::Offset off = me.memory->offset_of(d);
+    const std::uint32_t expect =
+        mine.received_crc[d].load(std::memory_order_relaxed);
+    const std::uint32_t actual =
+        crc32c({mine.heap.data() + off, static_cast<std::size_t>(size)});
+    if (actual == expect) {
+      me.verified_seq[d] = seq;
+      return true;
+    }
+    me.rejected_seq[d] = seq;
+    me.fast_nack = true;  // re-request immediately, not at the deadline
+    checksum_rejections.fetch_add(1, std::memory_order_relaxed);
+    if (!recovery_on) {
+      fail(cat("integrity: checksum mismatch on object ",
+               plan.graph->data(d).name, " (put seq ", seq,
+               ") received at processor ", q),
+           FailureKind::kIntegrity);
+    }
+    if (gate) gate->rejected = true;
+    return false;
+  }
+
   /// Lock-free: acquire loads pair with the senders' release stores, so a
   /// `true` result makes the payload bytes (and the flagged predecessors'
-  /// effects) visible to the task body.
-  bool task_ready(ProcId q, TaskId t) {
+  /// effects) visible to the task body — and, with checksums on, that every
+  /// remote input's payload digest matched. On false, `gate` (if given) is
+  /// filled with the first unmet gate for wait tracking and diagnosis.
+  bool task_ready(ProcId q, TaskId t, GateRef* gate = nullptr) {
     const TaskRuntimePlan& tp = plan.tasks[t];
     Shared& mine = *shared[q];
     for (const RemoteRead& rr : tp.remote_reads) {
-      if (mine.received_version[rr.object].load(std::memory_order_acquire) <
-          rr.version) {
-        return false;
+      const std::int32_t have =
+          mine.received_version[rr.object].load(std::memory_order_acquire);
+      const bool arrived = have >= rr.version;
+      if (arrived && (!checksum_on || content_trusted(q, rr.object, gate))) {
+        continue;
       }
+      if (gate) {
+        gate->object = rr.object;
+        gate->version = rr.version;
+        gate->have = have;
+      }
+      return false;
     }
     for (TaskId u : tp.remote_sync_preds) {
-      if (mine.flags[u].load(std::memory_order_acquire) == 0) return false;
+      if (mine.flags[u].load(std::memory_order_acquire) == 0) {
+        if (gate) gate->flag_task = u;
+        return false;
+      }
     }
     return true;
   }
@@ -366,8 +803,9 @@ struct ThreadedExecutor::Impl {
   /// Worker-side answer to a monitor snapshot request: publish everything
   /// the diagnosis needs from this processor's own private state (never
   /// read cross-thread), including a re-derivation of what the current
-  /// task is blocked on. `map_blocked_dest` marks the MAP-blocked state
-  /// when called from inside send_addr_package_blocking.
+  /// task is blocked on and the recovery retry history. `map_blocked_dest`
+  /// marks the MAP-blocked state when called from inside
+  /// send_addr_package_blocking.
   void publish_snapshot(ProcId q, std::int64_t extra_parks,
                         std::int64_t extra_timeouts, ProcId map_blocked_dest) {
     Private& me = priv[q];
@@ -399,6 +837,25 @@ struct ThreadedExecutor::Impl {
     s.park_timeouts = me.timeout_accum +
                       (me.backoff ? me.backoff->park_timeouts() : 0) +
                       extra_timeouts;
+    if (recovery_on) {
+      s.retry_history = me.retry_log;
+      if (me.wait.active) {
+        s.retry_attempts = me.wait.attempts;
+        if (me.wait.attempts > 0 && !me.wait.exhausted) {
+          // The in-flight wait, reported as an open (non-exhausted) episode.
+          RetryRecord r;
+          r.object = me.wait.object;
+          r.version = me.wait.version;
+          r.flag_task = me.wait.flag_task;
+          r.attempts = me.wait.attempts;
+          r.waited_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - me.wait.started)
+                  .count();
+          s.retry_history.push_back(r);
+        }
+      }
+    }
     if (map_blocked_dest != graph::kInvalidProc) {
       s.state = ProcState::kMapBlocked;
       s.mailbox_full_dest = map_blocked_dest;
@@ -412,28 +869,15 @@ struct ThreadedExecutor::Impl {
     } else {
       const TaskId t = pp.order[me.pos];
       s.current_task = t;
-      s.state = ProcState::kExe;  // ready-to-run unless a gate is unmet
-      const TaskRuntimePlan& tp = plan.tasks[t];
-      Shared& mine = *shared[q];
-      for (const RemoteRead& rr : tp.remote_reads) {
-        const std::int32_t have =
-            mine.received_version[rr.object].load(std::memory_order_acquire);
-        if (have < rr.version) {
-          s.state = ProcState::kRecBlocked;
-          s.waiting_object = rr.object;
-          s.waiting_version = rr.version;
-          s.have_version = have;
-          break;
-        }
-      }
-      if (s.state == ProcState::kExe) {
-        for (TaskId u : tp.remote_sync_preds) {
-          if (mine.flags[u].load(std::memory_order_acquire) == 0) {
-            s.state = ProcState::kRecBlocked;
-            s.waiting_flag_task = u;
-            break;
-          }
-        }
+      GateRef gate;
+      if (task_ready(q, t, &gate)) {
+        s.state = ProcState::kExe;  // ready-to-run, snapshot raced the gate
+      } else {
+        s.state = ProcState::kRecBlocked;
+        s.waiting_object = gate.object;
+        s.waiting_version = gate.version;
+        s.have_version = gate.have;
+        s.waiting_flag_task = gate.flag_task;
       }
     }
     {
@@ -506,15 +950,19 @@ struct ThreadedExecutor::Impl {
   /// stall_check_seconds without progress it collects a snapshot and builds
   /// the wait-for graph — a genuine cycle (or a wait on a quiescent
   /// processor) fails the run immediately with the StallReport; anything
-  /// else is slow progress and the run resumes. watchdog_seconds stays the
-  /// hard ceiling, now failing with the diagnosis attached instead of a
-  /// bare message. An unchanged bell across the whole snapshot window is
+  /// else is slow progress and the run resumes. With recovery enabled, a
+  /// genuine diagnosis is held instead of failed: the re-request layer can
+  /// heal waits that are provably dead under fail-stop rules (a dropped
+  /// address package forms a real cycle that one NACK dissolves). The run
+  /// then fails only when a waiter exhausted its bounded retries while
+  /// global progress is stopped, or when the RetryPolicy-scaled watchdog
+  /// budget expires. An unchanged bell across the whole snapshot window is
   /// what makes the per-processor snapshots mutually consistent: every
   /// unblocking event rings the bell, so "bell unmoved" means no processor
   /// changed protocol state while the snapshots were taken.
   void monitor() {
     const double stall_after =
-        std::min(options.stall_check_seconds, options.watchdog_seconds);
+        std::min(options.stall_check_seconds, effective_watchdog);
     const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
         static_cast<std::int64_t>(stall_after * 1e6 / 4), 1000, 250000);
     std::uint64_t last = bell.value();
@@ -539,21 +987,38 @@ struct ThreadedExecutor::Impl {
         pending.reset();
       }
       const double stalled = since_progress.seconds();
+      if (recovery_on && stalled > stall_after &&
+          exhausted_waiters.load(std::memory_order_acquire) > 0) {
+        auto report =
+            std::make_shared<StallReport>(collect_and_diagnose(stalled));
+        if (bell.value() != now) continue;  // progressed mid-snapshot
+        if (exhausted_waiters.load(std::memory_order_acquire) > 0) {
+          report->retries_exhausted = true;
+          stall_report = report;
+          fail(cat("recovery retries exhausted after ", fixed(stalled, 2),
+                   " s without progress: ", report->summary()),
+               FailureKind::kRetriesExhausted);
+          break;
+        }
+        continue;  // the exhausted wait healed while we were snapshotting
+      }
       if (stalled > stall_after && !diagnosed) {
         auto report =
             std::make_shared<StallReport>(collect_and_diagnose(stalled));
         if (bell.value() != now) continue;  // progressed mid-snapshot
         diagnosed = true;
-        if (report->genuine_deadlock) {
+        if (report->genuine_deadlock && !recovery_on) {
           stall_report = report;
           fail(cat("protocol deadlock after ", fixed(stalled, 2), " s: ",
                    report->summary()),
                FailureKind::kDeadlock);
           break;
         }
-        pending = std::move(report);  // slow progress: hold for the watchdog
+        // Slow progress — or, with recovery on, a diagnosis the re-request
+        // layer may yet dissolve: hold for the (scaled) watchdog.
+        pending = std::move(report);
       }
-      if (stalled > options.watchdog_seconds) {
+      if (stalled > effective_watchdog) {
         if (!pending) {
           pending =
               std::make_shared<StallReport>(collect_and_diagnose(stalled));
@@ -617,6 +1082,45 @@ struct ThreadedExecutor::Impl {
     bump_progress();
   }
 
+  /// EXE with bounded re-execution: a TransientTaskError (injected or
+  /// thrown by the body for a genuinely transient condition) is retried up
+  /// to RetryPolicy::max_attempts times with the policy's backoff. The
+  /// poison-fill free hook guarantees a retried body cannot silently read
+  /// stale heap through a dangling address — a stale read yields poison,
+  /// not plausible content — and the MAP free hook has reset the
+  /// verification state of any recycled input region.
+  void execute_task(TaskId t, Resolver& resolver) {
+    std::int32_t attempt = 1;
+    for (;;) {
+      try {
+        if (faults_on) {
+          if (induced_on && t == faults.throw_in_task) {
+            throw InjectedFaultError(
+                cat("injected fault: task ", plan.graph->task(t).name,
+                    " forced to fail"));
+          }
+          if (induced_on && faults.task_throws_transient(t, attempt)) {
+            throw TransientTaskError(
+                cat("injected transient fault: task ",
+                    plan.graph->task(t).name, " attempt ", attempt));
+          }
+          const std::int64_t delay = faults.task_delay_us(t);
+          if (delay > 0) sleep_us(delay);
+        }
+        body(t, resolver);  // EXE
+        return;
+      } catch (const TransientTaskError&) {
+        if (!recovery_on || attempt > options.retry.max_attempts ||
+            abort.load(std::memory_order_acquire)) {
+          throw;
+        }
+        task_retries.fetch_add(1, std::memory_order_relaxed);
+        sleep_us(options.retry.delay_us(attempt));
+        ++attempt;
+      }
+    }
+  }
+
   void worker(ProcId q) {
     Private& me = priv[q];
     try {
@@ -655,18 +1159,11 @@ struct ThreadedExecutor::Impl {
           // `seen`, so the park returns immediately instead of sleeping
           // through the wakeup.
           const std::uint64_t seen = bell.value();
-          if (task_ready(q, t)) {
+          GateRef gate;
+          if (task_ready(q, t, &gate)) {
+            if (recovery_on) finish_wait(q);
             set_state(q, ProcState::kExe);
-            if (faults_on) {
-              if (t == faults.throw_in_task) {
-                throw InjectedFaultError(
-                    cat("injected fault: task ", plan.graph->task(t).name,
-                        " forced to fail"));
-              }
-              const std::int64_t delay = faults.task_delay_us(t);
-              if (delay > 0) sleep_us(delay);
-            }
-            body(t, resolver);  // EXE
+            execute_task(t, resolver);
             ++me.pos;
             status[static_cast<std::size_t>(q)].pos.store(
                 me.pos, std::memory_order_release);
@@ -676,6 +1173,7 @@ struct ThreadedExecutor::Impl {
             backoff.reset();
           } else {
             set_state(q, ProcState::kRecBlocked);
+            if (recovery_on) note_blocked_wait(q, gate);
             backoff.pause(seen);
           }
           continue;
@@ -715,6 +1213,28 @@ struct ThreadedExecutor::Impl {
       fail(cat("processor ", q, ": ", e.what()), FailureKind::kTaskError);
     }
   }
+
+  void fill_counters(RunReport& report) {
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      report.maps_per_proc[q] = priv[q].maps;
+      if (priv[q].memory) {
+        report.peak_bytes_per_proc[q] = priv[q].memory->peak_bytes();
+      }
+    }
+    report.content_messages = content_messages.load();
+    report.content_bytes = content_bytes.load();
+    report.flag_messages = flag_messages.load();
+    report.addr_packages = addr_packages.load();
+    report.addr_entries = addr_entries.load();
+    report.suspended_sends = suspended_sends.load();
+    report.tasks_executed = tasks_executed.load();
+    report.recovery.nacks_sent = nacks_sent.load();
+    report.recovery.resends = resends.load();
+    report.recovery.flag_resends = flag_resends.load();
+    report.recovery.duplicate_suppressions = duplicate_suppressions.load();
+    report.recovery.checksum_rejections = checksum_rejections.load();
+    report.recovery.task_retries = task_retries.load();
+  }
 };
 
 ThreadedExecutor::ThreadedExecutor(const RunPlan& plan, const RunConfig& config,
@@ -746,6 +1266,7 @@ RunReport ThreadedExecutor::run() {
                          ProcSnapshot{});
   impl.snap_gen.store(0);
   impl.snap_acked.store(0);
+  impl.exhausted_waiters.store(0);
   impl.error_text.clear();
   impl.errors.clear();
   impl.first_kind = FailureKind::kNone;
@@ -772,6 +1293,13 @@ RunReport ThreadedExecutor::run() {
       for (std::size_t t = 0; t < num_tasks; ++t) {
         sh->flags[t].store(0, std::memory_order_relaxed);
       }
+      sh->received_crc =
+          std::make_unique<std::atomic<std::uint32_t>[]>(num_data);
+      sh->put_seq = std::make_unique<std::atomic<std::uint32_t>[]>(num_data);
+      for (std::size_t d = 0; d < num_data; ++d) {
+        sh->received_crc[d].store(0, std::memory_order_relaxed);
+        sh->put_seq[d].store(0, std::memory_order_relaxed);
+      }
       sh->mailbox.resize(static_cast<std::size_t>(plan.num_procs));
       sh->heap.resize(static_cast<std::size_t>(impl.config.capacity_per_proc));
       impl.shared.push_back(std::move(sh));
@@ -779,20 +1307,29 @@ RunReport ThreadedExecutor::run() {
       pr.memory = std::make_unique<ProcMemory>(
           plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
           impl.config.alloc_policy);
-      if (impl.options.poison_freed) {
+      if (impl.options.poison_freed || impl.checksum_on) {
         // Poison-fill freed volatile regions so a read through a stale
         // address (use-after-free across MAP reuse) yields garbage that the
-        // numeric checks catch, not stale-but-plausible content. The hook
-        // fires between a MAP's frees and its reallocations, and the
-        // protocol guarantees no put is in flight to a dead region (see
-        // docs/RUNTIME.md), so the memset cannot race a sender.
+        // numeric checks catch, not stale-but-plausible content — and reset
+        // the freed object's verification state so a recycled region is
+        // never trusted on the strength of a previous lifetime's checksum.
+        // The hook fires between a MAP's frees and its reallocations, and
+        // the protocol guarantees no put is in flight to a dead region (see
+        // docs/RUNTIME.md), so neither the memset nor the reset can race a
+        // sender. impl.priv is sized once before the workers start, so the
+        // captured pointer stays valid.
         Impl::Shared* window = impl.shared.back().get();
+        Impl::Private* mine = &pr;
+        const bool poison = impl.options.poison_freed;
         pr.memory->set_free_hook(
-            [window](DataId, mem::Offset off, std::int64_t size) {
-              if (size > 0) {
+            [window, mine, poison](DataId d, mem::Offset off,
+                                   std::int64_t size) {
+              if (poison && size > 0) {
                 std::memset(window->heap.data() + off, 0xA5,
                             static_cast<std::size_t>(size));
               }
+              mine->verified_seq[d] = 0;
+              mine->rejected_seq[d] = 0;
             });
       }
       if (!impl.config.active_memory) pr.memory->preallocate_all();
@@ -802,15 +1339,23 @@ RunReport ThreadedExecutor::run() {
           plan.procs[q].permanents.size() *
               static_cast<std::size_t>(plan.num_procs),
           mem::kNullOffset);
+      pr.sent_seq.assign(pr.known_addrs.size(), 0);
+      pr.verified_seq.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), 0);
+      pr.rejected_seq.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), 0);
       pr.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
       pr.addr_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
       pr.scanned_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
+      pr.pkg_seq_sent.assign(static_cast<std::size_t>(plan.num_procs), 0);
+      pr.pkg_seq_seen.assign(static_cast<std::size_t>(plan.num_procs), 0);
     }
   } catch (const NonExecutableError& e) {
     report.executable = false;
     report.failure = e.what();
     report.failure_kind = FailureKind::kNonExecutable;
     report.errors.push_back(e.what());
+    impl.last_report = report;
     return report;
   }
   // Flattened epoch counters (owner-private: every writer of an object runs
@@ -852,34 +1397,28 @@ RunReport ThreadedExecutor::run() {
   impl.monitor();
   for (auto& th : threads) th.join();
   report.parallel_time_us = wall.seconds() * 1e6;
+  impl.fill_counters(report);
 
   if (!impl.error_text.empty()) {
     report.failure = impl.error_text;
     report.failure_kind = impl.first_kind;
     report.errors = impl.errors;
+    impl.last_report = report;
     switch (impl.first_kind) {
       case FailureKind::kNonExecutable:
         report.executable = false;
-        break;  // the "∞" channel: reported, not thrown
+        impl.last_report = report;
+        return report;  // the "∞" channel: reported, not thrown
       case FailureKind::kDeadlock:
       case FailureKind::kWatchdog:
+      case FailureKind::kRetriesExhausted:
         throw ProtocolDeadlockError(impl.error_text, impl.stall_report);
       default:
         throw ExecutionFailedError(impl.error_text, impl.errors);
     }
   }
-  for (ProcId q = 0; q < plan.num_procs; ++q) {
-    report.maps_per_proc[q] = impl.priv[q].maps;
-    report.peak_bytes_per_proc[q] = impl.priv[q].memory->peak_bytes();
-  }
-  report.content_messages = impl.content_messages.load();
-  report.content_bytes = impl.content_bytes.load();
-  report.flag_messages = impl.flag_messages.load();
-  report.addr_packages = impl.addr_packages.load();
-  report.addr_entries = impl.addr_entries.load();
-  report.suspended_sends = impl.suspended_sends.load();
-  report.tasks_executed = impl.tasks_executed.load();
   impl.completed = report.executable;
+  impl.last_report = report;
   return report;
 }
 
@@ -893,6 +1432,10 @@ std::vector<std::byte> ThreadedExecutor::read_object(DataId d) const {
   const mem::Offset off = impl.priv[owner].memory->offset_of(d);
   const auto* base = impl.shared[owner]->heap.data() + off;
   return std::vector<std::byte>(base, base + size);
+}
+
+const RunReport& ThreadedExecutor::last_report() const {
+  return impl_->last_report;
 }
 
 }  // namespace rapid::rt

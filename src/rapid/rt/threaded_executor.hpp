@@ -25,6 +25,7 @@
 #include "rapid/rt/faults.hpp"
 #include "rapid/rt/plan.hpp"
 #include "rapid/rt/report.hpp"
+#include "rapid/support/backoff.hpp"
 
 namespace rapid::rt {
 
@@ -70,6 +71,23 @@ struct ThreadedOptions {
 #else
   bool poison_freed = true;
 #endif
+  /// Integrity-checked RMA: every content put and address package carries
+  /// a CRC32C verified before the publication is trusted (docs/PROTOCOL.md,
+  /// "Integrity and re-request recovery"). A mismatch fails the run with
+  /// FailureKind::kIntegrity unless `retry` recovery is enabled, in which
+  /// case the reader re-requests the payload instead.
+  bool checksum = true;
+  /// Bounded re-request/retry recovery. Disabled by default
+  /// (max_attempts == 0): detected faults fail the run exactly as in the
+  /// fail-stop design. When enabled, a blocked wait past its deadline sends
+  /// a NACK/re-request to the owner; transient task errors are re-executed;
+  /// only exhausted retries escalate to ProtocolDeadlockError, and the
+  /// stall watchdog budget is scaled by the policy's total wait so retries
+  /// are never misdiagnosed as a deadlock.
+  RetryPolicy retry;
+  /// 1-based attempt number when driven by run_with_recovery();
+  /// FaultPlan::induced_fault_runs gates induced failures by it.
+  std::int32_t run_attempt = 1;
   /// Deterministic fault injection (off by default — enabled() false means
   /// every hook reduces to one predictable branch). See docs/FAULTS.md.
   FaultPlan faults;
@@ -97,6 +115,11 @@ class ThreadedExecutor {
   /// rapid::Error unless run() completed successfully first — heap state
   /// before that point is uninitialized or partial.
   std::vector<std::byte> read_object(DataId d) const;
+
+  /// The report of the most recent run(), including the partial counters of
+  /// a run that threw — run_with_recovery() merges these across restart
+  /// attempts. Valid after run() returned or threw.
+  const RunReport& last_report() const;
 
  private:
   struct Impl;

@@ -1,8 +1,21 @@
 #include "rapid/support/backoff.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace rapid {
+
+std::int64_t RetryPolicy::delay_us(std::int32_t attempt) const {
+  double d = static_cast<double>(base_delay_us);
+  for (std::int32_t k = 1; k < attempt; ++k) d *= std::max(1.0, multiplier);
+  return static_cast<std::int64_t>(std::min(d, 1e12));
+}
+
+std::int64_t RetryPolicy::total_wait_us() const {
+  std::int64_t total = 0;
+  for (std::int32_t k = 1; k <= max_attempts; ++k) total += delay_us(k);
+  return total;
+}
 
 void Backoff::pause(std::uint64_t seen) {
   if (attempts_ < spin_iters_) {

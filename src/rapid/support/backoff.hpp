@@ -76,6 +76,36 @@ class Doorbell {
   std::condition_variable cv_;
 };
 
+/// Bounded re-request (NACK) schedule for the threaded runtime's recovery
+/// layer: a waiter whose per-wait deadline expires re-requests the message
+/// it is missing instead of parking forever, with exponentially growing
+/// deadlines. max_attempts == 0 disables recovery entirely (the PR 3
+/// fail-stop behavior). All deadlines derived from this policy are
+/// steady_clock-based — wall-clock jumps can neither starve nor spuriously
+/// fire a retry.
+struct RetryPolicy {
+  /// Re-requests per wait before escalating to ProtocolDeadlockError.
+  std::int32_t max_attempts = 0;
+  /// Deadline before the first re-request (µs).
+  std::int64_t base_delay_us = 2000;
+  /// Deadline growth factor per attempt.
+  double multiplier = 2.0;
+
+  bool enabled() const { return max_attempts > 0; }
+
+  /// Deadline for attempt k (1-based): base * multiplier^(k-1), µs.
+  std::int64_t delay_us(std::int32_t attempt) const;
+
+  /// Sum of every deadline: how long a single wait may stay unsatisfied
+  /// before its retries exhaust. The stall monitor scales its watchdog
+  /// budget by this so in-flight recovery is never misdiagnosed as a
+  /// genuine deadlock.
+  std::int64_t total_wait_us() const;
+
+  /// Default recovery tuning for tests and the bench --recovery mode.
+  static RetryPolicy standard() { return RetryPolicy{4, 1500, 2.0}; }
+};
+
 /// Per-blocked-state policy: the first half of the spin budget issues
 /// cpu_relax(), the second half yields, and past the budget the caller
 /// parks on the doorbell. reset() after every unit of local progress so a

@@ -1,0 +1,71 @@
+#include "rapid/support/checksum.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace rapid {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+struct Tables {
+  // tab[k][b]: CRC of byte b followed by k zero bytes — slice-by-4.
+  std::array<std::array<std::uint32_t, 256>, 4> tab{};
+};
+
+Tables make_tables() {
+  Tables t;
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    t.tab[0][b] = crc;
+  }
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = t.tab[0][b];
+    for (std::size_t k = 1; k < 4; ++k) {
+      crc = t.tab[0][crc & 0xFFu] ^ (crc >> 8);
+      t.tab[k][b] = crc;
+    }
+  }
+  return t;
+}
+
+const Tables& tables() {
+  static const Tables t = make_tables();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> bytes, std::uint32_t seed) {
+  const Tables& t = tables();
+  std::uint32_t crc = ~seed;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  while (n >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc ^= word;
+    crc = t.tab[3][crc & 0xFFu] ^ t.tab[2][(crc >> 8) & 0xFFu] ^
+          t.tab[1][(crc >> 16) & 0xFFu] ^ t.tab[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = t.tab[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_u64(std::uint64_t value, std::uint32_t seed) {
+  std::array<std::byte, 8> buf;
+  std::memcpy(buf.data(), &value, 8);
+  return crc32c(buf, seed);
+}
+
+}  // namespace rapid

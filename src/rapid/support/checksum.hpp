@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) for the runtime's integrity-checked RMA. Software
+// slice-by-4 table implementation — fast enough that checksumming a content
+// put is noise next to the memcpy it guards, with no ISA dependence. The
+// polynomial matches iSCSI/ext4 so values can be cross-checked against any
+// standard crc32c tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rapid {
+
+/// CRC32C of a byte range. `seed` chains calls: crc32c(b) ==
+/// crc32c(b2, crc32c(b1)) for any split b = b1 ++ b2.
+std::uint32_t crc32c(std::span<const std::byte> bytes, std::uint32_t seed = 0);
+
+/// Folds one 64-bit value into a running CRC32C. Used to checksum
+/// structured messages (address packages) field by field, so struct padding
+/// never enters the digest.
+std::uint32_t crc32c_u64(std::uint64_t value, std::uint32_t seed);
+
+}  // namespace rapid

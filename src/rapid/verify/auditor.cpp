@@ -151,6 +151,11 @@ struct MapEvent {
   ProcId proc = graph::kInvalidProc;
   std::int32_t pos = 0;
   std::vector<ProcId> package_dests;
+  /// Volatiles this MAP allocated, and the position its allocated prefix
+  /// reaches — inputs of the REC-CROSS analysis, which must know which
+  /// remote reads the crossed MAP gates.
+  std::vector<DataId> allocated;
+  std::int32_t alloc_upto = 0;
 };
 
 class Auditor {
@@ -645,7 +650,11 @@ class Auditor {
         try {
           const rt::MapResult map = memory->perform_map(pos);
           if (!map.packages.empty()) {
-            MapEvent event{p, pos, {}};
+            MapEvent event;
+            event.proc = p;
+            event.pos = pos;
+            event.allocated = map.allocated;
+            event.alloc_upto = map.alloc_upto;
             for (const auto& [owner, pkg] : map.packages) {
               (void)pkg;
               event.package_dests.push_back(owner);
@@ -840,6 +849,54 @@ class Auditor {
              .hint = "safe because every blocking state services RA "
                      "(Theorem 1); raise RunConfig::mailbox_slots to remove "
                      "the wait entirely"});
+        check_recovery_crossing(a, b);
+        check_recovery_crossing(b, a);
+      }
+    }
+  }
+
+  // -- REC-CROSS: crossed mailbox waits the re-request layer cannot heal --
+
+  /// The re-request recovery heals content and flag waits (a waiter NACKs
+  /// the owner), but there is no re-request for a mailbox-slot wait: a MAP
+  /// blocked on a full slot is only dissolved by the peer draining its
+  /// mailbox (RA in every blocking state). When one side of a crossed MAP
+  /// pair gates a remote read *from the crossing peer* behind its blocked
+  /// MAP, a lost or stalled drain leaves the content wait unreachable —
+  /// the buffer is never allocated, so the waiter never enters the wait the
+  /// recovery layer could act on. Warn so the user knows this crossing sits
+  /// outside the self-healing layer's coverage.
+  void check_recovery_crossing(const MapEvent& blocked, const MapEvent& peer) {
+    const auto& order = schedule_.order[blocked.proc];
+    const auto upto = std::min(blocked.alloc_upto,
+                               static_cast<std::int32_t>(order.size()));
+    for (std::int32_t k = blocked.pos; k < upto; ++k) {
+      const TaskId t = order[k];
+      for (const rt::RemoteRead& rr : plan_.tasks[t].remote_reads) {
+        if (graph_.data(rr.object).owner != peer.proc) continue;
+        if (std::find(blocked.allocated.begin(), blocked.allocated.end(),
+                      rr.object) == blocked.allocated.end()) {
+          continue;
+        }
+        add({.rule = "REC-CROSS",
+             .severity = Severity::kWarning,
+             .task = t,
+             .object = rr.object,
+             .proc = blocked.proc,
+             .position = blocked.pos,
+             .message = cat(
+                 "MAP at (proc ", blocked.proc, ", pos ", blocked.pos,
+                 ") allocates the buffer for remote read of '",
+                 data_name(rr.object), "' (task '", task_name(t),
+                 "') from p", peer.proc,
+                 ", but is itself in a crossed single-slot mailbox wait "
+                 "with p", peer.proc,
+                 " — a mailbox-slot wait has no re-request, so the "
+                 "recovery layer cannot heal a stall here"),
+             .hint = "liveness rests on RA service in the blocked MAP "
+                     "alone; raise RunConfig::mailbox_slots (or reorder to "
+                     "break the crossing) if recoverability is required"});
+        return;  // one finding per crossed direction is enough
       }
     }
   }

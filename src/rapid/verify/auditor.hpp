@@ -54,6 +54,9 @@ const char* severity_name(Severity severity);
 ///   CAP-MAP        a MAP position is non-executable under Def. 6
 ///   CAP-SKIPPED    (info) replay skipped because LIVE-* errors exist
 ///   MBX-CROSS      two MAPs' address-package waits could cross (slots = 1)
+///   REC-CROSS      a crossed mailbox wait gates a remote read from the
+///                  crossing peer — the re-request recovery layer cannot
+///                  heal a stall there (mailbox-slot waits have no NACK)
 struct Finding {
   std::string rule;
   Severity severity = Severity::kError;

@@ -5,14 +5,21 @@
 // data-plane stress test (generated grid graphs at any size).
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "rapid/graph/task_graph.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
+#include "rapid/support/rng.hpp"
 
 namespace rapid::rt::testing {
 
@@ -107,5 +114,123 @@ struct CounterApp {
     return c;
   }
 };
+
+/// Integer wavefront over a rows x cols grid of int64 counters. Row 0 is
+/// produced from constants; row i sums two neighbours of row i-1; every
+/// object then gets a doubling update task (same-object read-modify-write,
+/// its own epoch). Owners are cyclic, so almost every edge crosses
+/// processors and the data plane carries real traffic. Shared by the
+/// data-plane stress test and the recovery tests.
+struct GridApp {
+  graph::TaskGraph graph;
+  sched::Schedule schedule;
+  RunPlan plan;
+  std::vector<std::int64_t> expected;
+  std::vector<graph::DataId> objects;
+  int rows, cols;
+
+  GridApp(int rows_, int cols_, int procs) : rows(rows_), cols(cols_) {
+    objects.reserve(static_cast<std::size_t>(rows) * cols);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        objects.push_back(graph.add_data(
+            "g(" + std::to_string(i) + "," + std::to_string(j) + ")", 8,
+            static_cast<graph::ProcId>((i * cols + j) % procs)));
+      }
+    }
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        const graph::DataId d = at(i, j);
+        if (i == 0) {
+          graph.add_task("P" + std::to_string(j), {}, {d}, 1.0);
+        } else {
+          graph.add_task("S(" + std::to_string(i) + "," + std::to_string(j) +
+                             ")",
+                         {at(i - 1, j), at(i - 1, (j + 1) % cols)}, {d}, 1.0);
+        }
+        graph.add_task("D(" + std::to_string(i) + "," + std::to_string(j) +
+                           ")",
+                       {d}, {d}, 1.0);
+      }
+    }
+    graph.finalize();
+    const auto assignment = sched::owner_compute_tasks(graph, procs);
+    const auto params = machine::MachineParams::cray_t3d(procs);
+    schedule = sched::schedule_mpo(graph, assignment, procs, params);
+    plan = build_run_plan(graph, schedule);
+    expected = interpret();
+  }
+
+  graph::DataId at(int i, int j) const {
+    return objects[static_cast<std::size_t>(i) * cols + j];
+  }
+
+  std::vector<std::int64_t> interpret() const {
+    std::vector<std::int64_t> value(objects.size(), 0);
+    for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+      apply(t, value);
+    }
+    return value;
+  }
+
+  void apply(graph::TaskId t, std::vector<std::int64_t>& value) const {
+    const graph::Task& task = graph.task(t);
+    const graph::DataId target = task.writes.front();
+    if (task.reads.empty()) {
+      value[target] = target + 7;  // producer
+    } else if (task.reads.size() == 1) {
+      value[target] *= 2;  // doubling update
+    } else {
+      value[target] = value[task.reads[0]] + value[task.reads[1]];
+    }
+  }
+
+  ObjectInit make_init() const {
+    return [](graph::DataId, std::span<std::byte> buf) {
+      std::memset(buf.data(), 0, buf.size());
+    };
+  }
+
+  /// Task bodies mirror apply(), with a per-task pseudorandom delay of
+  /// 0–120 µs so interleavings vary wildly across runs while the result
+  /// stays deterministic.
+  TaskBody make_body() const {
+    return [this](graph::TaskId t, ObjectResolver& resolver) {
+      Rng rng(0x9E3779B9u ^ static_cast<std::uint64_t>(t));
+      const auto delay = std::chrono::microseconds(rng.next_int(0, 120));
+      std::this_thread::sleep_for(delay);
+      const graph::Task& task = graph.task(t);
+      const graph::DataId target = task.writes.front();
+      auto* tv = reinterpret_cast<std::int64_t*>(resolver.write(target).data());
+      if (task.reads.empty()) {
+        *tv = target + 7;
+      } else if (task.reads.size() == 1) {
+        *tv *= 2;
+      } else {
+        const auto a = resolver.read(task.reads[0]);
+        const auto b = resolver.read(task.reads[1]);
+        *tv = *reinterpret_cast<const std::int64_t*>(a.data()) +
+              *reinterpret_cast<const std::int64_t*>(b.data());
+      }
+    };
+  }
+
+  void check_results(const ThreadedExecutor& exec) const {
+    for (graph::DataId d = 0; d < graph.num_data(); ++d) {
+      const auto bytes = exec.read_object(d);
+      std::int64_t v = 0;
+      std::memcpy(&v, bytes.data(), sizeof(v));
+      ASSERT_EQ(v, expected[d]) << graph.data(d).name;
+    }
+  }
+};
+
+inline int oversubscribed_procs(int factor) {
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Cap the thread count: TSan serializes heavily, and past ~16 threads the
+  // test measures the sanitizer, not the protocol.
+  return std::clamp(factor * hw, 4, 16);
+}
 
 }  // namespace rapid::rt::testing

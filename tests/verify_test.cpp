@@ -360,6 +360,41 @@ TEST(Auditor, CrossedAddressPackageWaitsAreWarned) {
   EXPECT_FALSE(audit_plan(g, schedule, plan, options).has("MBX-CROSS"));
 }
 
+TEST(Auditor, UnrecoverableCrossedWaitIsFlaggedRecCross) {
+  // The same crossed-MAP construction: each side's blocked MAP allocates
+  // the buffer for a remote read *from the crossing peer* (Rb on p0 reads
+  // b owned by p1, and vice versa). A mailbox-slot wait has no re-request,
+  // so the recovery layer cannot heal a stall there — the auditor must
+  // point at the read the crossing gates.
+  graph::TaskGraph g;
+  const auto a = g.add_data("a", 64, 0);
+  const auto b = g.add_data("b", 64, 1);
+  g.add_task("Wa", {}, {a}, 1.0);
+  g.add_task("Wb", {}, {b}, 1.0);
+  g.add_task("Rb", {b}, {a}, 1.0);  // on proc 0, reads remote b
+  g.add_task("Ra", {a}, {b}, 1.0);  // on proc 1, reads remote a
+  g.finalize();
+  const auto assignment = sched::owner_compute_tasks(g, 2);
+  const auto schedule = sched::schedule_rcp(
+      g, assignment, 2, machine::MachineParams::cray_t3d(2));
+  const rt::RunPlan plan = rt::build_run_plan(g, schedule);
+  AuditOptions options;
+  options.capacity_per_proc =
+      sched::analyze_liveness(g, schedule).min_mem();
+  const AuditReport report = audit_plan(g, schedule, plan, options);
+  EXPECT_TRUE(report.clean()) << report.to_string();  // warning, not error
+  const Finding* finding = report.find("REC-CROSS");
+  ASSERT_NE(finding, nullptr) << report.to_string();
+  EXPECT_EQ(finding->severity, Severity::kWarning);
+  // The finding names the gated remote read (task and object).
+  EXPECT_NE(finding->task, graph::kInvalidTask);
+  EXPECT_NE(finding->object, graph::kInvalidData);
+  EXPECT_NE(finding->message.find("re-request"), std::string::npos);
+  // Buffered mailboxes remove the wait, the crossing, and the warning.
+  options.mailbox_slots = 2;
+  EXPECT_FALSE(audit_plan(g, schedule, plan, options).has("REC-CROSS"));
+}
+
 // ---- executor integration (RunConfig::audit) -----------------------------
 
 TEST(Auditor, SimulatorAuditOptionPassesCleanPlans) {
