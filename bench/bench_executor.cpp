@@ -9,10 +9,13 @@
 // pass unnoticed.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "common.hpp"
 #include "rapid/num/reference.hpp"
+#include "rapid/obs/metrics.hpp"
+#include "rapid/obs/trace.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 #include "rapid/support/str.hpp"
 
@@ -34,7 +37,7 @@ struct RunStats {
 RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
                       std::int64_t capacity, bool active, int repeats,
                       const rt::FaultPlan& faults = {}, bool checksum = true,
-                      bool recovery = false) {
+                      bool recovery = false, bool traced = false) {
   rt::RunConfig config;
   config.params = inst.params;
   config.capacity_per_proc = capacity;
@@ -51,6 +54,13 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
   RunStats stats;
   stats.best_ms = 1e300;
   for (int rep = 0; rep < repeats; ++rep) {
+    // A fresh ring per repeat so each run's metrics stand alone; the trace
+    // must outlive run(), so it is scoped to the repeat, not the executor.
+    std::unique_ptr<obs::Trace> trace;
+    if (traced) {
+      trace = std::make_unique<obs::Trace>(inst.num_procs);
+      options.trace = trace.get();
+    }
     rt::ThreadedExecutor exec(plan, config, init, body, options);
     const rt::RunReport report = exec.run();
     if (!report.executable) {
@@ -104,6 +114,7 @@ JsonValue run_json(const std::string& workload, int procs, const char* mode,
   rec["checksum_rejections"] = s.report.recovery.checksum_rejections;
   rec["task_retries"] = s.report.recovery.task_retries;
   r["recovery"] = std::move(rec);
+  if (s.report.metrics) r["metrics"] = s.report.metrics->to_json();
   return r;
 }
 
@@ -128,6 +139,10 @@ int main(int argc, char** argv) {
                "add an active+recovery row (bounded re-request recovery "
                "armed, RetryPolicy::standard) so one artifact shows the "
                "clean-run recovery overhead");
+  flags.define("trace", "0",
+               "add an active+tracing row (event tracer armed at the default "
+               "ring size); the delta against the 'active' row is the "
+               "tracing overhead and is recorded as trace_overhead_pct");
   if (bench::parse_common_flags(flags, argc, argv)) return 0;
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
@@ -137,6 +152,7 @@ int main(int argc, char** argv) {
   const std::string fault_preset = flags.get("faults");
   const bool checksum = flags.get_int("checksum") != 0;
   const bool recovery = flags.get_int("recovery") != 0;
+  const bool traced = flags.get_int("trace") != 0;
   rt::FaultPlan faults;  // disabled unless --faults names a preset
   if (!fault_preset.empty()) {
     faults = rt::FaultPlan::preset(
@@ -205,9 +221,18 @@ int main(int argc, char** argv) {
         rec = run_threaded(inst, plan, active_cap, true, repeats, faults,
                            checksum, /*recovery=*/true);
       }
+      RunStats trc;
+      if (traced) {
+        // Same plan and capacity with the event tracer armed: the delta
+        // against the "active" row is the tracing overhead (the guard for
+        // the "within 10% of untraced" budget in docs/OBSERVABILITY.md).
+        trc = run_threaded(inst, plan, active_cap, true, repeats, faults,
+                           checksum, recovery, /*traced=*/true);
+      }
       std::vector<std::tuple<const char*, std::int64_t, const RunStats*>>
           rows = {{"baseline", tot, &base}, {"active", active_cap, &act}};
       if (recovery) rows.push_back({"act+rec", active_cap, &rec});
+      if (traced) rows.push_back({"act+trace", active_cap, &trc});
       for (const auto& [mode, cap, sp] : rows) {
         const RunStats& s = *sp;
         const double cap_pct =
@@ -218,7 +243,13 @@ int main(int argc, char** argv) {
                        fixed(s.report.avg_maps(), 1),
                        std::to_string(s.report.content_messages),
                        std::to_string(s.report.suspended_sends)});
-        runs.push_back(run_json(workload, p, mode, cap, s));
+        JsonValue r = run_json(workload, p, mode, cap, s);
+        if (sp == &trc) {
+          const RunStats& untr = recovery ? rec : act;
+          r["trace_overhead_pct"] =
+              100.0 * (trc.best_ms - untr.best_ms) / untr.best_ms;
+        }
+        runs.push_back(std::move(r));
       }
     }
   }
@@ -239,6 +270,7 @@ int main(int argc, char** argv) {
   doc["faults"] = fault_preset;
   doc["checksum"] = checksum;
   doc["recovery"] = recovery;
+  doc["trace"] = traced;
   if (!fault_preset.empty()) {
     doc["fault_seed"] = flags.get_int("fault_seed");
   }

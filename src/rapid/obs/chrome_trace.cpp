@@ -1,0 +1,214 @@
+#include "rapid/obs/chrome_trace.hpp"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace rapid::obs {
+
+namespace {
+
+double to_us(std::int64_t t_ns) { return static_cast<double>(t_ns) * 1e-3; }
+
+std::string task_name(const TraceLabels& labels, std::int32_t id) {
+  if (id >= 0 && static_cast<std::size_t>(id) < labels.tasks.size()) {
+    return labels.tasks[static_cast<std::size_t>(id)];
+  }
+  return "task" + std::to_string(id);
+}
+
+std::string object_name(const TraceLabels& labels, std::int32_t id) {
+  if (id >= 0 && static_cast<std::size_t>(id) < labels.objects.size()) {
+    return labels.objects[static_cast<std::size_t>(id)];
+  }
+  return "obj" + std::to_string(id);
+}
+
+JsonValue event_base(const char* ph, const std::string& name,
+                     const char* cat, int tid, double ts_us) {
+  JsonValue e = JsonValue::object();
+  e["name"] = name;
+  e["cat"] = cat;
+  e["ph"] = ph;
+  e["ts"] = ts_us;
+  e["pid"] = 0;
+  e["tid"] = tid;
+  return e;
+}
+
+JsonValue complete_span(const std::string& name, const char* cat, int tid,
+                        std::int64_t begin_ns, std::int64_t end_ns) {
+  JsonValue e = event_base("X", name, cat, tid, to_us(begin_ns));
+  e["dur"] = to_us(end_ns > begin_ns ? end_ns - begin_ns : 0);
+  return e;
+}
+
+JsonValue instant(const std::string& name, const char* cat, int tid,
+                  std::int64_t t_ns) {
+  JsonValue e = event_base("i", name, cat, tid, to_us(t_ns));
+  e["s"] = "t";  // thread-scoped instant
+  return e;
+}
+
+JsonValue counter(const std::string& name, int tid, std::int64_t t_ns,
+                  std::int64_t bytes) {
+  JsonValue e = event_base("C", name, "memory", tid, to_us(t_ns));
+  JsonValue args = JsonValue::object();
+  args["bytes"] = bytes;
+  e["args"] = std::move(args);
+  return e;
+}
+
+}  // namespace
+
+JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
+  JsonValue events = JsonValue::array();
+
+  // Track metadata: one tid per processor, named and sorted by id.
+  for (int q = 0; q < trace.num_procs(); ++q) {
+    JsonValue meta = JsonValue::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 0;
+    meta["tid"] = q;
+    JsonValue args = JsonValue::object();
+    args["name"] = "proc " + std::to_string(q);
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+
+  // Flow arrows put_publish -> consume need matching across processors:
+  // key (object, version, dest/reader).
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, int>
+      flow_ids;
+  int next_flow_id = 1;
+  struct FlowEnd {
+    int tid;
+    std::int64_t t_ns;
+    std::string name;
+    bool start;  // true = "s" (publisher side), false = "f" (consumer)
+    int id;
+  };
+  std::vector<FlowEnd> flows;
+
+  for (int q = 0; q < trace.num_procs(); ++q) {
+    const std::vector<TraceEvent> evs = trace.events(q);
+    const std::int64_t last_ns = evs.empty() ? 0 : evs.back().t_ns;
+
+    int cur_state = -1;
+    std::int64_t state_since_ns = 0;
+    std::int32_t open_task = -1;
+    std::int64_t task_begin_ns = 0;
+
+    for (const TraceEvent& e : evs) {
+      switch (e.kind) {
+        case EventKind::kStateEnter: {
+          if (cur_state >= 0 && e.t_ns > state_since_ns) {
+            events.push_back(complete_span(
+                to_string(static_cast<ProtoState>(cur_state)), "state", q,
+                state_since_ns, e.t_ns));
+          }
+          cur_state = e.a;
+          state_since_ns = e.t_ns;
+          break;
+        }
+        case EventKind::kTaskBegin:
+          open_task = e.a;
+          task_begin_ns = e.t_ns;
+          break;
+        case EventKind::kTaskEnd:
+          // Ring overflow can orphan a begin or an end; only emit pairs.
+          if (open_task == e.a) {
+            events.push_back(complete_span(task_name(labels, e.a), "task",
+                                           q, task_begin_ns, e.t_ns));
+            open_task = -1;
+          }
+          break;
+        case EventKind::kPutPublish: {
+          const auto key = std::make_tuple(e.a, e.b, e.c);
+          int id = next_flow_id++;
+          flow_ids[key] = id;
+          flows.push_back({q, e.t_ns,
+                           object_name(labels, e.a) + " v" +
+                               std::to_string(e.b),
+                           true, id});
+          break;
+        }
+        case EventKind::kConsume: {
+          // Reader side: key is (object, version, reader=this proc).
+          const auto key = std::make_tuple(e.a, e.b, q);
+          auto it = flow_ids.find(key);
+          if (it != flow_ids.end()) {
+            flows.push_back({q, e.t_ns,
+                             object_name(labels, e.a) + " v" +
+                                 std::to_string(e.b),
+                             false, it->second});
+            flow_ids.erase(it);
+          }
+          break;
+        }
+        case EventKind::kMapAlloc:
+          events.push_back(instant("alloc " + object_name(labels, e.a),
+                                   "map", q, e.t_ns));
+          break;
+        case EventKind::kMapFree:
+          events.push_back(instant("free " + object_name(labels, e.a),
+                                   "map", q, e.t_ns));
+          break;
+        case EventKind::kHeapSample:
+          events.push_back(
+              counter("heap p" + std::to_string(q), q, e.t_ns, e.bytes));
+          break;
+        case EventKind::kNack:
+          events.push_back(instant(
+              e.a >= 0 ? "nack " + object_name(labels, e.a) : "nack flag",
+              "recovery", q, e.t_ns));
+          break;
+        case EventKind::kResend:
+          events.push_back(instant("resend " + object_name(labels, e.a),
+                                   "recovery", q, e.t_ns));
+          break;
+        case EventKind::kAddrPkgSend:
+          events.push_back(instant(
+              "addr_pkg -> p" + std::to_string(e.c), "protocol", q, e.t_ns));
+          break;
+        case EventKind::kAddrPkgInstall:
+          events.push_back(
+              instant("addr_pkg install", "protocol", q, e.t_ns));
+          break;
+        case EventKind::kFlagSend:
+          events.push_back(instant("flag " + task_name(labels, e.a) +
+                                       " -> p" + std::to_string(e.c),
+                                   "protocol", q, e.t_ns));
+          break;
+        case EventKind::kPark:
+          events.push_back(instant("park", "sched", q, e.t_ns));
+          break;
+        default:
+          break;
+      }
+    }
+    // Close the last open state span at the processor's final event.
+    if (cur_state >= 0 && last_ns > state_since_ns) {
+      events.push_back(
+          complete_span(to_string(static_cast<ProtoState>(cur_state)),
+                        "state", q, state_since_ns, last_ns));
+    }
+  }
+
+  for (const FlowEnd& f : flows) {
+    JsonValue e =
+        event_base(f.start ? "s" : "f", f.name, "dataflow", f.tid,
+                   to_us(f.t_ns));
+    e["id"] = f.id;
+    if (!f.start) e["bp"] = "e";
+    events.push_back(std::move(e));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+}  // namespace rapid::obs

@@ -1,0 +1,26 @@
+// Chrome trace_event JSON exporter. The produced file loads in Perfetto or
+// chrome://tracing: one track per processor carrying protocol-state spans
+// and task spans, a per-processor heap counter track, instants for MAP
+// alloc/free and recovery traffic, and flow arrows from each content put's
+// publication to its consumption on the reader.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rapid/obs/trace.hpp"
+#include "rapid/support/json.hpp"
+
+namespace rapid::obs {
+
+/// Optional display names; indices are TaskId / DataId. Missing or short
+/// vectors fall back to "task<i>" / "obj<i>".
+struct TraceLabels {
+  std::vector<std::string> tasks;
+  std::vector<std::string> objects;
+};
+
+/// Build the full trace_event document ({"traceEvents": [...], ...}).
+JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels = {});
+
+}  // namespace rapid::obs

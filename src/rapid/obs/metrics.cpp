@@ -1,0 +1,157 @@
+#include "rapid/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rapid::obs {
+
+namespace {
+int bucket_of(std::int64_t value) {
+  if (value <= 0) return 0;
+  return std::min(64 - std::countl_zero(static_cast<std::uint64_t>(value)),
+                  63);
+}
+}  // namespace
+
+void Histogram::add(std::int64_t value) {
+  value = std::max<std::int64_t>(value, 0);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+  ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      // Upper edge of bucket i, clamped to the observed max.
+      const std::int64_t edge =
+          i == 0 ? 0 : (std::int64_t{1} << std::min(i, 62));
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+JsonValue Histogram::to_json() const {
+  JsonValue v = JsonValue::object();
+  v["count"] = count_;
+  v["sum"] = sum_;
+  v["min"] = min();
+  v["max"] = max_;
+  v["mean"] = mean();
+  v["p50"] = percentile(0.50);
+  v["p90"] = percentile(0.90);
+  v["p99"] = percentile(0.99);
+  return v;
+}
+
+JsonValue MetricsSummary::to_json() const {
+  JsonValue v = JsonValue::object();
+  JsonValue residency = JsonValue::object();
+  for (std::size_t s = 0;
+       s < static_cast<std::size_t>(ProtoState::kCount); ++s) {
+    residency[to_string(static_cast<ProtoState>(s))] = state_residency_us[s];
+  }
+  v["state_residency_us"] = std::move(residency);
+  v["wait_us"] = wait_us.to_json();
+  v["task_us"] = task_us.to_json();
+  v["put_bytes"] = put_bytes.to_json();
+  v["map_interval_us"] = map_interval_us.to_json();
+  JsonValue hw = JsonValue::array();
+  for (std::int64_t bytes : heap_high_water) hw.push_back(bytes);
+  v["heap_high_water_bytes"] = std::move(hw);
+  v["events"] = events;
+  v["dropped"] = dropped;
+  v["parks"] = parks;
+  v["nacks"] = nacks;
+  v["resends"] = resends;
+  return v;
+}
+
+MetricsSummary derive_metrics(const Trace& trace) {
+  MetricsSummary m;
+  m.heap_high_water.assign(static_cast<std::size_t>(trace.num_procs()), 0);
+  for (int q = 0; q < trace.num_procs(); ++q) {
+    const std::vector<TraceEvent> events = trace.events(q);
+    m.events += trace.recorded(q);
+    m.dropped += trace.dropped(q);
+
+    int cur_state = -1;
+    std::int64_t state_since_ns = 0;
+    std::int64_t task_begin_ns = -1;
+    std::int64_t last_map_ns = -1;
+    std::int64_t last_ns = 0;
+    std::int64_t& high_water =
+        m.heap_high_water[static_cast<std::size_t>(q)];
+
+    for (const TraceEvent& e : events) {
+      last_ns = e.t_ns;
+      switch (e.kind) {
+        case EventKind::kStateEnter: {
+          if (cur_state >= 0) {
+            const double span_us =
+                static_cast<double>(e.t_ns - state_since_ns) * 1e-3;
+            m.state_residency_us[static_cast<std::size_t>(cur_state)] +=
+                span_us;
+            if (cur_state == static_cast<int>(ProtoState::kRec)) {
+              m.wait_us.add((e.t_ns - state_since_ns) / 1000);
+            }
+          }
+          cur_state = e.a;
+          state_since_ns = e.t_ns;
+          break;
+        }
+        case EventKind::kTaskBegin:
+          task_begin_ns = e.t_ns;
+          break;
+        case EventKind::kTaskEnd:
+          if (task_begin_ns >= 0) {
+            m.task_us.add((e.t_ns - task_begin_ns) / 1000);
+            task_begin_ns = -1;
+          }
+          break;
+        case EventKind::kPut:
+          m.put_bytes.add(e.bytes);
+          break;
+        case EventKind::kMapBegin:
+          if (last_map_ns >= 0) {
+            m.map_interval_us.add((e.t_ns - last_map_ns) / 1000);
+          }
+          last_map_ns = e.t_ns;
+          break;
+        case EventKind::kHeapSample:
+          high_water = std::max(high_water, e.bytes);
+          break;
+        case EventKind::kHeapPeak:
+          high_water = std::max(high_water, e.bytes);
+          break;
+        case EventKind::kPark:
+          ++m.parks;
+          break;
+        case EventKind::kNack:
+          ++m.nacks;
+          break;
+        case EventKind::kResend:
+          ++m.resends;
+          break;
+        default:
+          break;
+      }
+    }
+    // Close the final state span at the processor's last event.
+    if (cur_state >= 0 && last_ns > state_since_ns) {
+      m.state_residency_us[static_cast<std::size_t>(cur_state)] +=
+          static_cast<double>(last_ns - state_since_ns) * 1e-3;
+    }
+  }
+  return m;
+}
+
+}  // namespace rapid::obs

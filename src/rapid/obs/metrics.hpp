@@ -1,0 +1,76 @@
+// Metrics derived from a Trace after a run: state-residency per protocol
+// state, wait/task/put/MAP-interval distributions, and per-processor heap
+// high-water marks. Kept separate from the tracer so the hot path stays a
+// fixed-size append; everything here is post-run reduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rapid/obs/trace.hpp"
+#include "rapid/support/json.hpp"
+
+namespace rapid::obs {
+
+/// Power-of-two-bucketed histogram (bucket i holds values in
+/// [2^(i-1), 2^i), bucket 0 holds 0). Fixed footprint, exact count/sum/
+/// min/max, percentile estimates at bucket resolution.
+class Histogram {
+ public:
+  void add(std::int64_t value);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-th quantile (q in [0,1]).
+  std::int64_t percentile(double q) const;
+
+  JsonValue to_json() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Post-run metrics over all processors. Durations are in microseconds
+/// (matching RunReport's *_us fields); sizes in bytes.
+struct MetricsSummary {
+  /// Total residency per protocol state, summed across processors.
+  std::array<double, static_cast<std::size_t>(ProtoState::kCount)>
+      state_residency_us{};
+
+  Histogram wait_us;          // REC-state span durations
+  Histogram task_us;          // task begin->end durations
+  Histogram put_bytes;        // content put sizes
+  Histogram map_interval_us;  // gaps between consecutive MAPs on one proc
+
+  std::vector<std::int64_t> heap_high_water;  // per-proc, from kHeapPeak
+
+  std::int64_t events = 0;
+  std::int64_t dropped = 0;
+  std::int64_t parks = 0;
+  std::int64_t nacks = 0;
+  std::int64_t resends = 0;
+
+  JsonValue to_json() const;
+};
+
+/// Scan every processor's event stream and reduce. State spans are closed
+/// at that processor's last event; rings that overflowed contribute only
+/// their surviving suffix.
+MetricsSummary derive_metrics(const Trace& trace);
+
+}  // namespace rapid::obs

@@ -1,0 +1,42 @@
+#include "rapid/obs/timeline.hpp"
+
+#include <algorithm>
+
+namespace rapid::obs {
+
+OccupancyProfile build_occupancy(const Trace& trace) {
+  OccupancyProfile profile;
+  const std::size_t p = static_cast<std::size_t>(trace.num_procs());
+  profile.per_proc.resize(p);
+  profile.high_water.assign(p, 0);
+  for (int q = 0; q < trace.num_procs(); ++q) {
+    std::int64_t& hw = profile.high_water[static_cast<std::size_t>(q)];
+    for (const TraceEvent& e : trace.events(q)) {
+      if (e.kind == EventKind::kHeapSample) {
+        profile.per_proc[static_cast<std::size_t>(q)].push_back(
+            {e.t_ns, e.bytes});
+        hw = std::max(hw, e.bytes);
+      } else if (e.kind == EventKind::kHeapPeak) {
+        hw = std::max(hw, e.bytes);
+      }
+    }
+  }
+  return profile;
+}
+
+std::string occupancy_csv(const OccupancyProfile& profile) {
+  std::string out = "proc,t_ns,bytes\n";
+  for (std::size_t q = 0; q < profile.per_proc.size(); ++q) {
+    for (const OccupancySample& s : profile.per_proc[q]) {
+      out += std::to_string(q);
+      out += ',';
+      out += std::to_string(s.t_ns);
+      out += ',';
+      out += std::to_string(s.bytes);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace rapid::obs

@@ -1,0 +1,33 @@
+// Per-processor memory-occupancy timelines reconstructed from the trace's
+// heap events — the paper's occupancy-vs-S1/p profiles (Table 1, Fig. 7)
+// as time series instead of end-of-run ratios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rapid/obs/trace.hpp"
+
+namespace rapid::obs {
+
+struct OccupancySample {
+  std::int64_t t_ns = 0;
+  std::int64_t bytes = 0;  // arena in-use at t_ns
+};
+
+struct OccupancyProfile {
+  /// One series per processor, time-ordered kHeapSample points.
+  std::vector<std::vector<OccupancySample>> per_proc;
+  /// Exact arena high-water per processor: max over kHeapPeak and
+  /// kHeapSample events. Includes tentative MAP allocations rolled back
+  /// inside perform_map, so it equals ProcMemory::peak_bytes() exactly.
+  std::vector<std::int64_t> high_water;
+};
+
+OccupancyProfile build_occupancy(const Trace& trace);
+
+/// CSV with header "proc,t_ns,bytes", one row per sample.
+std::string occupancy_csv(const OccupancyProfile& profile);
+
+}  // namespace rapid::obs

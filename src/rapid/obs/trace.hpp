@@ -1,0 +1,157 @@
+// Per-processor ring-buffer event tracer — the repo's observability
+// substrate. One fixed-size ring per processor, written only by that
+// processor's worker thread (single writer, no locks, no allocation on the
+// hot path) and read only after the run joins its threads, so the
+// thread::join() happens-before edge is the only synchronization needed.
+// When tracing is disabled the whole record path is one predictable branch.
+//
+// Event vocabulary follows the paper's execution model: the five protocol
+// states REC/EXE/SND/MAP/END (Fig. 3(b)), content puts and their
+// publication, address packages, MAP alloc/free with byte deltas, NACK /
+// resend recovery traffic, and park/wake scheduling events. The heap
+// samples (kHeapSample = arena in-use after each MAP, kHeapPeak = arena
+// peak including tentative allocations rolled back inside perform_map)
+// reconstruct the paper's per-processor occupancy-vs-S1/p profiles
+// (Table 1 / Fig. 7) without asking the arena anything at run end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rapid/support/stopwatch.hpp"
+
+namespace rapid::obs {
+
+/// The paper's five protocol states (Fig. 3(b)). Distinct from
+/// rt::ProcState, which tracks executor-internal scheduling phases.
+enum class ProtoState : std::uint8_t {
+  kRec = 0,
+  kExe = 1,
+  kSnd = 2,
+  kMap = 3,
+  kEnd = 4,
+  kCount = 5,
+};
+
+const char* to_string(ProtoState s);
+
+enum class EventKind : std::uint8_t {
+  kStateEnter = 0,   // a = ProtoState entered
+  kTaskBegin = 1,    // a = task id
+  kTaskEnd = 2,      // a = task id
+  kPut = 3,          // a = object, b = version, c = dest, bytes = size
+  kPutPublish = 4,   // a = object, b = version, c = dest, bytes = size
+  kConsume = 5,      // a = object, b = version, c = owner (reader side)
+  kFlagSend = 6,     // a = task, c = dest
+  kAddrPkgSend = 7,  // a = entries, b = seq, c = dest
+  kAddrPkgInstall = 8,  // a = entries, b = seq, c = reader (receiver side)
+  kMapBegin = 9,     // a = schedule position
+  kMapAlloc = 10,    // a = object, bytes = object size
+  kMapFree = 11,     // a = object, bytes = object size
+  kMapEnd = 12,      // a = schedule position
+  kHeapSample = 13,  // bytes = arena in-use
+  kHeapPeak = 14,    // bytes = arena peak in-use (monotone)
+  kNack = 15,        // a = object (or -1 for flag), b = version/task, c = owner
+  kResend = 16,      // a = object, b = version, c = dest, bytes = size
+  kPark = 17,        // a = parks during this wait (blocked-wait park count)
+  kCount = 18,
+};
+
+const char* to_string(EventKind k);
+
+/// 32-byte binary record. t_ns is relative to the Trace's construction so
+/// Chrome-trace timestamps start near zero.
+struct TraceEvent {
+  std::int64_t t_ns = 0;
+  std::int64_t bytes = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  EventKind kind = EventKind::kStateEnter;
+  std::uint8_t pad_[3] = {0, 0, 0};
+};
+
+static_assert(sizeof(TraceEvent) == 32, "trace records are 32-byte packed");
+
+struct TraceConfig {
+  bool enabled = true;
+  /// Ring capacity per processor, rounded up to a power of two. When a
+  /// ring overflows the oldest events are overwritten and dropped() grows;
+  /// exporters handle the truncated prefix gracefully.
+  std::int32_t events_per_proc = 1 << 16;
+};
+
+class Trace {
+ public:
+  Trace(int num_procs, TraceConfig config = {});
+
+  bool enabled() const { return enabled_; }
+  int num_procs() const { return static_cast<int>(rings_.size()); }
+  std::int64_t epoch_ns() const { return epoch_ns_; }
+
+  /// Hot path: append one event stamped with the calibrated TSC clock
+  /// (now_ns() where no TSC is available). Only the worker thread that owns
+  /// `proc` may call this during a run.
+  void record(int proc, EventKind kind, std::int32_t a = 0,
+              std::int32_t b = 0, std::int32_t c = 0,
+              std::int64_t bytes = 0) {
+    if (!enabled_) return;
+#ifdef RAPID_TSC_CLOCK
+    std::int64_t t = static_cast<std::int64_t>(
+        static_cast<double>(__rdtsc() - epoch_tsc_) * ns_per_tick_);
+    if (t < 0) t = 0;  // cross-core TSC skew can nudge early events negative
+#else
+    const std::int64_t t = now_ns() - epoch_ns_;
+#endif
+    record_at(proc, t, kind, a, b, c, bytes);
+  }
+
+  /// Append with an explicit (already epoch-relative) timestamp. The
+  /// simulator uses this with modeled time.
+  void record_at(int proc, std::int64_t t_ns, EventKind kind,
+                 std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0,
+                 std::int64_t bytes = 0) {
+    if (!enabled_) return;
+    Ring& ring = rings_[static_cast<std::size_t>(proc)];
+    TraceEvent& e =
+        ring.buf[static_cast<std::size_t>(ring.count) & ring.mask];
+    e.t_ns = t_ns;
+    e.bytes = bytes;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.kind = kind;
+    ++ring.count;
+  }
+
+  /// Events for one processor, oldest first (post-run only).
+  std::vector<TraceEvent> events(int proc) const;
+
+  /// Events recorded for `proc` in total (including overwritten ones).
+  std::int64_t recorded(int proc) const {
+    return rings_[static_cast<std::size_t>(proc)].count;
+  }
+
+  /// Events lost to ring overflow for `proc`.
+  std::int64_t dropped(int proc) const;
+
+  std::int64_t total_events() const;
+  std::int64_t total_dropped() const;
+
+ private:
+  struct alignas(64) Ring {
+    std::vector<TraceEvent> buf;
+    std::uint64_t mask = 0;
+    std::int64_t count = 0;
+  };
+
+  bool enabled_;
+  std::int64_t epoch_ns_;
+#ifdef RAPID_TSC_CLOCK
+  std::uint64_t epoch_tsc_ = 0;
+  double ns_per_tick_ = 0.0;
+#endif
+  std::vector<Ring> rings_;
+};
+
+}  // namespace rapid::obs

@@ -90,6 +90,9 @@ class ProcMemory {
   void set_free_hook(FreeHook hook) { free_hook_ = std::move(hook); }
 
   std::int64_t peak_bytes() const { return arena_.stats().peak_in_use; }
+  /// Bytes currently allocated (permanents + live volatiles). The tracer
+  /// samples this after each MAP for the occupancy timeline.
+  std::int64_t in_use_bytes() const { return arena_.stats().in_use; }
   const mem::Arena& arena() const { return arena_; }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rapid/obs/metrics.hpp"
+
 namespace rapid::rt {
 
 const char* to_string(FailureKind kind) {
@@ -50,6 +52,7 @@ double RunReport::idle_fraction() const {
 
 JsonValue RunReport::to_json() const {
   JsonValue doc = JsonValue::object();
+  doc["schema_version"] = kSchemaVersion;
   doc["executable"] = executable;
   doc["failure"] = failure;
   doc["failure_kind"] = to_string(failure_kind);
@@ -79,6 +82,7 @@ JsonValue RunReport::to_json() const {
   rec["task_retries"] = recovery.task_retries;
   rec["run_attempts"] = recovery.run_attempts;
   doc["recovery"] = std::move(rec);
+  if (metrics) doc["metrics"] = metrics->to_json();
   return doc;
 }
 

@@ -12,6 +12,10 @@
 #include "rapid/support/check.hpp"
 #include "rapid/support/json.hpp"
 
+namespace rapid::obs {
+struct MetricsSummary;  // obs/metrics.hpp — trace-derived metrics
+}
+
 namespace rapid::rt {
 
 struct StallReport;  // rt/stall.hpp — full diagnosis of a stalled run
@@ -117,6 +121,12 @@ struct RunConfig {
 };
 
 struct RunReport {
+  /// Version of the to_json() document layout. Bumped when fields are
+  /// added/renamed so downstream consumers of BENCH_executor.json and the
+  /// CI report artifacts can detect what they are reading. Version 2 added
+  /// the optional "metrics" block (trace-derived histograms/residencies).
+  static constexpr std::int32_t kSchemaVersion = 2;
+
   bool executable = true;
   /// Why the run was not executable (empty when executable).
   std::string failure;
@@ -144,6 +154,11 @@ struct RunReport {
 
   /// Self-healing activity (threaded executor only).
   RecoveryCounters recovery;
+
+  /// Trace-derived metrics (state residencies, wait/put/MAP histograms,
+  /// heap high-water marks). Null unless the run was traced
+  /// (ThreadedOptions::trace / simulate()'s trace argument).
+  std::shared_ptr<const obs::MetricsSummary> metrics;
 
   /// Simulator-only time breakdown, summed across processors (µs): task
   /// execution, sender-side message occupancy, and MAP/address machinery.

@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "rapid/machine/event_queue.hpp"
+#include "rapid/obs/metrics.hpp"
+#include "rapid/obs/trace.hpp"
 #include "rapid/rt/map_engine.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/auditor.hpp"
@@ -19,8 +21,12 @@ using machine::SimTime;
 
 class Simulator {
  public:
-  Simulator(const RunPlan& plan, const RunConfig& config)
-      : plan_(plan), config_(config), params_(config.params) {
+  Simulator(const RunPlan& plan, const RunConfig& config, obs::Trace* trace)
+      : plan_(plan),
+        config_(config),
+        params_(config.params),
+        trace_(trace),
+        tracing_(trace != nullptr && trace->enabled()) {
     const auto p = static_cast<std::size_t>(plan.num_procs);
     procs_.resize(p);
     epoch_remaining_.resize(static_cast<std::size_t>(plan.graph->num_data()));
@@ -64,6 +70,12 @@ class Simulator {
     report_ = &report;
     try {
       for (ProcId q = 0; q < plan_.num_procs; ++q) {
+        // Baseline heap samples at t=0 (permanents, plus all volatiles in
+        // baseline mode).
+        record(q, 0.0, obs::EventKind::kHeapSample, 0, 0, 0,
+               procs_[q].memory->in_use_bytes());
+        record(q, 0.0, obs::EventKind::kHeapPeak, 0, 0, 0,
+               procs_[q].memory->peak_bytes());
         for (const ContentSend& s : plan_.procs[q].initial_sends) {
           trigger_send(q, s);
         }
@@ -78,6 +90,10 @@ class Simulator {
     for (ProcId q = 0; q < plan_.num_procs; ++q) {
       report.maps_per_proc[q] = procs_[q].maps;
       report.peak_bytes_per_proc[q] = procs_[q].memory->peak_bytes();
+    }
+    if (tracing_) {
+      report.metrics = std::make_shared<obs::MetricsSummary>(
+          obs::derive_metrics(*trace_));
     }
     return report;
   }
@@ -101,7 +117,25 @@ class Simulator {
     // transitions (paper Figure 3(b)), never mid-task — this is where the
     // scheme's real stalls come from.
     std::deque<std::pair<ProcId, AddrPackage>> inbox;
+    std::uint8_t traced_state = 255;  // change-only state recording
   };
+
+  /// Modeled-time event recording: SimTime is µs, trace timestamps are ns.
+  void record(ProcId q, SimTime t, obs::EventKind kind, std::int32_t a = 0,
+              std::int32_t b = 0, std::int32_t c = 0,
+              std::int64_t bytes = 0) {
+    if (!tracing_) return;
+    trace_->record_at(q, static_cast<std::int64_t>(t * 1000.0), kind, a, b,
+                      c, bytes);
+  }
+
+  void trace_state(ProcId q, obs::ProtoState s, SimTime t) {
+    if (!tracing_) return;
+    ProcState& ps = procs_[q];
+    if (ps.traced_state == static_cast<std::uint8_t>(s)) return;
+    ps.traced_state = static_cast<std::uint8_t>(s);
+    record(q, t, obs::EventKind::kStateEnter, static_cast<std::int32_t>(s));
+  }
 
   std::int32_t num_tasks_of(ProcId q) const {
     return static_cast<std::int32_t>(plan_.procs[q].order.size());
@@ -135,6 +169,8 @@ class Simulator {
     // MAP state: start one, or continue draining its address packages.
     if (config_.active_memory && (ps.in_map || ps.memory->needs_map(ps.pos))) {
       if (!ps.in_map) {
+        trace_state(q, obs::ProtoState::kMap, queue_.now());
+        record(q, queue_.now(), obs::EventKind::kMapBegin, ps.pos);
         const MapResult map = ps.memory->perform_map(ps.pos);  // may throw
         ++ps.maps;
         const double cost =
@@ -143,6 +179,21 @@ class Simulator {
                 static_cast<double>(map.freed.size() + map.allocated.size());
         report_->map_us += cost;
         ps.busy_until = queue_.now() + cost;
+        if (tracing_) {
+          for (DataId d : map.freed) {
+            record(q, queue_.now(), obs::EventKind::kMapFree, d, 0, 0,
+                   plan_.graph->data(d).size_bytes);
+          }
+          for (DataId d : map.allocated) {
+            record(q, queue_.now(), obs::EventKind::kMapAlloc, d, 0, 0,
+                   plan_.graph->data(d).size_bytes);
+          }
+          record(q, ps.busy_until, obs::EventKind::kMapEnd, ps.pos);
+          record(q, ps.busy_until, obs::EventKind::kHeapSample, 0, 0, 0,
+                 ps.memory->in_use_bytes());
+          record(q, ps.busy_until, obs::EventKind::kHeapPeak, 0, 0, 0,
+                 ps.memory->peak_bytes());
+        }
         for (auto& pkg : map.packages) ps.pending_packages.push_back(pkg);
         ps.in_map = true;
         queue_.schedule_at(ps.busy_until, [this, q] { advance(q); });
@@ -165,10 +216,22 @@ class Simulator {
         return;
       }
     }
-    if (ps.pos >= num_tasks_of(q)) return;  // END: passive, CQ event-driven
+    if (ps.pos >= num_tasks_of(q)) {  // END: passive, CQ event-driven
+      trace_state(q, obs::ProtoState::kEnd, queue_.now());
+      return;
+    }
     const TaskId t = plan_.procs[q].order[ps.pos];
+    trace_state(q, obs::ProtoState::kRec, queue_.now());
     if (!task_ready(q, t)) return;  // REC: woken by arrivals
     // EXE.
+    if (tracing_) {
+      for (const RemoteRead& rr : plan_.tasks[t].remote_reads) {
+        record(q, queue_.now(), obs::EventKind::kConsume, rr.object,
+               rr.version, plan_.graph->data(rr.object).owner);
+      }
+    }
+    trace_state(q, obs::ProtoState::kExe, queue_.now());
+    record(q, queue_.now(), obs::EventKind::kTaskBegin, t);
     ps.executing = true;
     const double task_time = params_.task_time_us(plan_.graph->task(t).flops);
     report_->compute_us += task_time;
@@ -182,6 +245,8 @@ class Simulator {
     ps.executing = false;
     ++ps.pos;
     ++report_->tasks_executed;
+    record(q, queue_.now(), obs::EventKind::kTaskEnd, t);
+    trace_state(q, obs::ProtoState::kSnd, queue_.now());
     const TaskRuntimePlan& tp = plan_.tasks[t];
     // SND: completion flags for kept anti/output edges (zero-byte puts into
     // preallocated control space — never need an address).
@@ -189,6 +254,7 @@ class Simulator {
       ps.busy_until += params_.send_overhead_us(8);
       report_->send_us += params_.send_overhead_us(8);
       ++report_->flag_messages;
+      record(q, ps.busy_until, obs::EventKind::kFlagSend, t, 0, dest);
       const SimTime arrive = ps.busy_until + params_.rma_latency_us;
       queue_.schedule_at(arrive, [this, dest, t] {
         procs_[dest].flags_received.insert(t);
@@ -238,11 +304,15 @@ class Simulator {
                     " before version ", s.version, " was sent"));
     ProcState& ps = procs_[q];
     const std::int64_t bytes = plan_.graph->data(s.object).size_bytes;
+    record(q, std::max(queue_.now(), ps.busy_until), obs::EventKind::kPut,
+           s.object, s.version, s.dest, bytes);
     ps.busy_until =
         std::max(queue_.now(), ps.busy_until) + params_.send_overhead_us(bytes);
     report_->send_us += params_.send_overhead_us(bytes);
     ++report_->content_messages;
     report_->content_bytes += bytes;
+    record(q, ps.busy_until, obs::EventKind::kPutPublish, s.object,
+           s.version, s.dest, bytes);
     const SimTime arrive = ps.busy_until + params_.rma_latency_us;
     const DataId d = s.object;
     const std::int32_t v = s.version;
@@ -264,6 +334,9 @@ class Simulator {
     report_->map_us += pkg_cost;
     ++report_->addr_packages;
     report_->addr_entries += static_cast<std::int64_t>(pkg.entries.size());
+    record(q, ps.busy_until, obs::EventKind::kAddrPkgSend,
+           static_cast<std::int32_t>(pkg.entries.size()),
+           static_cast<std::int32_t>(pkg.seq), dest);
     const SimTime arrive = ps.busy_until + params_.rma_latency_us;
     queue_.schedule_at(arrive, [this, q, dest, pkg] {
       // Delivery into the destination slot; consumption waits for the
@@ -284,6 +357,9 @@ class Simulator {
         (void)offset;  // the simulator tracks knowledge, not raw addresses
         ps.known_addrs.emplace(d, pkg.reader);
       }
+      record(q, queue_.now(), obs::EventKind::kAddrPkgInstall,
+             static_cast<std::int32_t>(pkg.entries.size()),
+             static_cast<std::int32_t>(pkg.seq), pkg.reader);
       --ps.mailbox_in_flight[src];
       ps.busy_until = std::max(queue_.now(), ps.busy_until) + params_.poll_us;
       queue_.schedule_after(params_.poll_us, [this, src = src] {
@@ -331,6 +407,8 @@ class Simulator {
   const RunPlan& plan_;
   const RunConfig& config_;
   const machine::MachineParams& params_;
+  obs::Trace* const trace_;
+  const bool tracing_;
   machine::EventQueue queue_;
   std::vector<ProcState> procs_;
   std::vector<std::vector<std::int32_t>> epoch_remaining_;
@@ -340,10 +418,15 @@ class Simulator {
 
 }  // namespace
 
-RunReport simulate(const RunPlan& plan, const RunConfig& config) {
+RunReport simulate(const RunPlan& plan, const RunConfig& config,
+                   obs::Trace* trace) {
   try {
     if (config.audit) verify::audit_or_throw(plan, config);
-    Simulator sim(plan, config);
+    if (trace != nullptr && trace->enabled()) {
+      RAPID_CHECK(trace->num_procs() >= plan.num_procs,
+                  "the Trace is sized for fewer processors than the plan");
+    }
+    Simulator sim(plan, config, trace);
     return sim.run();
   } catch (const NonExecutableError& e) {
     RunReport report;

@@ -21,12 +21,19 @@
 #include "rapid/rt/plan.hpp"
 #include "rapid/rt/report.hpp"
 
+namespace rapid::obs {
+class Trace;  // obs/trace.hpp — per-processor ring-buffer event tracer
+}
+
 namespace rapid::rt {
 
 /// Runs the plan under the config on the simulated machine. Never throws
 /// for capacity exhaustion — that is reported via RunReport::executable.
 /// Throws ProtocolDeadlockError if the protocol wedges (Theorem 1 says it
-/// cannot on valid inputs).
-RunReport simulate(const RunPlan& plan, const RunConfig& config);
+/// cannot on valid inputs). An optional Trace records the same event
+/// vocabulary as the threaded executor, stamped with modeled time
+/// (SimTime µs → ns), and attaches derived metrics to the report.
+RunReport simulate(const RunPlan& plan, const RunConfig& config,
+                   obs::Trace* trace = nullptr);
 
 }  // namespace rapid::rt

@@ -10,10 +10,13 @@
 #include <thread>
 #include <utility>
 
+#include "rapid/obs/metrics.hpp"
+#include "rapid/obs/trace.hpp"
 #include "rapid/rt/map_engine.hpp"
 #include "rapid/rt/stall.hpp"
 #include "rapid/support/backoff.hpp"
 #include "rapid/support/checksum.hpp"
+#include "rapid/support/log.hpp"
 #include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/auditor.hpp"
@@ -44,6 +47,10 @@ struct ThreadedExecutor::Impl {
   const bool induced_on;
   const bool checksum_on;
   const bool recovery_on;
+  /// Event tracer. Same pattern as faults_on: `tracing` is a const member
+  /// so every record site is one predictable branch when tracing is off.
+  obs::Trace* const trace;
+  const bool tracing;
   const std::int64_t effective_park_us;
   /// Watchdog budget scaled by the retry policy: an in-flight recovery
   /// (bounded by RetryPolicy::total_wait_us per wait) must never be
@@ -109,7 +116,7 @@ struct ThreadedExecutor::Impl {
   };
 
   /// Identity + deadline of the wait a processor is currently blocked in
-  /// (worker-private). Deadlines are steady_clock-based and grow per the
+  /// (worker-private). Deadlines are monotonic (now_ns) and grow per the
   /// RetryPolicy; identity changes reset the attempt count (a changed gate
   /// means the previous one was satisfied — progress, not a retry).
   struct WaitTracker {
@@ -119,8 +126,8 @@ struct ThreadedExecutor::Impl {
     std::int32_t version = -1;
     TaskId flag_task = graph::kInvalidTask;
     std::int32_t attempts = 0;
-    std::chrono::steady_clock::time_point started;
-    std::chrono::steady_clock::time_point deadline;
+    std::int64_t started_ns = 0;
+    std::int64_t deadline_ns = 0;
   };
 
   /// The first unmet gate of a task, as seen by its processor right now.
@@ -181,6 +188,9 @@ struct ThreadedExecutor::Impl {
     /// END-state bookkeeping and stall-snapshot plumbing (worker-private).
     bool counted_quiescent = false;
     std::optional<Backoff> backoff;  // the worker loop's backoff
+    /// Last protocol state recorded to the tracer (change-only recording);
+    /// 255 = none yet. Worker-private like everything else here.
+    std::uint8_t traced_state = 255;
     std::uint64_t snap_seen = 0;     // last snapshot generation served
     std::int64_t addr_pkgs_sent = 0;  // deterministic per-proc ordinal
     std::int64_t park_accum = 0;      // parks from finished MAP-send waits
@@ -257,6 +267,8 @@ struct ThreadedExecutor::Impl {
                    options_.run_attempt <= options_.faults.induced_fault_runs),
         checksum_on(options_.checksum),
         recovery_on(options_.retry.enabled()),
+        trace(options_.trace),
+        tracing(options_.trace != nullptr && options_.trace->enabled()),
         effective_park_us(faults_on && options_.faults.force_park_timeout
                               ? options_.faults.forced_park_timeout_us
                               : options_.park_timeout_us),
@@ -287,6 +299,33 @@ struct ThreadedExecutor::Impl {
   void set_state(ProcId q, ProcState s) {
     status[static_cast<std::size_t>(q)].state.store(
         static_cast<std::uint8_t>(s), std::memory_order_release);
+  }
+
+  /// Record entry into one of the paper's five protocol states
+  /// (change-only: re-entering the current state records nothing).
+  void trace_state(ProcId q, obs::ProtoState s) {
+    if (!tracing) return;
+    Private& me = priv[q];
+    if (me.traced_state == static_cast<std::uint8_t>(s)) return;
+    me.traced_state = static_cast<std::uint8_t>(s);
+    trace->record(q, obs::EventKind::kStateEnter,
+                  static_cast<std::int32_t>(s));
+  }
+
+  /// backoff.pause() with park accounting into the trace: one kPark event
+  /// per pause that actually parked (spin-only pauses record nothing).
+  void traced_pause(ProcId q, Backoff& backoff, std::uint64_t seen) {
+    if (!tracing) {
+      backoff.pause(seen);
+      return;
+    }
+    const std::int64_t before = backoff.parks();
+    backoff.pause(seen);
+    const std::int64_t parked = backoff.parks() - before;
+    if (parked > 0) {
+      trace->record(q, obs::EventKind::kPark,
+                    static_cast<std::int32_t>(parked));
+    }
   }
 
   std::size_t slot_index(DataId d, ProcId reader) const {
@@ -324,6 +363,10 @@ struct ThreadedExecutor::Impl {
     const mem::Offset src_off = me.memory->offset_of(s.object);
     Shared& dst = *shared[s.dest];
     const std::uint32_t attempt = ++me.sent_seq[slot_index(s.object, s.dest)];
+    if (tracing) {
+      trace->record(q, obs::EventKind::kPut, s.object, s.version, s.dest,
+                    size);
+    }
     if (size > 0) {
       std::memcpy(dst.heap.data() + dst_off,
                   shared[q]->heap.data() + src_off,
@@ -359,6 +402,11 @@ struct ThreadedExecutor::Impl {
     }
     dst.put_seq[s.object].store(attempt, std::memory_order_release);
     if (attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) {
+      trace->record(q, attempt > 1 ? obs::EventKind::kResend
+                                   : obs::EventKind::kPutPublish,
+                    s.object, s.version, s.dest, size);
+    }
     content_messages.fetch_add(1, std::memory_order_relaxed);
     content_bytes.fetch_add(size, std::memory_order_relaxed);
     bump_progress();
@@ -376,9 +424,10 @@ struct ThreadedExecutor::Impl {
     }
   }
 
-  void send_flag(ProcId dest, TaskId t) {
+  void send_flag(ProcId q, ProcId dest, TaskId t) {
     shared[dest]->flags[t].store(1, std::memory_order_release);
     flag_messages.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) trace->record(q, obs::EventKind::kFlagSend, t, 0, dest);
     bump_progress();
   }
 
@@ -412,6 +461,15 @@ struct ThreadedExecutor::Impl {
       n.flag_task = gate.flag_task;
     }
     nacks_sent.fetch_add(1, std::memory_order_relaxed);
+    if (tracing) {
+      if (gate.object != graph::kInvalidData) {
+        trace->record(q, obs::EventKind::kNack, gate.object, gate.version,
+                      owner);
+      } else {
+        trace->record(q, obs::EventKind::kNack, -1,
+                      static_cast<std::int32_t>(gate.flag_task), owner);
+      }
+    }
     if (induced_on && faults.drop_nacks) return;  // lost recovery traffic
     Shared& dst = *shared[owner];
     {
@@ -436,7 +494,7 @@ struct ThreadedExecutor::Impl {
     if (n.flag_task != graph::kInvalidTask) {
       // Flag stores are idempotent; resend iff the task completed here.
       if (plan.schedule.pos_of_task[n.flag_task] < me.pos) {
-        send_flag(n.requester, n.flag_task);
+        send_flag(q, n.requester, n.flag_task);
         flag_resends.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -496,7 +554,7 @@ struct ThreadedExecutor::Impl {
   void note_blocked_wait(ProcId q, const GateRef& gate) {
     Private& me = priv[q];
     WaitTracker& w = me.wait;
-    const auto now = std::chrono::steady_clock::now();
+    const std::int64_t now = now_ns();
     if (!w.active || w.object != gate.object || w.version != gate.version ||
         w.flag_task != gate.flag_task) {
       finish_wait(q);  // a changed gate means the previous one was satisfied
@@ -506,12 +564,12 @@ struct ThreadedExecutor::Impl {
       w.version = gate.version;
       w.flag_task = gate.flag_task;
       w.attempts = 0;
-      w.started = now;
-      w.deadline = now + std::chrono::microseconds(options.retry.delay_us(1));
+      w.started_ns = now;
+      w.deadline_ns = now + options.retry.delay_us(1) * 1000;
     }
     if (w.exhausted) return;
     const bool fast = gate.rejected && me.fast_nack;
-    if (!fast && now < w.deadline) return;
+    if (!fast && now < w.deadline_ns) return;
     me.fast_nack = false;
     if (w.attempts >= options.retry.max_attempts) {
       w.exhausted = true;
@@ -520,9 +578,7 @@ struct ThreadedExecutor::Impl {
       r.version = w.version;
       r.flag_task = w.flag_task;
       r.attempts = w.attempts;
-      r.waited_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        now - w.started)
-                        .count();
+      r.waited_us = (now - w.started_ns) / 1000;
       r.exhausted = true;
       me.retry_log.push_back(r);
       me.exhausted_index = me.retry_log.size() - 1;
@@ -531,8 +587,7 @@ struct ThreadedExecutor::Impl {
       return;
     }
     ++w.attempts;
-    w.deadline =
-        now + std::chrono::microseconds(options.retry.delay_us(w.attempts + 1));
+    w.deadline_ns = now + options.retry.delay_us(w.attempts + 1) * 1000;
     send_nack(q, gate);
   }
 
@@ -543,10 +598,7 @@ struct ThreadedExecutor::Impl {
     Private& me = priv[q];
     WaitTracker& w = me.wait;
     if (!w.active) return;
-    const std::int64_t waited =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - w.started)
-            .count();
+    const std::int64_t waited = (now_ns() - w.started_ns) / 1000;
     if (w.exhausted) {
       RetryRecord& r = me.retry_log[me.exhausted_index];
       r.exhausted = false;  // healed after exhausting: owner was slow
@@ -616,6 +668,11 @@ struct ThreadedExecutor::Impl {
           addr_slot(me, d, pkg.reader) = offset;
         }
         ++me.addr_epoch[pkg.reader];
+        if (tracing) {
+          trace->record(q, obs::EventKind::kAddrPkgInstall,
+                        static_cast<std::int32_t>(pkg.entries.size()),
+                        static_cast<std::int32_t>(pkg.seq), pkg.reader);
+        }
         progressed = true;
         bump_progress();
       }
@@ -711,13 +768,18 @@ struct ThreadedExecutor::Impl {
         }
       }
       if (sent) {
+        if (tracing) {
+          trace->record(q, obs::EventKind::kAddrPkgSend,
+                        static_cast<std::int32_t>(stamped.entries.size()),
+                        static_cast<std::int32_t>(stamped.seq), dest);
+        }
         bump_progress();
         break;
       }
       if (service_ra_cq(q)) {
         backoff.reset();
       } else {
-        backoff.pause(seen);
+        traced_pause(q, backoff, seen);
       }
     }
     me.park_accum += backoff.parks();
@@ -848,10 +910,7 @@ struct ThreadedExecutor::Impl {
           r.version = me.wait.version;
           r.flag_task = me.wait.flag_task;
           r.attempts = me.wait.attempts;
-          r.waited_us =
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  std::chrono::steady_clock::now() - me.wait.started)
-                  .count();
+          r.waited_us = (now_ns() - me.wait.started_ns) / 1000;
           s.retry_history.push_back(r);
         }
       }
@@ -1064,7 +1123,8 @@ struct ThreadedExecutor::Impl {
   void complete_task(ProcId q, TaskId t) {
     Private& me = priv[q];
     const TaskRuntimePlan& tp = plan.tasks[t];
-    for (ProcId dest : tp.flag_dests) send_flag(dest, t);
+    trace_state(q, obs::ProtoState::kSnd);
+    for (ProcId dest : tp.flag_dests) send_flag(q, dest, t);
     for (const auto& [d, v] : tp.epoch_memberships) {
       auto& remaining = me.epoch_remaining[epoch_base[d] +
                                            static_cast<std::size_t>(v) - 1];
@@ -1123,6 +1183,7 @@ struct ThreadedExecutor::Impl {
 
   void worker(ProcId q) {
     Private& me = priv[q];
+    set_log_thread_proc(q);
     try {
       const ProcPlan& pp = plan.procs[q];
       // Initialize owned objects, then issue version-0 sends (they suspend
@@ -1144,8 +1205,26 @@ struct ThreadedExecutor::Impl {
           if (config.active_memory && me.memory->needs_map(me.pos)) {
             // MAP state.
             set_state(q, ProcState::kMap);
+            trace_state(q, obs::ProtoState::kMap);
+            if (tracing) trace->record(q, obs::EventKind::kMapBegin, me.pos);
             const MapResult map = me.memory->perform_map(me.pos);
             ++me.maps;
+            if (tracing) {
+              // kMapFree events came from the free hook inside perform_map;
+              // close the MAP with its allocations and the heap samples the
+              // occupancy timeline is built from. kHeapPeak carries the
+              // arena's true peak — tentative allocations rolled back inside
+              // perform_map count, so it can exceed every kHeapSample.
+              for (DataId d : map.allocated) {
+                trace->record(q, obs::EventKind::kMapAlloc, d, 0, 0,
+                              plan.graph->data(d).size_bytes);
+              }
+              trace->record(q, obs::EventKind::kMapEnd, me.pos);
+              trace->record(q, obs::EventKind::kHeapSample, 0, 0, 0,
+                            me.memory->in_use_bytes());
+              trace->record(q, obs::EventKind::kHeapPeak, 0, 0, 0,
+                            me.memory->peak_bytes());
+            }
             for (const auto& [dest, pkg] : map.packages) {
               if (!send_addr_package_blocking(q, dest, pkg)) return;
             }
@@ -1154,6 +1233,9 @@ struct ThreadedExecutor::Impl {
             continue;
           }
           const TaskId t = pp.order[me.pos];
+          // The protocol enters REC before every task (Fig. 3(b)); a ready
+          // task just passes through it instantly.
+          trace_state(q, obs::ProtoState::kRec);
           // Doorbell value read BEFORE the readiness check: an input that
           // arrives between the check and the park moves the bell past
           // `seen`, so the park returns immediately instead of sleeping
@@ -1162,8 +1244,20 @@ struct ThreadedExecutor::Impl {
           GateRef gate;
           if (task_ready(q, t, &gate)) {
             if (recovery_on) finish_wait(q);
+            if (tracing) {
+              // The task's remote inputs are now all trusted: close the
+              // put→publish→consume flows on the reader side.
+              for (const RemoteRead& rr : plan.tasks[t].remote_reads) {
+                trace->record(q, obs::EventKind::kConsume, rr.object,
+                              rr.version,
+                              plan.graph->data(rr.object).owner);
+              }
+            }
             set_state(q, ProcState::kExe);
+            trace_state(q, obs::ProtoState::kExe);
+            if (tracing) trace->record(q, obs::EventKind::kTaskBegin, t);
             execute_task(t, resolver);
+            if (tracing) trace->record(q, obs::EventKind::kTaskEnd, t);
             ++me.pos;
             status[static_cast<std::size_t>(q)].pos.store(
                 me.pos, std::memory_order_release);
@@ -1174,11 +1268,12 @@ struct ThreadedExecutor::Impl {
           } else {
             set_state(q, ProcState::kRecBlocked);
             if (recovery_on) note_blocked_wait(q, gate);
-            backoff.pause(seen);
+            traced_pause(q, backoff, seen);
           }
           continue;
         }
         // END: drain, then wait for global quiescence.
+        trace_state(q, obs::ProtoState::kEnd);
         const std::uint64_t seen = bell.value();
         const bool progressed = service_ra_cq(q);
         if (!me.counted_quiescent && me.suspended_count == 0) {
@@ -1199,7 +1294,7 @@ struct ThreadedExecutor::Impl {
         if (progressed) {
           backoff.reset();
         } else {
-          backoff.pause(seen);
+          traced_pause(q, backoff, seen);
         }
       }
     } catch (const NonExecutableError& e) {
@@ -1307,7 +1402,7 @@ RunReport ThreadedExecutor::run() {
       pr.memory = std::make_unique<ProcMemory>(
           plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
           impl.config.alloc_policy);
-      if (impl.options.poison_freed || impl.checksum_on) {
+      if (impl.options.poison_freed || impl.checksum_on || impl.tracing) {
         // Poison-fill freed volatile regions so a read through a stale
         // address (use-after-free across MAP reuse) yields garbage that the
         // numeric checks catch, not stale-but-plausible content — and reset
@@ -1321,15 +1416,22 @@ RunReport ThreadedExecutor::run() {
         Impl::Shared* window = impl.shared.back().get();
         Impl::Private* mine = &pr;
         const bool poison = impl.options.poison_freed;
+        Impl* self = &impl;
         pr.memory->set_free_hook(
-            [window, mine, poison](DataId d, mem::Offset off,
-                                   std::int64_t size) {
+            [window, mine, poison, self, q](DataId d, mem::Offset off,
+                                            std::int64_t size) {
               if (poison && size > 0) {
                 std::memset(window->heap.data() + off, 0xA5,
                             static_cast<std::size_t>(size));
               }
               mine->verified_seq[d] = 0;
               mine->rejected_seq[d] = 0;
+              // The hook fires on the owning worker's thread inside its
+              // MAP, so recording here obeys the single-writer ring rule.
+              if (self->tracing) {
+                self->trace->record(q, obs::EventKind::kMapFree, d, 0, 0,
+                                    size);
+              }
             });
       }
       if (!impl.config.active_memory) pr.memory->preallocate_all();
@@ -1386,6 +1488,20 @@ RunReport ThreadedExecutor::run() {
     }
   }
 
+  if (impl.tracing) {
+    RAPID_CHECK(impl.trace->num_procs() >= plan.num_procs,
+                "the Trace is sized for fewer processors than the plan");
+    // Baseline heap samples (permanents, plus preallocated volatiles in
+    // baseline mode), recorded before the workers exist so the
+    // single-writer ring rule holds via the thread-creation edge.
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      impl.trace->record(q, obs::EventKind::kHeapSample, 0, 0, 0,
+                         impl.priv[q].memory->in_use_bytes());
+      impl.trace->record(q, obs::EventKind::kHeapPeak, 0, 0, 0,
+                         impl.priv[q].memory->peak_bytes());
+    }
+  }
+
   impl.abort.store(false);
   impl.quiescent_count.store(0);
   Stopwatch wall;
@@ -1398,6 +1514,10 @@ RunReport ThreadedExecutor::run() {
   for (auto& th : threads) th.join();
   report.parallel_time_us = wall.seconds() * 1e6;
   impl.fill_counters(report);
+  if (impl.tracing) {
+    report.metrics = std::make_shared<obs::MetricsSummary>(
+        obs::derive_metrics(*impl.trace));
+  }
 
   if (!impl.error_text.empty()) {
     report.failure = impl.error_text;

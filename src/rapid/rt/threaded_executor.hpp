@@ -27,6 +27,10 @@
 #include "rapid/rt/report.hpp"
 #include "rapid/support/backoff.hpp"
 
+namespace rapid::obs {
+class Trace;  // obs/trace.hpp — per-processor ring-buffer event tracer
+}
+
 namespace rapid::rt {
 
 /// Resolves data objects to buffers in the executing processor's heap.
@@ -91,6 +95,13 @@ struct ThreadedOptions {
   /// Deterministic fault injection (off by default — enabled() false means
   /// every hook reduces to one predictable branch). See docs/FAULTS.md.
   FaultPlan faults;
+  /// Event tracer (docs/OBSERVABILITY.md). Null (the default) means no
+  /// tracing: every record site reduces to one predictable branch. When
+  /// set, each worker appends protocol events to its own ring in the Trace
+  /// (single-writer, lock-free), and run() attaches the derived
+  /// MetricsSummary to the RunReport. The Trace must outlive run() and be
+  /// sized for at least plan.num_procs processors.
+  obs::Trace* trace = nullptr;
 };
 
 class ThreadedExecutor {

@@ -1,14 +1,22 @@
 #include "rapid/support/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace rapid {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+int initial_level() {
+  return static_cast<int>(
+      log_level_from_env(std::getenv("RAPID_LOG"), LogLevel::kWarn));
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_emit_mutex;
+thread_local int t_proc = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,10 +41,33 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+LogLevel log_level_from_env(const char* spec, LogLevel fallback) {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  std::string s;
+  for (const char* c = spec; *c != '\0'; ++c) {
+    s.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*c))));
+  }
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  return fallback;
+}
+
+void set_log_thread_proc(int proc) { t_proc = proc; }
+
+int log_thread_proc() { return t_proc; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[rapid %s] %s\n", level_name(level), msg.c_str());
+  if (t_proc >= 0) {
+    std::fprintf(stderr, "[rapid %s p%d] %s\n", level_name(level), t_proc,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[rapid %s] %s\n", level_name(level), msg.c_str());
+  }
 }
 }  // namespace detail
 

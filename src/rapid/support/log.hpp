@@ -1,6 +1,11 @@
 // Minimal leveled logger. Thread-safe; writes to stderr. Intended for the
 // runtime's diagnostic traces (protocol state transitions, MAP activity),
 // which tests can raise to kDebug when chasing a protocol bug.
+//
+// The threshold starts from the RAPID_LOG environment variable
+// (debug|info|warn|error, or 0..3) and can be changed at run time with
+// set_log_level(). Executor worker threads call set_log_thread_proc(q) so
+// their messages carry a "p<q>" tag.
 #pragma once
 
 #include <sstream>
@@ -13,6 +18,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a RAPID_LOG-style spec ("debug", "INFO", "2", ...). Returns
+/// fallback when spec is null or unrecognized.
+LogLevel log_level_from_env(const char* spec,
+                            LogLevel fallback = LogLevel::kWarn);
+
+/// Tag this thread's log lines with a processor id (negative clears the
+/// tag). The executors call this from each worker thread.
+void set_log_thread_proc(int proc);
+int log_thread_proc();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -6,7 +6,9 @@
 #include "rapid/support/check.hpp"
 #include "rapid/support/flags.hpp"
 #include "rapid/support/json.hpp"
+#include "rapid/support/log.hpp"
 #include "rapid/support/rng.hpp"
+#include "rapid/support/stopwatch.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/support/table.hpp"
 
@@ -214,6 +216,61 @@ TEST(Table, RendersAligned) {
 TEST(Table, ArityMismatchThrows) {
   TextTable t({"a", "b"});
   EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Json, EmptyObjectAndArrayDumpCompact) {
+  EXPECT_EQ(JsonValue::object().dump(), "{}\n");
+  EXPECT_EQ(JsonValue::array().dump(), "[]\n");
+  // Empty containers nested in a parent stay compact too.
+  JsonValue doc = JsonValue::object();
+  doc["runs"] = JsonValue::array();
+  doc["meta"] = JsonValue::object();
+  const std::string out = doc.dump();
+  EXPECT_NE(out.find("\"runs\": []"), std::string::npos);
+  EXPECT_NE(out.find("\"meta\": {}"), std::string::npos);
+}
+
+TEST(Stopwatch, NowNsIsMonotonic) {
+  std::int64_t prev = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t t = now_ns();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::int64_t spin = now_ns();
+  while (now_ns() - spin < 1'000'000) {
+  }
+  EXPECT_GE(sw.nanos(), 1'000'000);
+  EXPECT_GT(sw.millis(), 0.9);
+  EXPECT_GT(sw.seconds(), 0.0009);
+}
+
+TEST(Log, LevelFromEnvParsesNamesAndNumbers) {
+  EXPECT_EQ(log_level_from_env("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_env("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_env("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_env("warn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_env("error"), LogLevel::kError);
+  EXPECT_EQ(log_level_from_env("0"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_env("3"), LogLevel::kError);
+}
+
+TEST(Log, LevelFromEnvFallsBackOnGarbage) {
+  EXPECT_EQ(log_level_from_env(nullptr), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_env("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(log_level_from_env("loud", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_env("7"), LogLevel::kWarn);
+}
+
+TEST(Log, ThreadProcTagIsPerThread) {
+  set_log_thread_proc(3);
+  EXPECT_EQ(log_thread_proc(), 3);
+  set_log_thread_proc(-1);
+  EXPECT_EQ(log_thread_proc(), -1);
 }
 
 }  // namespace
