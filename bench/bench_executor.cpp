@@ -18,6 +18,7 @@
 #include "rapid/obs/trace.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 #include "rapid/support/str.hpp"
+#include "rapid/verify/conformance.hpp"
 
 using namespace rapid;
 
@@ -29,6 +30,11 @@ struct RunStats {
   double tasks_per_sec = 0.0;
   double residual = 0.0;
   rt::RunReport report;  // counters from the last repeat
+  // Conformance verdict of the last traced repeat (-1 = not checked): the
+  // traced guard row doubles as a protocol check, so a fast-but-
+  // nonconformant run is visible in the benchmark artifact.
+  int conformance_errors = -1;
+  int conformance_warnings = -1;
 };
 
 /// Runs the plan `repeats` times on the threaded executor; wall time is the
@@ -82,6 +88,21 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
     stats.best_ms = std::min(stats.best_ms, ms);
     stats.mean_ms += ms / repeats;
     stats.report = report;
+    if (traced && rep == repeats - 1) {
+      verify::ConformanceOptions copts;
+      copts.capacity_per_proc = active ? capacity : 0;
+      copts.active_memory = active;
+      copts.alignment = 8;  // rt::ProcMemory alignment
+      copts.report = &stats.report;
+      const verify::AuditReport conf =
+          verify::check_conformance(plan, *trace, copts);
+      stats.conformance_errors = conf.errors();
+      stats.conformance_warnings = conf.warnings();
+      if (!conf.clean()) {
+        std::fprintf(stderr, "conformance findings on the traced row:\n%s",
+                     conf.to_string().c_str());
+      }
+    }
   }
   stats.tasks_per_sec =
       static_cast<double>(stats.report.tasks_executed) / (stats.best_ms / 1e3);
@@ -114,6 +135,10 @@ JsonValue run_json(const std::string& workload, int procs, const char* mode,
   rec["checksum_rejections"] = s.report.recovery.checksum_rejections;
   rec["task_retries"] = s.report.recovery.task_retries;
   r["recovery"] = std::move(rec);
+  if (s.conformance_errors >= 0) {
+    r["conformance_errors"] = s.conformance_errors;
+    r["conformance_warnings"] = s.conformance_warnings;
+  }
   if (s.report.metrics) r["metrics"] = s.report.metrics->to_json();
   return r;
 }

@@ -35,13 +35,20 @@ enum class ProtoState : std::uint8_t {
 
 const char* to_string(ProtoState s);
 
+/// The 16-bit `d` stamp (TraceEvent::d) carries the put-sequence plane for
+/// the conformance checker (verify/conformance.hpp): kPut / kPutPublish /
+/// kResend stamp the owner's 1-based per-(object, reader) put sequence,
+/// kConsume stamps the sequence the reader's acquire load observed when the
+/// gated task became ready, and kNack stamps the sequence the waiter had
+/// examined (the request's observed_seq). Stamps are truncated modulo 2^16;
+/// 0 means "no sequence observed yet".
 enum class EventKind : std::uint8_t {
   kStateEnter = 0,   // a = ProtoState entered
   kTaskBegin = 1,    // a = task id
   kTaskEnd = 2,      // a = task id
-  kPut = 3,          // a = object, b = version, c = dest, bytes = size
-  kPutPublish = 4,   // a = object, b = version, c = dest, bytes = size
-  kConsume = 5,      // a = object, b = version, c = owner (reader side)
+  kPut = 3,          // a = object, b = version, c = dest, bytes = size, d = seq
+  kPutPublish = 4,   // a = object, b = version, c = dest, bytes = size, d = seq
+  kConsume = 5,      // a = object, b = version, c = owner, d = seq (reader)
   kFlagSend = 6,     // a = task, c = dest
   kAddrPkgSend = 7,  // a = entries, b = seq, c = dest
   kAddrPkgInstall = 8,  // a = entries, b = seq, c = reader (receiver side)
@@ -51,8 +58,9 @@ enum class EventKind : std::uint8_t {
   kMapEnd = 12,      // a = schedule position
   kHeapSample = 13,  // bytes = arena in-use
   kHeapPeak = 14,    // bytes = arena peak in-use (monotone)
-  kNack = 15,        // a = object (or -1 for flag), b = version/task, c = owner
-  kResend = 16,      // a = object, b = version, c = dest, bytes = size
+  kNack = 15,        // a = object (or -1 for flag), b = version/task,
+                     // c = owner, d = examined seq (content re-requests)
+  kResend = 16,      // a = object, b = version, c = dest, bytes = size, d = seq
   kPark = 17,        // a = parks during this wait (blocked-wait park count)
   kCount = 18,
 };
@@ -68,7 +76,9 @@ struct TraceEvent {
   std::int32_t b = 0;
   std::int32_t c = 0;
   EventKind kind = EventKind::kStateEnter;
-  std::uint8_t pad_[3] = {0, 0, 0};
+  std::uint8_t pad_ = 0;
+  /// Put-sequence stamp (see the EventKind table); 0 = none.
+  std::uint16_t d = 0;
 };
 
 static_assert(sizeof(TraceEvent) == 32, "trace records are 32-byte packed");
@@ -94,7 +104,7 @@ class Trace {
   /// `proc` may call this during a run.
   void record(int proc, EventKind kind, std::int32_t a = 0,
               std::int32_t b = 0, std::int32_t c = 0,
-              std::int64_t bytes = 0) {
+              std::int64_t bytes = 0, std::uint16_t d = 0) {
     if (!enabled_) return;
 #ifdef RAPID_TSC_CLOCK
     std::int64_t t = static_cast<std::int64_t>(
@@ -103,14 +113,14 @@ class Trace {
 #else
     const std::int64_t t = now_ns() - epoch_ns_;
 #endif
-    record_at(proc, t, kind, a, b, c, bytes);
+    record_at(proc, t, kind, a, b, c, bytes, d);
   }
 
   /// Append with an explicit (already epoch-relative) timestamp. The
   /// simulator uses this with modeled time.
   void record_at(int proc, std::int64_t t_ns, EventKind kind,
                  std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0,
-                 std::int64_t bytes = 0) {
+                 std::int64_t bytes = 0, std::uint16_t d = 0) {
     if (!enabled_) return;
     Ring& ring = rings_[static_cast<std::size_t>(proc)];
     TraceEvent& e =
@@ -121,6 +131,7 @@ class Trace {
     e.b = b;
     e.c = c;
     e.kind = kind;
+    e.d = d;
     ++ring.count;
   }
 

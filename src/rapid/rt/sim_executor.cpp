@@ -1,6 +1,7 @@
 #include "rapid/rt/sim_executor.hpp"
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -48,7 +49,10 @@ class Simulator {
                                                config.alloc_policy);
       ps.received_version.assign(
           static_cast<std::size_t>(plan.graph->num_data()), -1);
+      ps.received_seq.assign(
+          static_cast<std::size_t>(plan.graph->num_data()), 0);
       ps.mailbox_in_flight.assign(p, 0);
+      ps.pkg_seq_sent.assign(p, 0);
       if (!config.active_memory) {
         ps.memory->preallocate_all();
         // Baseline: every reader address is known from the start.
@@ -108,8 +112,19 @@ class Simulator {
     std::int32_t maps = 0;
 
     std::vector<std::int32_t> received_version;  // per object, -1 = nothing
+    /// Reader-side put sequence per object (mirrors the threaded executor's
+    /// Shared::put_seq so both executors stamp the same conformance plane).
+    std::vector<std::uint32_t> received_seq;
+    /// Owner-side put sequence per (owned object, reader), keyed the same
+    /// way as known_addrs. The simulator never retransmits, so these only
+    /// ever reach 1 — but the checker reconciles stamps, not assumptions.
+    std::map<std::pair<DataId, ProcId>, std::uint32_t> sent_seq;
     std::unordered_set<TaskId> flags_received;
     std::vector<std::int32_t> mailbox_in_flight;  // per source proc
+    /// 1-based address-package sequence per destination (mirrors the
+    /// threaded executor's per-pair stamps; the conformance checker uses
+    /// them to verify duplicate suppression).
+    std::vector<std::uint32_t> pkg_seq_sent;
     std::set<std::pair<DataId, ProcId>> known_addrs;  // owner side
     std::deque<ContentSend> suspended;
     std::deque<std::pair<ProcId, AddrPackage>> pending_packages;
@@ -123,10 +138,10 @@ class Simulator {
   /// Modeled-time event recording: SimTime is µs, trace timestamps are ns.
   void record(ProcId q, SimTime t, obs::EventKind kind, std::int32_t a = 0,
               std::int32_t b = 0, std::int32_t c = 0,
-              std::int64_t bytes = 0) {
+              std::int64_t bytes = 0, std::uint16_t d = 0) {
     if (!tracing_) return;
     trace_->record_at(q, static_cast<std::int64_t>(t * 1000.0), kind, a, b,
-                      c, bytes);
+                      c, bytes, d);
   }
 
   void trace_state(ProcId q, obs::ProtoState s, SimTime t) {
@@ -227,7 +242,8 @@ class Simulator {
     if (tracing_) {
       for (const RemoteRead& rr : plan_.tasks[t].remote_reads) {
         record(q, queue_.now(), obs::EventKind::kConsume, rr.object,
-               rr.version, plan_.graph->data(rr.object).owner);
+               rr.version, plan_.graph->data(rr.object).owner, 0,
+               static_cast<std::uint16_t>(ps.received_seq[rr.object]));
       }
     }
     trace_state(q, obs::ProtoState::kExe, queue_.now());
@@ -304,28 +320,33 @@ class Simulator {
                     " before version ", s.version, " was sent"));
     ProcState& ps = procs_[q];
     const std::int64_t bytes = plan_.graph->data(s.object).size_bytes;
+    const std::uint32_t seq = ++ps.sent_seq[{s.object, s.dest}];
     record(q, std::max(queue_.now(), ps.busy_until), obs::EventKind::kPut,
-           s.object, s.version, s.dest, bytes);
+           s.object, s.version, s.dest, bytes,
+           static_cast<std::uint16_t>(seq));
     ps.busy_until =
         std::max(queue_.now(), ps.busy_until) + params_.send_overhead_us(bytes);
     report_->send_us += params_.send_overhead_us(bytes);
     ++report_->content_messages;
     report_->content_bytes += bytes;
     record(q, ps.busy_until, obs::EventKind::kPutPublish, s.object,
-           s.version, s.dest, bytes);
+           s.version, s.dest, bytes, static_cast<std::uint16_t>(seq));
     const SimTime arrive = ps.busy_until + params_.rma_latency_us;
     const DataId d = s.object;
     const std::int32_t v = s.version;
     const ProcId dest = s.dest;
-    queue_.schedule_at(arrive, [this, dest, d, v] {
+    queue_.schedule_at(arrive, [this, dest, d, v, seq] {
       auto& rv = procs_[dest].received_version[d];
       rv = std::max(rv, v);
+      auto& rs = procs_[dest].received_seq[d];
+      rs = std::max(rs, seq);
       wake(dest);
     });
   }
 
-  void send_addr_package(ProcId q, ProcId dest, const AddrPackage& pkg) {
+  void send_addr_package(ProcId q, ProcId dest, AddrPackage pkg) {
     ProcState& ps = procs_[q];
+    pkg.seq = ++ps.pkg_seq_sent[dest];
     ++procs_[dest].mailbox_in_flight[q];
     const double pkg_cost =
         params_.rma_overhead_us +

@@ -365,7 +365,7 @@ struct ThreadedExecutor::Impl {
     const std::uint32_t attempt = ++me.sent_seq[slot_index(s.object, s.dest)];
     if (tracing) {
       trace->record(q, obs::EventKind::kPut, s.object, s.version, s.dest,
-                    size);
+                    size, static_cast<std::uint16_t>(attempt));
     }
     if (size > 0) {
       std::memcpy(dst.heap.data() + dst_off,
@@ -405,7 +405,8 @@ struct ThreadedExecutor::Impl {
     if (tracing) {
       trace->record(q, attempt > 1 ? obs::EventKind::kResend
                                    : obs::EventKind::kPutPublish,
-                    s.object, s.version, s.dest, size);
+                    s.object, s.version, s.dest, size,
+                    static_cast<std::uint16_t>(attempt));
     }
     content_messages.fetch_add(1, std::memory_order_relaxed);
     content_bytes.fetch_add(size, std::memory_order_relaxed);
@@ -464,7 +465,7 @@ struct ThreadedExecutor::Impl {
     if (tracing) {
       if (gate.object != graph::kInvalidData) {
         trace->record(q, obs::EventKind::kNack, gate.object, gate.version,
-                      owner);
+                      owner, 0, static_cast<std::uint16_t>(n.observed_seq));
       } else {
         trace->record(q, obs::EventKind::kNack, -1,
                       static_cast<std::int32_t>(gate.flag_task), owner);
@@ -1246,11 +1247,19 @@ struct ThreadedExecutor::Impl {
             if (recovery_on) finish_wait(q);
             if (tracing) {
               // The task's remote inputs are now all trusted: close the
-              // put→publish→consume flows on the reader side.
+              // put→publish→consume flows on the reader side. The stamp is
+              // a fresh acquire load of the published put sequence — a real
+              // release/acquire pair with the owner's publication, so the
+              // conformance checker's publish→consume edge is a genuine
+              // happens-before edge, not a timestamp heuristic.
               for (const RemoteRead& rr : plan.tasks[t].remote_reads) {
+                const std::uint32_t seq =
+                    shared[q]->put_seq[rr.object].load(
+                        std::memory_order_acquire);
                 trace->record(q, obs::EventKind::kConsume, rr.object,
                               rr.version,
-                              plan.graph->data(rr.object).owner);
+                              plan.graph->data(rr.object).owner, 0,
+                              static_cast<std::uint16_t>(seq));
               }
             }
             set_state(q, ProcState::kExe);

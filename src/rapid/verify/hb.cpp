@@ -1,0 +1,243 @@
+#include "rapid/verify/hb.hpp"
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "rapid/support/check.hpp"
+
+namespace rapid::verify {
+
+using obs::EventKind;
+
+TraceView TraceView::from(const obs::Trace& trace) {
+  TraceView view;
+  const int p = trace.num_procs();
+  view.rings.reserve(static_cast<std::size_t>(p));
+  view.dropped.reserve(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    view.rings.push_back(trace.events(q));
+    view.dropped.push_back(trace.dropped(q));
+  }
+  return view;
+}
+
+bool TraceView::truncated() const {
+  for (const std::int64_t d : dropped) {
+    if (d > 0) return true;
+  }
+  return false;
+}
+
+ProtocolEdges derive_protocol_edges(const rt::RunPlan& plan,
+                                    const TraceView& view) {
+  ProtocolEdges out;
+  // Publications keyed by the release/acquire chain's own identifiers.
+  // pub_by_seq: (object, dest, seq stamp) — the exact put the reader's
+  // acquire load observed. first_pub: (object, version, dest) — fallback
+  // for stamp-free consumes (seq == 0), matching the weakest sound edge:
+  // every later put into the same slot is program-ordered after the first.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::uint16_t>, EventRef>
+      pub_by_seq;
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, EventRef>
+      first_pub;
+  // Address packages: (src ring, dest ring, package seq).
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, EventRef>
+      pkg_send;
+  // Content re-requests: (reader ring, object, examined seq stamp).
+  std::map<std::tuple<std::int32_t, std::int32_t, std::uint16_t>, EventRef>
+      nack_by_seq;
+  // First task-begin on ring r gated by remote sync pred t: (r, t).
+  std::map<std::pair<std::int32_t, std::int32_t>, EventRef> first_gated_begin;
+
+  const int p = view.num_procs();
+  for (std::int32_t r = 0; r < p; ++r) {
+    const auto& ring = view.rings[static_cast<std::size_t>(r)];
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(ring.size());
+         ++i) {
+      const obs::TraceEvent& e = ring[static_cast<std::size_t>(i)];
+      const EventRef ref{r, i};
+      switch (e.kind) {
+        case EventKind::kPutPublish:
+        case EventKind::kResend:
+          pub_by_seq.emplace(std::make_tuple(e.a, e.c, e.d), ref);
+          first_pub.emplace(std::make_tuple(e.a, e.b, e.c), ref);
+          break;
+        case EventKind::kAddrPkgSend:
+          pkg_send.emplace(std::make_tuple(r, e.c, e.b), ref);
+          break;
+        case EventKind::kNack:
+          if (e.a >= 0) {
+            nack_by_seq.emplace(std::make_tuple(r, e.a, e.d), ref);
+          }
+          break;
+        case EventKind::kTaskBegin: {
+          const auto t = static_cast<graph::TaskId>(e.a);
+          if (t < plan.graph->num_tasks()) {
+            for (const graph::TaskId pred :
+                 plan.tasks[t].remote_sync_preds) {
+              first_gated_begin.emplace(
+                  std::make_pair(r, static_cast<std::int32_t>(pred)), ref);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  for (std::int32_t r = 0; r < p; ++r) {
+    const auto& ring = view.rings[static_cast<std::size_t>(r)];
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(ring.size());
+         ++i) {
+      const obs::TraceEvent& e = ring[static_cast<std::size_t>(i)];
+      const EventRef ref{r, i};
+      switch (e.kind) {
+        case EventKind::kConsume: {
+          EventRef pub;
+          if (e.d != 0) {
+            const auto it =
+                pub_by_seq.find(std::make_tuple(e.a, r, e.d));
+            if (it != pub_by_seq.end()) pub = it->second;
+          }
+          if (!pub.valid()) {
+            const auto it = first_pub.find(std::make_tuple(e.a, e.b, r));
+            if (it != first_pub.end()) pub = it->second;
+          }
+          if (pub.valid()) {
+            out.edges.emplace_back(pub, ref);
+          } else {
+            out.unmatched_consumes.push_back(ref);
+          }
+          break;
+        }
+        case EventKind::kAddrPkgInstall: {
+          const auto it = pkg_send.find(std::make_tuple(e.c, r, e.b));
+          if (it != pkg_send.end()) {
+            out.edges.emplace_back(it->second, ref);
+          } else {
+            out.unmatched_installs.push_back(ref);
+          }
+          break;
+        }
+        case EventKind::kFlagSend: {
+          const auto it =
+              first_gated_begin.find(std::make_pair(e.c, e.a));
+          if (it != first_gated_begin.end()) {
+            out.edges.emplace_back(ref, it->second);
+          }
+          break;
+        }
+        case EventKind::kResend: {
+          // The retransmit was triggered by the reader's re-request whose
+          // observed_seq was one below this put's sequence.
+          const auto it = nack_by_seq.find(
+              std::make_tuple(e.c, e.a,
+                              static_cast<std::uint16_t>(e.d - 1)));
+          if (it != nack_by_seq.end()) {
+            out.edges.emplace_back(it->second, ref);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+HbGraph::HbGraph(
+    const TraceView& view,
+    const std::vector<std::pair<EventRef, EventRef>>& cross_edges) {
+  num_procs_ = view.num_procs();
+  const auto p = static_cast<std::size_t>(num_procs_);
+  clocks_.resize(p);
+  std::vector<std::int32_t> sizes(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    sizes[r] = static_cast<std::int32_t>(view.rings[r].size());
+    clocks_[r].assign(static_cast<std::size_t>(sizes[r]) * p, 0);
+    num_events_ += sizes[r];
+  }
+
+  // Cross-edge predecessors, bucketed by destination event.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<EventRef>>
+      preds;
+  for (const auto& [src, dst] : cross_edges) {
+    RAPID_CHECK(src.proc >= 0 && src.proc < num_procs_ &&
+                    dst.proc >= 0 && dst.proc < num_procs_ &&
+                    src.index >= 0 && src.index < sizes[static_cast<
+                        std::size_t>(src.proc)] &&
+                    dst.index >= 0 && dst.index < sizes[static_cast<
+                        std::size_t>(dst.proc)],
+                "happens-before edge references an event outside the trace");
+    preds[{dst.proc, dst.index}].push_back(src);
+  }
+
+  // Specialized Kahn scan: each ring is already topologically sorted by
+  // program order, so one cursor per ring suffices. A ring's next event is
+  // ready when every cross predecessor has been processed; rounds repeat
+  // until no cursor can advance. A full stall with events remaining means
+  // the cross edges are cyclic (a corrupted trace).
+  std::vector<std::int32_t> cursor(p, 0);
+  std::int64_t processed = 0;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (std::size_t r = 0; r < p; ++r) {
+      while (cursor[r] < sizes[r]) {
+        const std::int32_t i = cursor[r];
+        const auto it = preds.find({static_cast<std::int32_t>(r), i});
+        bool ready = true;
+        if (it != preds.end()) {
+          for (const EventRef& src : it->second) {
+            if (src.index >= cursor[static_cast<std::size_t>(src.proc)]) {
+              ready = false;
+              break;
+            }
+          }
+        }
+        if (!ready) break;
+        // clock(e) = join(program predecessor, cross predecessors), then
+        // count e itself on its own ring.
+        auto* clock = &clocks_[r][static_cast<std::size_t>(i) * p];
+        if (i > 0) {
+          const auto* prev =
+              &clocks_[r][(static_cast<std::size_t>(i) - 1) * p];
+          for (std::size_t q = 0; q < p; ++q) clock[q] = prev[q];
+        }
+        if (it != preds.end()) {
+          for (const EventRef& src : it->second) {
+            const auto* sc =
+                &clocks_[static_cast<std::size_t>(src.proc)]
+                        [static_cast<std::size_t>(src.index) * p];
+            for (std::size_t q = 0; q < p; ++q) {
+              if (sc[q] > clock[q]) clock[q] = sc[q];
+            }
+          }
+        }
+        clock[r] = i + 1;
+        ++cursor[r];
+        ++processed;
+        advanced = true;
+      }
+    }
+  }
+  consistent_ = processed == num_events_;
+}
+
+bool HbGraph::happens_before(EventRef a, EventRef b) const {
+  RAPID_CHECK(consistent_, "happens_before on an inconsistent trace");
+  if (a == b) return false;
+  const auto p = static_cast<std::size_t>(num_procs_);
+  const std::int32_t reach =
+      clocks_[static_cast<std::size_t>(b.proc)]
+             [static_cast<std::size_t>(b.index) * p +
+              static_cast<std::size_t>(a.proc)];
+  return reach >= a.index + 1;
+}
+
+}  // namespace rapid::verify

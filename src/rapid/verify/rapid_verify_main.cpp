@@ -108,6 +108,10 @@ int main(int argc, char** argv) {
                "MIN_MEM + MIN_MEM/8 (the first-fit fragmentation slack the "
                "test suite uses), negative skips the capacity replay");
   flags.define("mailbox-slots", "1", "address-package slots per pair");
+  flags.define("strict", "false",
+               "exit non-zero on warnings too (MBX-CROSS/REC-CROSS and "
+               "friends), for CI lanes that want advisory findings to "
+               "block");
   flags.define("verbose", "false", "print the full report even when clean");
   try {
     flags.parse(argc, argv);
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
   const auto params = machine::MachineParams::cray_t3d(procs);
 
   int total_errors = 0;
+  int total_warnings = 0;
   for (const std::string& name : names) {
     try {
       const Target target = make_target(name, scale, block, procs);
@@ -169,11 +174,14 @@ int main(int argc, char** argv) {
         std::printf("%s", report.to_string().c_str());
       }
       total_errors += report.errors();
+      total_warnings += report.warnings();
     } catch (const rapid::Error& e) {
       std::fprintf(stderr, "%s: audit failed to run: %s\n", name.c_str(),
                    e.what());
       return 2;
     }
   }
-  return total_errors == 0 ? 0 : 1;
+  if (total_errors > 0) return 1;
+  if (flags.get_bool("strict") && total_warnings > 0) return 1;
+  return 0;
 }

@@ -1,14 +1,23 @@
-// GTest glue for the plan auditor. Header-only and gtest-dependent, so it
-// lives outside the rapid_verify library proper — include it from test
-// targets only.
+// GTest glue for the plan auditor and the conformance checker. Header-only
+// and gtest-dependent, so it lives outside the rapid_verify library proper
+// — include it from test targets only.
 //
 //   EXPECT_PLAN_CLEAN(graph, schedule, plan);            // plan-level rules
 //   EXPECT_PLAN_CLEAN_AT(graph, schedule, plan, bytes);  // + Def. 6 replay
+//
+// The TraceView mutators below seed protocol violations into a recorded
+// trace for the conformance checker's negative-path tests: each one edits
+// the snapshot the way a specific runtime bug would have manifested, so
+// the tests can assert the checker reports the exact HB-*/CONF-* rule.
 #pragma once
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "rapid/obs/trace.hpp"
 #include "rapid/verify/auditor.hpp"
+#include "rapid/verify/hb.hpp"
 
 namespace rapid::verify::testing {
 
@@ -25,6 +34,84 @@ inline AuditOptions at_capacity(std::int64_t capacity_per_proc) {
   AuditOptions options;
   options.capacity_per_proc = capacity_per_proc;
   return options;
+}
+
+/// Where a TraceView mutator struck: the ring it edited and the
+/// (object, version, dest) identity of the affected put, so the test can
+/// assert the checker's finding points at exactly this site.
+struct MutationSite {
+  std::int32_t proc = -1;
+  std::int32_t object = -1;
+  std::int32_t version = -1;
+  std::int32_t dest = -1;
+
+  bool found() const { return proc >= 0; }
+};
+
+/// Deletes the first kPutPublish event — the trace a runtime would leave
+/// if a put's release store of put_seq were suppressed: the payload memcpy
+/// (kPut) happened, but nothing published it. The checker must report the
+/// reader's consume as HB-RACE (no publication happens-before the read)
+/// and the missing publication as CONF-MSG.
+inline MutationSite suppress_publication(TraceView& view) {
+  for (std::size_t r = 0; r < view.rings.size(); ++r) {
+    auto& ring = view.rings[r];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring[i].kind == obs::EventKind::kPutPublish) {
+        const MutationSite site{static_cast<std::int32_t>(r), ring[i].a,
+                                ring[i].b, ring[i].c};
+        ring.erase(ring.begin() + static_cast<std::ptrdiff_t>(i));
+        return site;
+      }
+    }
+  }
+  return {};
+}
+
+/// Moves a reader-side kMapFree to just before the last kConsume of the
+/// same object on that ring — the trace of a MAP freeing a volatile region
+/// while a consumer of its content was still to come (a liveness last_pos
+/// mis-computation). The checker must report HB-RACE (use-after-free).
+inline MutationSite reorder_free_before_last_consume(TraceView& view) {
+  for (std::size_t r = 0; r < view.rings.size(); ++r) {
+    auto& ring = view.rings[r];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring[i].kind != obs::EventKind::kMapFree) continue;
+      for (std::size_t j = i; j-- > 0;) {
+        if (ring[j].kind == obs::EventKind::kConsume &&
+            ring[j].a == ring[i].a) {
+          const MutationSite site{static_cast<std::int32_t>(r), ring[j].a,
+                                  ring[j].b, static_cast<std::int32_t>(r)};
+          const obs::TraceEvent freed = ring[i];
+          ring.erase(ring.begin() + static_cast<std::ptrdiff_t>(i));
+          ring.insert(ring.begin() + static_cast<std::ptrdiff_t>(j), freed);
+          return site;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+/// Appends a copy of an existing kPutPublish with the next put sequence —
+/// the trace of an owner putting the same content again without any NACK
+/// gating it (a forged/unsolicited retransmit). The checker must report it
+/// as CONF-MSG: a put outside the plan's send set.
+inline MutationSite forge_extra_put(TraceView& view) {
+  for (std::size_t r = 0; r < view.rings.size(); ++r) {
+    auto& ring = view.rings[r];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring[i].kind == obs::EventKind::kPutPublish) {
+        obs::TraceEvent forged = ring[i];
+        forged.d = static_cast<std::uint16_t>(forged.d + 1);
+        const MutationSite site{static_cast<std::int32_t>(r), forged.a,
+                                forged.b, forged.c};
+        ring.push_back(forged);
+        return site;
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace rapid::verify::testing

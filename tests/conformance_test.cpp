@@ -1,0 +1,251 @@
+// Tests for the execution-conformance checker (verify/conformance.hpp):
+// clean traced runs on both executors check clean end to end (HB-RACE,
+// CONF-STATE, CONF-MSG, CONF-CAP all silent, counters reconciled); fault
+// presets under recovery stay clean because sequence-gated resends are part
+// of the protocol, not violations; ring overflow degrades absence-based
+// errors to warnings; and seeded protocol violations (the testing.hpp trace
+// mutators) each produce their exact rule id at the exact site.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "counter_app.hpp"
+#include "rapid/obs/trace.hpp"
+#include "rapid/rt/faults.hpp"
+#include "rapid/rt/sim_executor.hpp"
+#include "rapid/rt/threaded_executor.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/verify/conformance.hpp"
+#include "rapid/verify/hb.hpp"
+#include "rapid/verify/testing.hpp"
+
+namespace rapid::verify {
+namespace {
+
+using rt::testing::CounterApp;
+using rt::testing::GridApp;
+
+/// One traced threaded run of the Figure-2 counter app, everything the
+/// checker needs bundled: the app must outlive the plan (the plan holds a
+/// pointer to its graph).
+struct TracedRun {
+  CounterApp app;
+  std::int64_t capacity;
+  obs::Trace trace;
+  rt::RunReport report;
+
+  explicit TracedRun(int procs, rt::ThreadedOptions options = {},
+                     std::int32_t events_per_proc = 1 << 16)
+      : app(procs),
+        capacity(min_capacity()),
+        trace(procs, ring(events_per_proc)) {
+    options.trace = &trace;
+    rt::ThreadedExecutor exec(app.plan, app.config(capacity),
+                              app.make_init(), app.make_body(), options);
+    report = exec.run();
+  }
+
+  std::int64_t min_capacity() const {
+    return sched::analyze_liveness(app.graph, app.schedule).min_mem();
+  }
+
+  static obs::TraceConfig ring(std::int32_t events) {
+    obs::TraceConfig c;
+    c.events_per_proc = events;
+    return c;
+  }
+
+  ConformanceOptions options() const {
+    ConformanceOptions o;
+    o.capacity_per_proc = capacity;
+    o.alignment = 8;  // rt::ProcMemory alignment in the threaded executor
+    o.report = &report;
+    return o;
+  }
+};
+
+// ---- clean runs check clean ------------------------------------------------
+
+TEST(Conformance, ThreadedCleanRunChecksClean) {
+  TracedRun run(4);
+  ASSERT_TRUE(run.report.executable) << run.report.failure;
+  const AuditReport r =
+      check_conformance(run.app.plan, run.trace, run.options());
+  EXPECT_TRUE(r.clean()) << r.to_string();
+  EXPECT_EQ(r.warnings(), 0) << r.to_string();
+}
+
+TEST(Conformance, SimulatorCleanRunChecksClean) {
+  CounterApp app(4);
+  const std::int64_t capacity =
+      sched::analyze_liveness(app.graph, app.schedule).min_mem();
+  obs::Trace trace(4);
+  const rt::RunReport report =
+      rt::simulate(app.plan, app.config(capacity), &trace);
+  ASSERT_TRUE(report.executable) << report.failure;
+
+  ConformanceOptions options;
+  options.capacity_per_proc = capacity;
+  options.alignment = 1;  // the simulator's ProcMemory is unaligned
+  options.report = &report;
+  const AuditReport r = check_conformance(app.plan, trace, options);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+  EXPECT_EQ(r.warnings(), 0) << r.to_string();
+}
+
+/// A denser app with real cross-processor traffic on every row.
+TEST(Conformance, ThreadedGridRunChecksClean) {
+  const int procs = 4;
+  GridApp app(6, 6, procs);
+  const std::int64_t capacity =
+      sched::analyze_liveness(app.graph, app.schedule).min_mem();
+  obs::Trace trace(procs);
+  rt::ThreadedOptions options;
+  options.trace = &trace;
+  rt::RunConfig config;
+  config.capacity_per_proc = capacity;
+  config.active_memory = true;
+  config.params = machine::MachineParams::cray_t3d(procs);
+  rt::ThreadedExecutor exec(app.plan, config, app.make_init(),
+                            app.make_body(), options);
+  const rt::RunReport report = exec.run();
+  ASSERT_TRUE(report.executable) << report.failure;
+
+  ConformanceOptions copts;
+  copts.capacity_per_proc = capacity;
+  copts.alignment = 8;
+  copts.report = &report;
+  const AuditReport r = check_conformance(app.plan, trace, copts);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+/// Recovery runs must also check clean: resends are sequence-gated
+/// retransmits of planned sends (kResend pairs with an earlier publish of
+/// the same put), NACK counts reconcile, and the state machine still walks
+/// its scheduled positions.
+TEST(Conformance, RecoveryPresetsCheckClean) {
+  const char* presets[] = {"addr", "put", "slow", "park", "corrupt", "dup"};
+  for (const char* preset : presets) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      rt::ThreadedOptions options;
+      options.retry = RetryPolicy::standard();
+      options.faults = rt::FaultPlan::preset(preset, seed);
+      TracedRun run(4, options);
+      ASSERT_TRUE(run.report.executable)
+          << preset << " seed " << seed << ": " << run.report.failure;
+      const AuditReport r =
+          check_conformance(run.app.plan, run.trace, run.options());
+      EXPECT_TRUE(r.clean())
+          << preset << " seed " << seed << ":\n" << r.to_string();
+    }
+  }
+}
+
+// ---- graceful degradation on ring overflow ---------------------------------
+
+/// With a ring far too small for the run, the prefix of history is gone.
+/// Every absence-of-event conclusion is then unsound, so the checker must
+/// degrade: zero errors, and an explicit CONF-TRUNCATED note.
+TEST(Conformance, TinyRingDegradesToWarnings) {
+  TracedRun run(4, {}, /*events_per_proc=*/64);
+  ASSERT_TRUE(run.report.executable) << run.report.failure;
+  ASSERT_GT(run.trace.total_dropped(), 0)
+      << "ring too large for the test to mean anything";
+  const AuditReport r =
+      check_conformance(run.app.plan, run.trace, run.options());
+  EXPECT_EQ(r.errors(), 0) << r.to_string();
+  EXPECT_TRUE(r.has("CONF-TRUNCATED")) << r.to_string();
+}
+
+// ---- negative paths: seeded violations name their exact rule ---------------
+
+TEST(Conformance, SuppressedPublicationIsAnHbRace) {
+  TracedRun run(4);
+  ASSERT_TRUE(run.report.executable) << run.report.failure;
+  TraceView view = TraceView::from(run.trace);
+  const auto site = testing::suppress_publication(view);
+  ASSERT_TRUE(site.found()) << "no kPutPublish in the trace to suppress";
+
+  ConformanceOptions options = run.options();
+  options.report = nullptr;  // counters no longer reconcile by construction
+  const AuditReport r = check_conformance(run.app.plan, view, options);
+  EXPECT_FALSE(r.clean()) << "suppressed publication went unnoticed";
+  const Finding* race = r.find("HB-RACE");
+  ASSERT_NE(race, nullptr) << r.to_string();
+  EXPECT_EQ(race->object, site.object) << r.to_string();
+  EXPECT_TRUE(r.has("CONF-MSG")) << r.to_string();  // planned send missing
+}
+
+TEST(Conformance, FreeBeforeLastConsumeIsAnHbRace) {
+  TracedRun run(4);
+  ASSERT_TRUE(run.report.executable) << run.report.failure;
+  TraceView view = TraceView::from(run.trace);
+  const auto site = testing::reorder_free_before_last_consume(view);
+  ASSERT_TRUE(site.found())
+      << "no consume-then-free pair in the trace to reorder";
+
+  ConformanceOptions options = run.options();
+  options.report = nullptr;
+  const AuditReport r = check_conformance(run.app.plan, view, options);
+  const Finding* race = r.find("HB-RACE");
+  ASSERT_NE(race, nullptr) << r.to_string();
+  EXPECT_EQ(race->object, site.object) << r.to_string();
+  EXPECT_EQ(race->proc, site.proc) << r.to_string();
+}
+
+TEST(Conformance, ForgedPutIsOutsideThePlanSendSet) {
+  TracedRun run(4);
+  ASSERT_TRUE(run.report.executable) << run.report.failure;
+  TraceView view = TraceView::from(run.trace);
+  const auto site = testing::forge_extra_put(view);
+  ASSERT_TRUE(site.found()) << "no kPutPublish in the trace to forge";
+
+  ConformanceOptions options = run.options();
+  options.report = nullptr;
+  const AuditReport r = check_conformance(run.app.plan, view, options);
+  const Finding* msg = r.find("CONF-MSG");
+  ASSERT_NE(msg, nullptr) << r.to_string();
+  EXPECT_EQ(msg->object, site.object) << r.to_string();
+  EXPECT_EQ(msg->proc, site.proc) << r.to_string();
+  // The forged put also lands after the reader's MAP recycled the region,
+  // so an HB-RACE finding alongside is correct — only CONF-MSG is required.
+}
+
+// ---- vector-clock engine sanity --------------------------------------------
+
+/// Hand-built two-ring view: a publish on ring 0, a consume on ring 1 with
+/// a cross edge between them. The clocks must order them one way only.
+TEST(HbGraph, OrdersAcrossRingsAndRejectsCycles) {
+  TraceView view;
+  view.rings.resize(2);
+  view.dropped.assign(2, 0);
+  obs::TraceEvent pub{};
+  pub.kind = obs::EventKind::kPutPublish;
+  obs::TraceEvent con{};
+  con.kind = obs::EventKind::kConsume;
+  view.rings[0] = {pub, pub};
+  view.rings[1] = {con, con};
+
+  {
+    HbGraph hb(view, {{EventRef{0, 0}, EventRef{1, 1}}});
+    ASSERT_TRUE(hb.consistent());
+    EXPECT_TRUE(hb.happens_before(EventRef{0, 0}, EventRef{1, 1}));
+    EXPECT_FALSE(hb.happens_before(EventRef{1, 1}, EventRef{0, 0}));
+    // Program order within a ring is always an edge.
+    EXPECT_TRUE(hb.happens_before(EventRef{0, 0}, EventRef{0, 1}));
+    // No cross edge touches ring 1's first event: concurrent with ring 0.
+    EXPECT_FALSE(hb.happens_before(EventRef{0, 0}, EventRef{1, 0}));
+    EXPECT_FALSE(hb.happens_before(EventRef{1, 0}, EventRef{0, 0}));
+  }
+  {
+    // 0.1 -> 1.0 plus 1.1 -> 0.0 crosses program order both ways: a cycle.
+    HbGraph hb(view, {{EventRef{0, 1}, EventRef{1, 0}},
+                      {EventRef{1, 1}, EventRef{0, 0}}});
+    EXPECT_FALSE(hb.consistent());
+  }
+}
+
+}  // namespace
+}  // namespace rapid::verify
