@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common.hpp"
+#include "rapid/num/dispatch.hpp"
 #include "rapid/num/reference.hpp"
 #include "rapid/obs/metrics.hpp"
 #include "rapid/obs/trace.hpp"
@@ -43,11 +44,13 @@ struct RunStats {
 RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
                       std::int64_t capacity, bool active, int repeats,
                       const rt::FaultPlan& faults = {}, bool checksum = true,
-                      bool recovery = false, bool traced = false) {
+                      bool recovery = false, bool traced = false,
+                      bool slab = true) {
   rt::RunConfig config;
   config.params = inst.params;
   config.capacity_per_proc = capacity;
   config.active_memory = active;
+  config.slab_arena = slab;
   const rt::ObjectInit init =
       inst.cholesky ? inst.cholesky->make_init() : inst.lu->make_init();
   const rt::TaskBody body =
@@ -93,6 +96,7 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
       copts.capacity_per_proc = active ? capacity : 0;
       copts.active_memory = active;
       copts.alignment = 8;  // rt::ProcMemory alignment
+      copts.slab_arena = slab;
       copts.report = &stats.report;
       const verify::AuditReport conf =
           verify::check_conformance(plan, *trace, copts);
@@ -123,6 +127,7 @@ JsonValue run_json(const std::string& workload, int procs, const char* mode,
   r["maps_avg"] = s.report.avg_maps();
   r["content_messages"] = s.report.content_messages;
   r["content_bytes"] = s.report.content_bytes;
+  r["put_batches"] = s.report.put_batches;
   r["flag_messages"] = s.report.flag_messages;
   r["addr_packages"] = s.report.addr_packages;
   r["suspended_sends"] = s.report.suspended_sends;
@@ -168,6 +173,13 @@ int main(int argc, char** argv) {
                "add an active+tracing row (event tracer armed at the default "
                "ring size); the delta against the 'active' row is the "
                "tracing overhead and is recorded as trace_overhead_pct");
+  flags.define("slab", "1",
+               "slab-backed arena fast path on every run (the traced row's "
+               "conformance replay matches the flag); 0 isolates the slab "
+               "speedup");
+  flags.define("kernels", "auto",
+               "dense-kernel dispatch level: auto, ref, or blocked "
+               "(isolates the micro-kernel speedup from runtime effects)");
   if (bench::parse_common_flags(flags, argc, argv)) return 0;
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
@@ -178,6 +190,16 @@ int main(int argc, char** argv) {
   const bool checksum = flags.get_int("checksum") != 0;
   const bool recovery = flags.get_int("recovery") != 0;
   const bool traced = flags.get_int("trace") != 0;
+  const bool slab = flags.get_int("slab") != 0;
+  const std::string kernels = flags.get("kernels");
+  if (kernels == "ref") {
+    num::set_kernel_level(num::KernelLevel::kRef);
+  } else if (kernels == "blocked") {
+    num::set_kernel_level(num::KernelLevel::kBlocked);
+  } else if (kernels != "auto") {
+    std::fprintf(stderr, "unknown --kernels level '%s'\n", kernels.c_str());
+    return 2;
+  }
   rt::FaultPlan faults;  // disabled unless --faults names a preset
   if (!fault_preset.empty()) {
     faults = rt::FaultPlan::preset(
@@ -199,6 +221,8 @@ int main(int argc, char** argv) {
   TextTable table({"workload", "p", "mode", "cap/TOT", "best ms", "mean ms",
                    "tasks/s", "maps", "msgs", "susp"});
   JsonValue runs = JsonValue::array();
+  // CI gate: any conformance error on a traced guard row fails the bench.
+  bool guard_failed = false;
 
   for (const std::int64_t p64 : flags.get_int_list("procs")) {
     const int p = static_cast<int>(p64);
@@ -220,7 +244,8 @@ int main(int argc, char** argv) {
       const std::int64_t min = bench::min_mem(inst, schedule);
 
       const RunStats base =
-          run_threaded(inst, plan, tot, false, repeats, {}, checksum);
+          run_threaded(inst, plan, tot, false, repeats, {}, checksum,
+                       /*recovery=*/false, /*traced=*/false, slab);
       // Fragmentation and 8-byte alignment put the practical floor above
       // MIN_MEM; escalate the capacity fraction until the run executes.
       double used_frac = frac;
@@ -230,7 +255,8 @@ int main(int argc, char** argv) {
         active_cap = std::max(
             min, static_cast<std::int64_t>(used_frac * static_cast<double>(tot)));
         act = run_threaded(inst, plan, active_cap, true, repeats, faults,
-                           checksum);
+                           checksum, /*recovery=*/false, /*traced=*/false,
+                           slab);
         if (act.report.executable) break;
         RAPID_CHECK(used_frac < 1.5,
                     cat("active run never became executable: ",
@@ -244,7 +270,8 @@ int main(int argc, char** argv) {
         // clean run (deadline bookkeeping; checksums are governed by
         // --checksum in both rows).
         rec = run_threaded(inst, plan, active_cap, true, repeats, faults,
-                           checksum, /*recovery=*/true);
+                           checksum, /*recovery=*/true, /*traced=*/false,
+                           slab);
       }
       RunStats trc;
       if (traced) {
@@ -252,7 +279,8 @@ int main(int argc, char** argv) {
         // against the "active" row is the tracing overhead (the guard for
         // the "within 10% of untraced" budget in docs/OBSERVABILITY.md).
         trc = run_threaded(inst, plan, active_cap, true, repeats, faults,
-                           checksum, recovery, /*traced=*/true);
+                           checksum, recovery, /*traced=*/true, slab);
+        if (trc.conformance_errors > 0) guard_failed = true;
       }
       std::vector<std::tuple<const char*, std::int64_t, const RunStats*>>
           rows = {{"baseline", tot, &base}, {"active", active_cap, &act}};
@@ -296,6 +324,7 @@ int main(int argc, char** argv) {
   doc["checksum"] = checksum;
   doc["recovery"] = recovery;
   doc["trace"] = traced;
+  doc["slab"] = slab;
   if (!fault_preset.empty()) {
     doc["fault_seed"] = flags.get_int("fault_seed");
   }
@@ -303,5 +332,10 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
   doc["runs"] = std::move(runs);
   bench::write_json_file(flags, doc);
+  if (guard_failed) {
+    std::fprintf(stderr,
+                 "bench_executor: traced guard row has conformance errors\n");
+    return 1;
+  }
   return 0;
 }

@@ -14,12 +14,25 @@ double ArenaStats::fragmentation() const {
 }
 
 Arena::Arena(std::int64_t capacity, std::int64_t alignment,
-             AllocPolicy policy)
+             AllocPolicy policy, SlabConfig slab)
     : capacity_(capacity), alignment_(alignment), policy_(policy) {
   RAPID_CHECK(capacity >= 0, "negative capacity");
   RAPID_CHECK(alignment > 0, "alignment must be positive");
-  if (capacity_ > 0) free_[0] = capacity_;
+  if (capacity_ > 0) {
+    free_[0] = capacity_;
+    free_sizes_.insert(capacity_);
+  }
   stats_.capacity = capacity_;
+  if (slab.enabled()) {
+    RAPID_CHECK(slab.max_cached_per_class > 0,
+                "slab max_cached_per_class must be positive");
+    for (const std::int64_t s : slab.class_sizes) class_sizes_.push_back(rounded(s));
+    std::sort(class_sizes_.begin(), class_sizes_.end());
+    class_sizes_.erase(std::unique(class_sizes_.begin(), class_sizes_.end()),
+                       class_sizes_.end());
+    slabs_.resize(class_sizes_.size());
+    max_cached_per_class_ = slab.max_cached_per_class;
+  }
 }
 
 std::int64_t Arena::rounded(std::int64_t size) const {
@@ -28,42 +41,126 @@ std::int64_t Arena::rounded(std::int64_t size) const {
   return (size + alignment_ - 1) / alignment_ * alignment_;
 }
 
+std::int32_t Arena::class_of(std::int64_t need) const {
+  // Exact match only: a cached block must be reusable without splitting,
+  // or the byte accounting would drift from the plain arena. The class
+  // list is tiny (dominant MAP sizes), so a linear scan beats a map.
+  for (std::size_t i = 0; i < class_sizes_.size(); ++i) {
+    if (class_sizes_[i] == need) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+void Arena::erase_size(std::int64_t size) {
+  const auto it = free_sizes_.find(size);
+  RAPID_CHECK(it != free_sizes_.end(), "free size multiset drifted");
+  free_sizes_.erase(it);
+}
+
+void Arena::insert_free(Offset offset, std::int64_t size) {
+  auto [pos, inserted] = free_.emplace(offset, size);
+  RAPID_CHECK(inserted, "free list corruption");
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != free_.end() && pos->first + pos->second == next->first) {
+    erase_size(next->second);
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      erase_size(prev->second);
+      prev->second += pos->second;
+      free_.erase(pos);
+      pos = prev;
+    }
+  }
+  free_sizes_.insert(pos->second);
+}
+
 Offset Arena::allocate(std::int64_t size) {
   const std::int64_t need = rounded(size);
-  auto chosen = free_.end();
-  for (auto it = free_.begin(); it != free_.end(); ++it) {
-    if (it->second < need) continue;
-    if (policy_ == AllocPolicy::kFirstFit) {
-      chosen = it;
-      break;
-    }
-    if (chosen == free_.end() || it->second < chosen->second) {
-      chosen = it;
-      if (it->second == need) break;  // exact fit cannot be beaten
-    }
+  const std::int32_t cls = class_of(need);
+  if (cls >= 0 && !slabs_[cls].empty()) {
+    const Offset offset = slabs_[cls].back();
+    slabs_[cls].pop_back();
+    --cached_blocks_;
+    live_[offset] = need;
+    stats_.in_use += need;
+    stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+    ++stats_.num_allocs;
+    ++stats_.slab_hits;
+    return offset;
   }
-  if (chosen == free_.end()) {
-    ++stats_.failed_allocs;
-    return kNullOffset;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto chosen = free_.end();
+    if (largest_free() >= need) {
+      for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second < need) continue;
+        if (policy_ == AllocPolicy::kFirstFit) {
+          chosen = it;
+          break;
+        }
+        if (chosen == free_.end() || it->second < chosen->second) {
+          chosen = it;
+          if (it->second == need) break;  // exact fit cannot be beaten
+        }
+      }
+    }
+    if (chosen == free_.end()) {
+      // The map alone cannot satisfy this; cached slab blocks may coalesce
+      // into a large-enough hole. Spill them once and retry.
+      if (attempt == 0 && cached_blocks_ > 0) {
+        flush_slabs();
+        continue;
+      }
+      ++stats_.failed_allocs;
+      return kNullOffset;
+    }
+    const Offset offset = chosen->first;
+    const std::int64_t remainder = chosen->second - need;
+    erase_size(chosen->second);
+    free_.erase(chosen);
+    if (remainder > 0) {
+      free_[offset + need] = remainder;
+      free_sizes_.insert(remainder);
+    }
+    live_[offset] = need;
+    stats_.in_use += need;
+    stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+    ++stats_.num_allocs;
+    return offset;
   }
-  const Offset offset = chosen->first;
-  const std::int64_t remainder = chosen->second - need;
-  free_.erase(chosen);
-  if (remainder > 0) free_[offset + need] = remainder;
-  live_[offset] = need;
-  stats_.in_use += need;
-  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
-  ++stats_.num_allocs;
-  return offset;
+  ++stats_.failed_allocs;  // unreachable; keeps the compiler satisfied
+  return kNullOffset;
 }
 
 bool Arena::can_allocate(std::int64_t size) const {
   const std::int64_t need = rounded(size);
-  for (const auto& [offset, block] : free_) {
-    (void)offset;
-    if (block >= need) return true;
+  const std::int32_t cls = class_of(need);
+  if (cls >= 0 && !slabs_[cls].empty()) return true;
+  if (largest_free() >= need) return true;
+  if (cached_blocks_ == 0) return false;
+  // Cached slab blocks might coalesce into a hole that fits. Spilling them
+  // only changes the internal representation of free space — in_use,
+  // failed_allocs and the set of satisfiable requests are untouched — so
+  // it is safe behind const.
+  const_cast<Arena*>(this)->flush_slabs();
+  return largest_free() >= need;
+}
+
+void Arena::flush_slabs() {
+  if (cached_blocks_ == 0) return;
+  for (std::size_t cls = 0; cls < slabs_.size(); ++cls) {
+    for (const Offset offset : slabs_[cls]) {
+      insert_free(offset, class_sizes_[cls]);
+    }
+    slabs_[cls].clear();
   }
-  return false;
+  cached_blocks_ = 0;
+  ++stats_.slab_flushes;
 }
 
 void Arena::deallocate(Offset offset) {
@@ -74,23 +171,14 @@ void Arena::deallocate(Offset offset) {
   live_.erase(it);
   stats_.in_use -= size;
   ++stats_.num_frees;
-  // Insert and coalesce with neighbors.
-  auto [pos, inserted] = free_.emplace(offset, size);
-  RAPID_CHECK(inserted, "free list corruption");
-  // Coalesce with successor.
-  auto next = std::next(pos);
-  if (next != free_.end() && pos->first + pos->second == next->first) {
-    pos->second += next->second;
-    free_.erase(next);
+  const std::int32_t cls = class_of(size);
+  if (cls >= 0 &&
+      slabs_[cls].size() < static_cast<std::size_t>(max_cached_per_class_)) {
+    slabs_[cls].push_back(offset);
+    ++cached_blocks_;
+    return;
   }
-  // Coalesce with predecessor.
-  if (pos != free_.begin()) {
-    auto prev = std::prev(pos);
-    if (prev->first + prev->second == pos->first) {
-      prev->second += pos->second;
-      free_.erase(pos);
-    }
-  }
+  insert_free(offset, size);
 }
 
 std::int64_t Arena::allocation_size(Offset offset) const {
@@ -100,17 +188,13 @@ std::int64_t Arena::allocation_size(Offset offset) const {
 }
 
 const ArenaStats& Arena::stats() const {
-  stats_.largest_free_block = 0;
-  for (const auto& [offset, block] : free_) {
-    (void)offset;
-    stats_.largest_free_block =
-        std::max(stats_.largest_free_block, block);
-  }
+  stats_.largest_free_block = largest_free();
   return stats_;
 }
 
 void Arena::check_invariants() const {
   std::int64_t free_total = 0;
+  std::int64_t derived_largest = 0;
   Offset prev_end = -1;
   for (const auto& [offset, size] : free_) {
     RAPID_CHECK(size > 0, "empty free block");
@@ -120,16 +204,49 @@ void Arena::check_invariants() const {
                 "free blocks overlap or are not coalesced");
     prev_end = offset + size;  // strict > above forbids adjacency too
     free_total += size;
+    derived_largest = std::max(derived_largest, size);
+    RAPID_CHECK(free_sizes_.count(size) >= 1,
+                "free size missing from multiset");
   }
+  RAPID_CHECK(free_sizes_.size() == free_.size(),
+              "free size multiset out of step with the free list");
+  // Re-derive the incrementally-maintained largest block independently.
+  RAPID_CHECK(derived_largest == largest_free(),
+              cat("largest_free_block drifted: maintained ", largest_free(),
+                  " derived ", derived_largest));
+  // Slab caches: class-sized, in range, disjoint from the free map and the
+  // live set (interval-checked via a merged occupancy map).
+  std::int64_t cached_total = 0;
+  std::int64_t cached_count = 0;
+  std::map<Offset, std::int64_t> occupancy = free_;
+  for (const auto& [offset, size] : live_) occupancy.emplace(offset, size);
+  for (std::size_t cls = 0; cls < slabs_.size(); ++cls) {
+    for (const Offset offset : slabs_[cls]) {
+      const std::int64_t size = class_sizes_[cls];
+      RAPID_CHECK(offset >= 0 && offset + size <= capacity_,
+                  "cached slab block out of range");
+      const auto [pos, inserted] = occupancy.emplace(offset, size);
+      RAPID_CHECK(inserted, "cached slab block collides");
+      cached_total += size;
+      ++cached_count;
+    }
+  }
+  Offset cursor = 0;
+  for (const auto& [offset, size] : occupancy) {
+    RAPID_CHECK(offset >= cursor, "blocks overlap");
+    cursor = offset + size;
+  }
+  RAPID_CHECK(cached_count == cached_blocks_, "cached block count drifted");
   std::int64_t live_total = 0;
   for (const auto& [offset, size] : live_) {
     RAPID_CHECK(offset >= 0 && offset + size <= capacity_,
                 "live block out of range");
     live_total += size;
   }
-  RAPID_CHECK(free_total + live_total == capacity_,
-              cat("bytes not conserved: free ", free_total, " + live ",
-                  live_total, " != capacity ", capacity_));
+  RAPID_CHECK(free_total + cached_total + live_total == capacity_,
+              cat("bytes not conserved: free ", free_total, " + cached ",
+                  cached_total, " + live ", live_total, " != capacity ",
+                  capacity_));
   RAPID_CHECK(live_total == stats_.in_use, "in_use stat drifted");
 }
 

@@ -3,11 +3,24 @@
 // conclusion calls for to fight fragmentation of irregular object space.
 // Offsets (not host pointers) are the currency: the runtime ships them in
 // address packages exactly like RAPID ships remote user-space addresses.
+//
+// Two fast paths keep the MAP admission path off the O(#free-blocks) scans:
+//  - `largest_free_block` is maintained incrementally (a multiset of free
+//    block sizes), so stats() and can_allocate() are O(1)/O(log n) instead
+//    of rescanning the free list;
+//  - an optional size-class slab layer (SlabConfig) caches freed blocks of
+//    the dominant MAP classes on per-class LIFO lists for O(1) alloc/free,
+//    falling back to the coalescing map when a class misses. Cached blocks
+//    are free bytes that merely skip coalescing, so in_use/peak accounting
+//    — and with it ProcMemory::peak_bytes() and the CONF-CAP replay — is
+//    byte-identical to the plain arena.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <vector>
 
 #include "rapid/support/check.hpp"
 
@@ -23,7 +36,9 @@ struct ArenaStats {
   std::int64_t num_allocs = 0;      // successful allocations
   std::int64_t num_frees = 0;
   std::int64_t failed_allocs = 0;   // allocation attempts that returned null
-  std::int64_t largest_free_block = 0;
+  std::int64_t largest_free_block = 0;  // largest block on the coalescing map
+  std::int64_t slab_hits = 0;       // allocations served from a slab cache
+  std::int64_t slab_flushes = 0;    // cache spills back into the map
 
   /// External fragmentation in [0,1]: 1 - largest_free / total_free.
   double fragmentation() const;
@@ -35,13 +50,25 @@ struct ArenaStats {
 /// bench).
 enum class AllocPolicy { kFirstFit, kBestFit };
 
-/// Byte-granular allocator over a [0, capacity) range. All operations are
-/// O(#free-blocks); the free list is kept coalesced so the block count stays
-/// proportional to the number of live "holes".
+/// Size-class slab configuration. Class sizes are rounded to the arena's
+/// alignment and deduplicated; an empty list disables the slab layer
+/// entirely (the default — behavior is then identical to the plain arena).
+struct SlabConfig {
+  std::vector<std::int64_t> class_sizes;
+  /// Freed blocks cached per class before frees fall back to the map.
+  std::int32_t max_cached_per_class = 64;
+
+  bool enabled() const { return !class_sizes.empty(); }
+};
+
+/// Byte-granular allocator over a [0, capacity) range. Map-path operations
+/// are O(log #free-blocks) plus the placement scan; slab-class alloc/free
+/// is O(1).
 class Arena {
  public:
   explicit Arena(std::int64_t capacity, std::int64_t alignment = 8,
-                 AllocPolicy policy = AllocPolicy::kFirstFit);
+                 AllocPolicy policy = AllocPolicy::kFirstFit,
+                 SlabConfig slab = {});
 
   /// Allocates `size` bytes (size 0 is allowed and consumes `alignment`
   /// bytes so every object has a distinct address). Returns kNullOffset if
@@ -49,7 +76,9 @@ class Arena {
   Offset allocate(std::int64_t size);
 
   /// Returns whether an allocation of `size` would currently succeed,
-  /// without performing it.
+  /// without performing it. May internally spill slab caches back into the
+  /// coalescing map (free bytes stay free; no observable accounting
+  /// changes).
   bool can_allocate(std::int64_t size) const;
 
   /// Frees a block previously returned by allocate(). Throws on double-free
@@ -65,19 +94,44 @@ class Arena {
   const ArenaStats& stats() const;
   std::size_t num_live_allocations() const { return live_.size(); }
   std::size_t num_free_blocks() const { return free_.size(); }
+  /// Freed blocks currently parked on slab caches (0 when slabs are off).
+  std::int64_t slab_cached_blocks() const { return cached_blocks_; }
+
+  /// Spills all slab caches back into the coalescing map.
+  void flush_slabs();
 
   /// Internal consistency check (free blocks coalesced, disjoint, in range,
-  /// bytes conserved). Used by property tests; throws on violation.
+  /// bytes conserved across map + slab caches + live, and the incremental
+  /// largest_free_block re-derived independently). Used by property tests;
+  /// throws on violation.
   void check_invariants() const;
 
  private:
   std::int64_t rounded(std::int64_t size) const;
+  /// Index into slabs_ for an exact-class rounded size, or -1.
+  std::int32_t class_of(std::int64_t need) const;
+  /// Inserts into the free map, coalescing with neighbors and keeping the
+  /// size multiset in step.
+  void insert_free(Offset offset, std::int64_t size);
+  void erase_size(std::int64_t size);
+  std::int64_t largest_free() const {
+    return free_sizes_.empty() ? 0 : *free_sizes_.rbegin();
+  }
 
   std::int64_t capacity_;
   std::int64_t alignment_;
   AllocPolicy policy_;
   std::map<Offset, std::int64_t> free_;  // offset -> block size (coalesced)
   std::map<Offset, std::int64_t> live_;  // offset -> rounded size
+  // Multiset of free_ block sizes: largest_free_block in O(1), maintained
+  // on every allocate/deallocate/coalesce instead of rescanned.
+  std::multiset<std::int64_t> free_sizes_;
+  // Slab layer: class_sizes_[i] (rounded, sorted, unique) backs slabs_[i],
+  // a LIFO of cached block offsets.
+  std::vector<std::int64_t> class_sizes_;
+  std::vector<std::vector<Offset>> slabs_;
+  std::int32_t max_cached_per_class_ = 0;
+  std::int64_t cached_blocks_ = 0;
   mutable ArenaStats stats_;
 };
 

@@ -4,6 +4,10 @@
 //
 // All matrices are column-major with an explicit leading dimension (ld),
 // operating on raw double pointers into data-object buffers.
+//
+// Each kernel dispatches between the original reference loops (kept as
+// `*_ref`) and register-blocked SIMD microkernels; see dispatch.hpp for the
+// selection policy and the RAPID_NATIVE build option.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +53,25 @@ void getrf_panel(double* a, std::int64_t ld, std::int64_t m, std::int64_t w,
 /// swap rows (row_offset + j) and (row_offset + pivots[j]).
 void apply_pivots(double* a, std::int64_t ld, std::int64_t n,
                   std::int64_t row_offset, std::span<const std::int32_t> pivots);
+
+/// Reference implementations: the original naive loops, kept verbatim as
+/// the correctness oracle for the blocked/SIMD paths (see dispatch.hpp).
+/// Same contracts as the dispatching entry points above.
+void potrf_lower_ref(double* a, std::int64_t ld, std::int64_t n);
+void trsm_right_lower_transpose_ref(const double* l, std::int64_t ldl,
+                                    double* b, std::int64_t ldb,
+                                    std::int64_t m, std::int64_t n);
+void trsm_left_unit_lower_ref(const double* l, std::int64_t ldl, double* x,
+                              std::int64_t ldx, std::int64_t m,
+                              std::int64_t n);
+void gemm_minus_abt_ref(const double* a, std::int64_t lda, const double* b,
+                        std::int64_t ldb, double* c, std::int64_t ldc,
+                        std::int64_t m, std::int64_t n, std::int64_t k);
+void gemm_minus_ab_ref(const double* a, std::int64_t lda, const double* b,
+                       std::int64_t ldb, double* c, std::int64_t ldc,
+                       std::int64_t m, std::int64_t n, std::int64_t k);
+void getrf_panel_ref(double* a, std::int64_t ld, std::int64_t m,
+                     std::int64_t w, std::int32_t* pivots);
 
 /// Flop counts used for task weights (match the kernel loops above).
 double flops_potrf(std::int64_t n);

@@ -17,9 +17,43 @@ std::uint32_t AddrPackage::checksum() const {
   return crc32;
 }
 
+mem::SlabConfig ProcMemory::derive_slab_config(const RunPlan& plan,
+                                               ProcId proc,
+                                               std::int64_t alignment) {
+  // Histogram of rounded volatile sizes — the population the MAP procedure
+  // allocates and frees. std::map keeps the walk deterministic.
+  std::map<std::int64_t, std::int64_t> counts;
+  for (const auto& vol : plan.procs[proc].volatiles) {
+    std::int64_t size = vol.size_bytes;
+    if (size == 0) size = 1;
+    const std::int64_t r = (size + alignment - 1) / alignment * alignment;
+    ++counts[r];
+  }
+  // Dominant classes only: a class must amortize its cache over at least a
+  // few objects, and more than 8 classes stops being a fast path.
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranked;  // (count, size)
+  for (const auto& [size, count] : counts) {
+    if (count >= 4) ranked.emplace_back(count, size);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;  // most objects first
+    return a.second < b.second;                        // then smallest size
+  });
+  if (ranked.size() > 8) ranked.resize(8);
+  mem::SlabConfig slab;
+  for (const auto& [count, size] : ranked) slab.class_sizes.push_back(size);
+  std::sort(slab.class_sizes.begin(), slab.class_sizes.end());
+  return slab;
+}
+
 ProcMemory::ProcMemory(const RunPlan& plan, ProcId proc, std::int64_t capacity,
-                       std::int64_t alignment, mem::AllocPolicy policy)
-    : plan_(plan), proc_(proc), arena_(capacity, alignment, policy) {
+                       std::int64_t alignment, mem::AllocPolicy policy,
+                       bool slab_arena)
+    : plan_(plan),
+      proc_(proc),
+      arena_(capacity, alignment, policy,
+             slab_arena ? derive_slab_config(plan, proc, alignment)
+                        : mem::SlabConfig{}) {
   const ProcPlan& pp = plan.procs[proc];
   for (DataId d : pp.permanents) {
     const mem::Offset off = arena_.allocate(plan.graph->data(d).size_bytes);

@@ -56,9 +56,24 @@ class ProcMemory {
   /// the threaded executor passes 8 because its buffers hold doubles — all
   /// of its objects have sizes that are multiples of 8, so accounting is
   /// unchanged.
+  ///
+  /// `slab_arena` enables the arena's size-class slab fast path, with the
+  /// classes derived deterministically from this processor's planned
+  /// volatile sizes (the MAP alloc/free population) — so a conformance or
+  /// audit replay constructed from the same plan and flag reproduces the
+  /// executor's MAP placements exactly. Byte accounting (peak_bytes,
+  /// in_use_bytes) is identical either way.
   ProcMemory(const RunPlan& plan, ProcId proc, std::int64_t capacity,
              std::int64_t alignment = 1,
-             mem::AllocPolicy policy = mem::AllocPolicy::kFirstFit);
+             mem::AllocPolicy policy = mem::AllocPolicy::kFirstFit,
+             bool slab_arena = false);
+
+  /// The slab classes `slab_arena = true` installs: the dominant rounded
+  /// volatile sizes of this processor's plan (up to 8 classes, each backing
+  /// at least 4 planned objects). Exposed so tests and replays can assert
+  /// the derivation is deterministic.
+  static mem::SlabConfig derive_slab_config(const RunPlan& plan, ProcId proc,
+                                            std::int64_t alignment);
 
   /// True when execution at `pos` has crossed the allocated prefix, i.e. a
   /// MAP must run before the task at `pos` starts.

@@ -68,6 +68,7 @@ JsonValue RunReport::to_json() const {
   doc["peak_bytes_per_proc"] = std::move(peaks);
   doc["content_messages"] = content_messages;
   doc["content_bytes"] = content_bytes;
+  doc["put_batches"] = put_batches;
   doc["flag_messages"] = flag_messages;
   doc["addr_packages"] = addr_packages;
   doc["addr_entries"] = addr_entries;

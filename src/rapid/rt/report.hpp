@@ -118,14 +118,20 @@ struct RunConfig {
   /// findings surface as NonExecutableError (so RunReport::executable stays
   /// the "∞" channel); protocol-level findings throw verify::AuditError.
   bool audit = false;
+  /// Enable the arena's size-class slab fast path (classes derived from the
+  /// plan's per-processor volatile sizes; see ProcMemory). Placement can
+  /// differ from the plain coalescing arena, so conformance/audit replays
+  /// must be constructed with the same flag; byte accounting is identical.
+  bool slab_arena = false;
 };
 
 struct RunReport {
   /// Version of the to_json() document layout. Bumped when fields are
   /// added/renamed so downstream consumers of BENCH_executor.json and the
   /// CI report artifacts can detect what they are reading. Version 2 added
-  /// the optional "metrics" block (trace-derived histograms/residencies).
-  static constexpr std::int32_t kSchemaVersion = 2;
+  /// the optional "metrics" block (trace-derived histograms/residencies);
+  /// version 3 added "put_batches" (coalesced RMA put rounds).
+  static constexpr std::int32_t kSchemaVersion = 3;
 
   bool executable = true;
   /// Why the run was not executable (empty when executable).
@@ -146,6 +152,10 @@ struct RunReport {
 
   std::int64_t content_messages = 0;
   std::int64_t content_bytes = 0;
+  /// Coalesced put rounds: each batch covers >= 1 content_messages to one
+  /// destination with a single staging pass + doorbell ring, so
+  /// content_messages / put_batches is the average coalescing factor.
+  std::int64_t put_batches = 0;
   std::int64_t flag_messages = 0;
   std::int64_t addr_packages = 0;
   std::int64_t addr_entries = 0;

@@ -46,7 +46,8 @@ class Simulator {
       ps.memory = std::make_unique<ProcMemory>(plan, q,
                                                config.capacity_per_proc,
                                                /*alignment=*/1,
-                                               config.alloc_policy);
+                                               config.alloc_policy,
+                                               config.slab_arena);
       ps.received_version.assign(
           static_cast<std::size_t>(plan.graph->num_data()), -1);
       ps.received_seq.assign(
@@ -80,9 +81,7 @@ class Simulator {
                procs_[q].memory->in_use_bytes());
         record(q, 0.0, obs::EventKind::kHeapPeak, 0, 0, 0,
                procs_[q].memory->peak_bytes());
-        for (const ContentSend& s : plan_.procs[q].initial_sends) {
-          trigger_send(q, s);
-        }
+        dispatch_sends(q, plan_.procs[q].initial_sends);
         queue_.schedule_at(0.0, [this, q] { advance(q); });
       }
       report.parallel_time_us = queue_.run();
@@ -277,7 +276,9 @@ class Simulator {
         wake(dest);
       });
     }
-    // Epoch countdown; completed versions trigger content sends.
+    // Epoch countdown; completed versions trigger content sends, routed
+    // together so same-destination puts count as one coalesced batch.
+    std::vector<ContentSend> sends;
     for (const auto& [d, v] : tp.epoch_memberships) {
       if (--epoch_remaining_[d][static_cast<std::size_t>(v) - 1] == 0) {
         RAPID_CHECK(current_version_[d] == v - 1,
@@ -285,15 +286,18 @@ class Simulator {
         current_version_[d] = v;
         for (ProcId dest :
              plan_.objects[d].sends_by_version[static_cast<std::size_t>(v)]) {
-          trigger_send(q, ContentSend{d, v, dest});
+          sends.push_back(ContentSend{d, v, dest});
         }
       }
     }
+    dispatch_sends(q, sends);
     queue_.schedule_at(std::max(queue_.now(), ps.busy_until),
                        [this, q] { advance(q); });
   }
 
-  void trigger_send(ProcId q, const ContentSend& s) {
+  /// Returns whether the send was transmitted (false: suspended on a
+  /// missing address).
+  bool trigger_send(ProcId q, const ContentSend& s) {
     ProcState& ps = procs_[q];
     if (config_.active_memory) {
       // Address-table lookup + suspended-queue bookkeeping per message.
@@ -306,9 +310,24 @@ class Simulator {
                   "baseline mode must know every address");
       ps.suspended.push_back(s);
       ++report_->suspended_sends;
-      return;
+      return false;
     }
     transmit(q, s);
+    return true;
+  }
+
+  /// Counter-plane mirror of the threaded executor's put coalescing: sends
+  /// dispatched together to the same destination count as one put batch.
+  /// The cost model still charges per message — only the batch counter is
+  /// mirrored. Batch composition differs across the executors (suspension
+  /// and wake timing differ), so the conformance plane reconciles messages
+  /// and sequence stamps, never batches.
+  void dispatch_sends(ProcId q, const std::vector<ContentSend>& sends) {
+    std::set<ProcId> dests;
+    for (const ContentSend& s : sends) {
+      if (trigger_send(q, s)) dests.insert(s.dest);
+    }
+    report_->put_batches += static_cast<std::int64_t>(dests.size());
   }
 
   void transmit(ProcId q, const ContentSend& s) {
@@ -387,14 +406,19 @@ class Simulator {
         advance(src);
       });
     }
+    // Suspended sends whose addresses just arrived: one batch per
+    // destination per drain round, matching the threaded executor's CQ.
+    std::set<ProcId> dispatched;
     for (auto it = ps.suspended.begin(); it != ps.suspended.end();) {
       if (ps.known_addrs.count({it->object, it->dest})) {
         transmit(q, *it);
+        dispatched.insert(it->dest);
         it = ps.suspended.erase(it);
       } else {
         ++it;
       }
     }
+    report_->put_batches += static_cast<std::int64_t>(dispatched.size());
   }
 
   /// Arrival-driven wake-up; the poll charge models one RA+CQ round.

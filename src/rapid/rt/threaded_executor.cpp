@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 
@@ -142,6 +143,17 @@ struct ThreadedExecutor::Impl {
     bool rejected = false;
   };
 
+  /// A put that transmit_batch has staged (payload copied, checksummed,
+  /// fault hooks applied) but not yet published. The publication pass
+  /// replays these in order.
+  struct StagedPut {
+    DataId object = graph::kInvalidData;
+    std::int32_t version = -1;
+    std::int64_t size = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t attempt = 0;
+  };
+
   /// Per-processor private state, touched only by its own thread.
   struct Private {
     std::unique_ptr<ProcMemory> memory;
@@ -164,6 +176,13 @@ struct ThreadedExecutor::Impl {
     std::vector<std::uint32_t> addr_epoch;
     std::vector<std::uint32_t> scanned_epoch;
     std::int64_t suspended_count = 0;
+    /// Put-coalescing scratch, worker-private: the sends a SND state emits
+    /// before routing (send_scratch), the per-destination grouping buckets
+    /// (batch_by_dest, cleared after each flush), and the staged-but-not-
+    /// yet-published puts of the batch in flight (staged).
+    std::vector<ContentSend> send_scratch;
+    std::vector<std::vector<ContentSend>> batch_by_dest;
+    std::vector<StagedPut> staged;
     std::vector<std::int32_t> epoch_remaining;  // flattened, see epoch_base
     std::vector<std::int32_t> current_version;  // per owned object
     /// Reader-side verification state, per object: the put seq whose
@@ -248,8 +267,8 @@ struct ThreadedExecutor::Impl {
 
   // Counters (relaxed; exact totals gathered after join).
   std::atomic<std::int64_t> content_messages{0}, content_bytes{0},
-      flag_messages{0}, addr_packages{0}, addr_entries{0}, suspended_sends{0},
-      tasks_executed{0}, dropped_packages{0};
+      put_batches{0}, flag_messages{0}, addr_packages{0}, addr_entries{0},
+      suspended_sends{0}, tasks_executed{0}, dropped_packages{0};
   // Recovery counters (RunReport::recovery).
   std::atomic<std::int64_t> nacks_sent{0}, resends{0}, flag_resends{0},
       duplicate_suppressions{0}, checksum_rejections{0}, task_retries{0};
@@ -340,77 +359,107 @@ struct ThreadedExecutor::Impl {
 
   // ---- owner-side sending ----------------------------------------------
 
-  /// The RMA put: payload memcpy into the destination heap with no lock
-  /// held, then a release publish of version and sequence. Always runs on
-  /// the owner's thread (complete_task / initial sends / CQ dispatch / NACK
-  /// resend), so per (object, dest) the copies are program-ordered and the
-  /// version/crc/seq slots have a single writer. Publication order is
-  /// crc (relaxed) → version (release) → seq (release): readiness gates on
-  /// version, trust gates on seq, and an acquire load of seq makes the
-  /// payload, crc, and version all visible. The put-delay fault stretches
-  /// the window between copy and publication — bytes written, visibility
-  /// withheld — which a correct reader must never notice; the corruption
-  /// fault flips a destination byte inside that same window, which the
-  /// checksum must catch before the content is trusted.
-  void transmit(ProcId q, const ContentSend& s) {
+  /// The coalesced RMA put: every send of the batch targets `dest`, and the
+  /// batch runs as one staging pass followed by one publication pass with a
+  /// single doorbell ring at the end — the trace-driven hot-path fix for SND
+  /// states that fan several small objects into the same destination (one
+  /// bell ring, one counter cache-line bounce per *batch* instead of per
+  /// put). Per put the protocol is unchanged: payload memcpy into the
+  /// destination heap with no lock held, then a release publish in the
+  /// order crc (relaxed) → version (release) → seq (release) — readiness
+  /// gates on version, trust gates on seq, and an acquire load of seq makes
+  /// the payload, crc, and version all visible. Publication replays the
+  /// batch in staging order, so per (object, dest) nothing is reordered.
+  /// Always runs on the owner's thread (complete_task / initial sends / CQ
+  /// dispatch / NACK resend), so the copies are program-ordered and the
+  /// version/crc/seq slots keep a single writer. The put-delay fault
+  /// stretches the window between copy and publication — bytes written,
+  /// visibility withheld — which a correct reader must never notice; with
+  /// coalescing the whole batch sits staged through the slowest put's
+  /// window. The corruption fault flips a destination byte inside that same
+  /// window, which the checksum must catch before the content is trusted.
+  void transmit_batch(ProcId q, ProcId dest,
+                      std::span<const ContentSend> sends) {
     Private& me = priv[q];
-    RAPID_CHECK(me.current_version[s.object] == s.version,
-                cat("object ", plan.graph->data(s.object).name,
-                    " overwritten before version ", s.version, " was sent"));
-    const mem::Offset dst_off = addr_slot(me, s.object, s.dest);
-    RAPID_CHECK(dst_off != mem::kNullOffset, "transmit without address");
-    const std::int64_t size = plan.graph->data(s.object).size_bytes;
-    const mem::Offset src_off = me.memory->offset_of(s.object);
-    Shared& dst = *shared[s.dest];
-    const std::uint32_t attempt = ++me.sent_seq[slot_index(s.object, s.dest)];
-    if (tracing) {
-      trace->record(q, obs::EventKind::kPut, s.object, s.version, s.dest,
-                    size, static_cast<std::uint16_t>(attempt));
+    Shared& dst = *shared[dest];
+    auto& staged = me.staged;
+    staged.clear();
+    std::int64_t batch_bytes = 0;
+    std::int64_t delay_us = 0;
+    for (const ContentSend& s : sends) {
+      RAPID_CHECK(s.dest == dest, "batched send to the wrong destination");
+      RAPID_CHECK(me.current_version[s.object] == s.version,
+                  cat("object ", plan.graph->data(s.object).name,
+                      " overwritten before version ", s.version,
+                      " was sent"));
+      const mem::Offset dst_off = addr_slot(me, s.object, dest);
+      RAPID_CHECK(dst_off != mem::kNullOffset, "transmit without address");
+      const std::int64_t size = plan.graph->data(s.object).size_bytes;
+      const mem::Offset src_off = me.memory->offset_of(s.object);
+      const std::uint32_t attempt = ++me.sent_seq[slot_index(s.object, dest)];
+      if (tracing) {
+        trace->record(q, obs::EventKind::kPut, s.object, s.version, dest,
+                      size, static_cast<std::uint16_t>(attempt));
+      }
+      if (size > 0) {
+        std::memcpy(dst.heap.data() + dst_off,
+                    shared[q]->heap.data() + src_off,
+                    static_cast<std::size_t>(size));
+      }
+      std::uint32_t crc = 0;
+      if (checksum_on) {
+        // Digest of the source bytes (stable: the owner is the only writer
+        // of its own object and is not inside a task body here).
+        crc = crc32c({shared[q]->heap.data() + src_off,
+                      static_cast<std::size_t>(size)});
+      }
+      if (faults_on && size > 0 &&
+          faults.corrupt_put(s.object, s.version, dest, attempt)) {
+        const auto [site, mask] = faults.corrupt_site(s.object, s.version,
+                                                      dest);
+        dst.heap[static_cast<std::size_t>(dst_off) +
+                 static_cast<std::size_t>(
+                     site % static_cast<std::uint64_t>(size))] ^=
+            static_cast<std::byte>(mask);
+      }
+      if (faults_on) {
+        delay_us = std::max(delay_us,
+                            faults.put_delay_us(s.object, s.version, dest));
+      }
+      staged.push_back({s.object, s.version, size, crc, attempt});
+      batch_bytes += size;
     }
-    if (size > 0) {
-      std::memcpy(dst.heap.data() + dst_off,
-                  shared[q]->heap.data() + src_off,
-                  static_cast<std::size_t>(size));
+    // One delay for the whole batch, stretched to its slowest put: every
+    // staged payload stays unpublished through the window, which is exactly
+    // the copied-but-invisible state the fault models.
+    if (delay_us > 0) sleep_us(delay_us);
+    for (const StagedPut& p : staged) {
+      if (checksum_on) {
+        dst.received_crc[p.object].store(p.crc, std::memory_order_relaxed);
+      }
+      auto& slot = dst.received_version[p.object];
+      if (slot.load(std::memory_order_relaxed) < p.version) {
+        slot.store(p.version, std::memory_order_release);
+      }
+      dst.put_seq[p.object].store(p.attempt, std::memory_order_release);
+      if (p.attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
+      if (tracing) {
+        trace->record(q, p.attempt > 1 ? obs::EventKind::kResend
+                                       : obs::EventKind::kPutPublish,
+                      p.object, p.version, dest, p.size,
+                      static_cast<std::uint16_t>(p.attempt));
+      }
     }
-    std::uint32_t crc = 0;
-    if (checksum_on) {
-      // Digest of the source bytes (stable: the owner is the only writer
-      // of its own object and is not inside a task body here).
-      crc = crc32c({shared[q]->heap.data() + src_off,
-                    static_cast<std::size_t>(size)});
-    }
-    if (faults_on && size > 0 &&
-        faults.corrupt_put(s.object, s.version, s.dest, attempt)) {
-      const auto [site, mask] = faults.corrupt_site(s.object, s.version,
-                                                    s.dest);
-      dst.heap[static_cast<std::size_t>(dst_off) +
-               static_cast<std::size_t>(site %
-                                        static_cast<std::uint64_t>(size))] ^=
-          static_cast<std::byte>(mask);
-    }
-    if (faults_on) {
-      const std::int64_t delay = faults.put_delay_us(s.object, s.version,
-                                                     s.dest);
-      if (delay > 0) sleep_us(delay);
-    }
-    if (checksum_on) {
-      dst.received_crc[s.object].store(crc, std::memory_order_relaxed);
-    }
-    auto& slot = dst.received_version[s.object];
-    if (slot.load(std::memory_order_relaxed) < s.version) {
-      slot.store(s.version, std::memory_order_release);
-    }
-    dst.put_seq[s.object].store(attempt, std::memory_order_release);
-    if (attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
-    if (tracing) {
-      trace->record(q, attempt > 1 ? obs::EventKind::kResend
-                                   : obs::EventKind::kPutPublish,
-                    s.object, s.version, s.dest, size,
-                    static_cast<std::uint16_t>(attempt));
-    }
-    content_messages.fetch_add(1, std::memory_order_relaxed);
-    content_bytes.fetch_add(size, std::memory_order_relaxed);
+    content_messages.fetch_add(static_cast<std::int64_t>(sends.size()),
+                               std::memory_order_relaxed);
+    content_bytes.fetch_add(batch_bytes, std::memory_order_relaxed);
+    put_batches.fetch_add(1, std::memory_order_relaxed);
     bump_progress();
+  }
+
+  /// Single-put form (NACK resends and other one-off paths): a batch of one.
+  void transmit(ProcId q, const ContentSend& s) {
+    transmit_batch(q, s.dest, {&s, 1});
   }
 
   void trigger_send(ProcId q, const ContentSend& s) {
@@ -422,6 +471,38 @@ struct ThreadedExecutor::Impl {
       me.suspended_by_dest[s.dest].push_back(s);
       ++me.suspended_count;
       suspended_sends.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Route a SND state's sends: coalesce the ones whose destination buffer
+  /// addresses are already known into one transmit_batch per destination
+  /// (per-destination program order preserved); suspend the rest exactly as
+  /// trigger_send would.
+  void dispatch_sends(ProcId q, std::span<const ContentSend> sends) {
+    if (sends.empty()) return;
+    if (sends.size() == 1) {
+      trigger_send(q, sends.front());
+      return;
+    }
+    Private& me = priv[q];
+    bool any_ready = false;
+    for (const ContentSend& s : sends) {
+      if (addr_slot(me, s.object, s.dest) != mem::kNullOffset) {
+        me.batch_by_dest[s.dest].push_back(s);
+        any_ready = true;
+      } else {
+        RAPID_CHECK(config.active_memory, "baseline must know every address");
+        me.suspended_by_dest[s.dest].push_back(s);
+        ++me.suspended_count;
+        suspended_sends.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!any_ready) return;
+    for (ProcId r = 0; r < plan.num_procs; ++r) {
+      auto& batch = me.batch_by_dest[r];
+      if (batch.empty()) continue;
+      transmit_batch(q, r, batch);
+      batch.clear();
     }
   }
 
@@ -698,15 +779,22 @@ struct ThreadedExecutor::Impl {
           continue;  // no new addresses from r since the last scan
         }
         me.scanned_epoch[r] = me.addr_epoch[r];
+        // The suspended queue for one destination is a natural batch: every
+        // send whose address just arrived goes out in one coalesced put.
+        auto& batch = me.batch_by_dest[r];
         for (auto it = queue.begin(); it != queue.end();) {
           if (addr_slot(me, it->object, r) != mem::kNullOffset) {
-            transmit(q, *it);
+            batch.push_back(*it);
             it = queue.erase(it);
             --me.suspended_count;
-            progressed = true;
           } else {
             ++it;
           }
+        }
+        if (!batch.empty()) {
+          transmit_batch(q, r, batch);
+          batch.clear();
+          progressed = true;
         }
       }
     }
@@ -1126,6 +1214,9 @@ struct ThreadedExecutor::Impl {
     const TaskRuntimePlan& tp = plan.tasks[t];
     trace_state(q, obs::ProtoState::kSnd);
     for (ProcId dest : tp.flag_dests) send_flag(q, dest, t);
+    // Collect every send this SND state produces, then route them together:
+    // dispatch_sends coalesces same-destination puts into one batch.
+    me.send_scratch.clear();
     for (const auto& [d, v] : tp.epoch_memberships) {
       auto& remaining = me.epoch_remaining[epoch_base[d] +
                                            static_cast<std::size_t>(v) - 1];
@@ -1135,10 +1226,11 @@ struct ThreadedExecutor::Impl {
         me.current_version[d] = v;
         for (ProcId dest :
              plan.objects[d].sends_by_version[static_cast<std::size_t>(v)]) {
-          trigger_send(q, ContentSend{d, v, dest});
+          me.send_scratch.push_back(ContentSend{d, v, dest});
         }
       }
     }
+    dispatch_sends(q, me.send_scratch);
     tasks_executed.fetch_add(1, std::memory_order_relaxed);
     bump_progress();
   }
@@ -1193,7 +1285,7 @@ struct ThreadedExecutor::Impl {
       for (DataId d : pp.permanents) {
         if (init) init(d, resolver.write(d));
       }
-      for (const ContentSend& s : pp.initial_sends) trigger_send(q, s);
+      dispatch_sends(q, pp.initial_sends);
 
       me.backoff.emplace(bell, options.spin_iters, effective_park_us);
       Backoff& backoff = *me.backoff;
@@ -1327,6 +1419,7 @@ struct ThreadedExecutor::Impl {
     }
     report.content_messages = content_messages.load();
     report.content_bytes = content_bytes.load();
+    report.put_batches = put_batches.load();
     report.flag_messages = flag_messages.load();
     report.addr_packages = addr_packages.load();
     report.addr_entries = addr_entries.load();
@@ -1410,7 +1503,7 @@ RunReport ThreadedExecutor::run() {
       Impl::Private& pr = impl.priv[q];
       pr.memory = std::make_unique<ProcMemory>(
           plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
-          impl.config.alloc_policy);
+          impl.config.alloc_policy, impl.config.slab_arena);
       if (impl.options.poison_freed || impl.checksum_on || impl.tracing) {
         // Poison-fill freed volatile regions so a read through a stale
         // address (use-after-free across MAP reuse) yields garbage that the
@@ -1456,6 +1549,7 @@ RunReport ThreadedExecutor::run() {
       pr.rejected_seq.assign(
           static_cast<std::size_t>(plan.graph->num_data()), 0);
       pr.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
+      pr.batch_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
       pr.addr_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
       pr.scanned_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
       pr.pkg_seq_sent.assign(static_cast<std::size_t>(plan.num_procs), 0);

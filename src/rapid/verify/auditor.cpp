@@ -613,7 +613,8 @@ class Auditor {
       try {
         memory = std::make_unique<rt::ProcMemory>(plan_, p, capacity,
                                                   /*alignment=*/1,
-                                                  options_.alloc_policy);
+                                                  options_.alloc_policy,
+                                                  options_.slab_arena);
       } catch (const rt::NonExecutableError&) {
         add({.rule = "CAP-PERM",
              .proc = p,
@@ -929,6 +930,7 @@ void audit_or_throw(const rt::RunPlan& plan, const rt::RunConfig& config) {
   options.active_memory = config.active_memory;
   options.mailbox_slots = config.mailbox_slots;
   options.alloc_policy = config.alloc_policy;
+  options.slab_arena = config.slab_arena;
   const AuditReport report =
       audit_plan(*plan.graph, plan.schedule, plan, options);
   if (report.clean()) return;

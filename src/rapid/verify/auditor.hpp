@@ -79,6 +79,9 @@ struct AuditOptions {
   /// Placement policy for the replay — must match the executor's, since
   /// fragmentation (not just peak bytes) decides Def. 6 feasibility.
   mem::AllocPolicy alloc_policy = mem::AllocPolicy::kFirstFit;
+  /// Slab-backed arena fast path (RunConfig::slab_arena) — same matching
+  /// requirement as alloc_policy: slab caching changes placement.
+  bool slab_arena = false;
   /// DEP-* and MBX-CROSS need an O(V·E/64) reachability closure over the
   /// transformed graph; graphs with more tasks than this skip those rules
   /// and report DEP-SKIPPED (info) instead.

@@ -136,7 +136,7 @@ class Checker {
       try {
         memory = std::make_unique<rt::ProcMemory>(
             plan_, p, options_.capacity_per_proc, options_.alignment,
-            options_.alloc_policy);
+            options_.alloc_policy, options_.slab_arena);
         if (!options_.active_memory) {
           memory->preallocate_all();
           baseline_in_use_.push_back(memory->in_use_bytes());

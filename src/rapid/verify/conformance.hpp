@@ -42,6 +42,10 @@ struct ConformanceOptions {
   /// Must match the run: MAP placement depends on them byte-for-byte.
   bool active_memory = true;
   mem::AllocPolicy alloc_policy = mem::AllocPolicy::kFirstFit;
+  /// Whether the run used the slab-backed arena fast path (RunConfig::
+  /// slab_arena). Placement can differ from the plain coalescing arena, so
+  /// the CAP replay must be constructed with the same flag.
+  bool slab_arena = false;
   /// Arena alignment of the checked executor: 1 for the simulator, 8 for
   /// the threaded runtime (see rt::ProcMemory).
   std::int64_t alignment = 1;

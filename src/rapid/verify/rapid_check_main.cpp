@@ -125,6 +125,9 @@ int main(int argc, char** argv) {
                "recovery fault sweep: none|addr|put|slow|park|corrupt|dup|"
                "all (threaded executor, recovery on)");
   flags.define("seeds", "8", "seeds per fault preset");
+  flags.define("slab", "true",
+               "run with the slab-backed arena fast path (the conformance "
+               "replay matches the flag)");
   flags.define("litmus", "true",
                "model-check the Doorbell/mailbox/publication primitives");
   flags.define("litmus-only", "false", "skip the trace runs entirely");
@@ -202,6 +205,7 @@ int main(int argc, char** argv) {
             rt::RunConfig config;
             config.params = params;
             config.capacity_per_proc = capacity;
+            config.slab_arena = flags.get_bool("slab");
             if (threaded) {
               rt::ThreadedOptions options;
               options.trace = trace.get();
@@ -219,6 +223,7 @@ int main(int argc, char** argv) {
           verify::ConformanceOptions copt;
           copt.capacity_per_proc = capacity;
           copt.alignment = threaded ? 8 : 1;
+          copt.slab_arena = flags.get_bool("slab");
           copt.report = &report;
           CheckedRun run;
           run.label = cat(name, "/", executor, " clean");
@@ -239,6 +244,7 @@ int main(int argc, char** argv) {
               rt::RunConfig config;
               config.params = params;
               config.capacity_per_proc = capacity;
+              config.slab_arena = flags.get_bool("slab");
               rt::ThreadedOptions options;
               options.trace = trace.get();
               options.retry = RetryPolicy::standard();
