@@ -18,6 +18,7 @@
 #include "rapid/obs/metrics.hpp"
 #include "rapid/obs/trace.hpp"
 #include "rapid/rt/threaded_executor.hpp"
+#include "rapid/rt/transport.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/conformance.hpp"
 
@@ -45,7 +46,8 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
                       std::int64_t capacity, bool active, int repeats,
                       const rt::FaultPlan& faults = {}, bool checksum = true,
                       bool recovery = false, bool traced = false,
-                      bool slab = true) {
+                      bool slab = true,
+                      rt::TransportKind transport = rt::TransportKind::kInProc) {
   rt::RunConfig config;
   config.params = inst.params;
   config.capacity_per_proc = capacity;
@@ -58,6 +60,7 @@ RunStats run_threaded(const bench::Instance& inst, const rt::RunPlan& plan,
   rt::ThreadedOptions options;
   options.faults = faults;
   options.checksum = checksum;
+  options.transport = transport;
   if (recovery) options.retry = RetryPolicy::standard();
 
   RunStats stats;
@@ -119,6 +122,7 @@ JsonValue run_json(const std::string& workload, int procs, const char* mode,
   r["workload"] = workload;
   r["procs"] = procs;
   r["mode"] = mode;
+  r["transport"] = s.report.transport;
   r["capacity_bytes"] = capacity;
   r["best_ms"] = s.best_ms;
   r["mean_ms"] = s.mean_ms;
@@ -180,6 +184,10 @@ int main(int argc, char** argv) {
   flags.define("kernels", "auto",
                "dense-kernel dispatch level: auto, ref, or blocked "
                "(isolates the micro-kernel speedup from runtime effects)");
+  flags.define("transport", "inproc",
+               "one-sided transport backend: inproc (threads) or shm (one "
+               "OS process per paper-processor over POSIX shared memory); "
+               "every JSON row records the backend it ran on");
   if (bench::parse_common_flags(flags, argc, argv)) return 0;
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
@@ -198,6 +206,13 @@ int main(int argc, char** argv) {
     num::set_kernel_level(num::KernelLevel::kBlocked);
   } else if (kernels != "auto") {
     std::fprintf(stderr, "unknown --kernels level '%s'\n", kernels.c_str());
+    return 2;
+  }
+  rt::TransportKind transport = rt::TransportKind::kInProc;
+  try {
+    transport = rt::transport_from_string(flags.get("transport"));
+  } catch (const rapid::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
   rt::FaultPlan faults;  // disabled unless --faults names a preset
@@ -245,7 +260,7 @@ int main(int argc, char** argv) {
 
       const RunStats base =
           run_threaded(inst, plan, tot, false, repeats, {}, checksum,
-                       /*recovery=*/false, /*traced=*/false, slab);
+                       /*recovery=*/false, /*traced=*/false, slab, transport);
       // Fragmentation and 8-byte alignment put the practical floor above
       // MIN_MEM; escalate the capacity fraction until the run executes.
       double used_frac = frac;
@@ -256,7 +271,7 @@ int main(int argc, char** argv) {
             min, static_cast<std::int64_t>(used_frac * static_cast<double>(tot)));
         act = run_threaded(inst, plan, active_cap, true, repeats, faults,
                            checksum, /*recovery=*/false, /*traced=*/false,
-                           slab);
+                           slab, transport);
         if (act.report.executable) break;
         RAPID_CHECK(used_frac < 1.5,
                     cat("active run never became executable: ",
@@ -271,7 +286,7 @@ int main(int argc, char** argv) {
         // --checksum in both rows).
         rec = run_threaded(inst, plan, active_cap, true, repeats, faults,
                            checksum, /*recovery=*/true, /*traced=*/false,
-                           slab);
+                           slab, transport);
       }
       RunStats trc;
       if (traced) {
@@ -279,7 +294,8 @@ int main(int argc, char** argv) {
         // against the "active" row is the tracing overhead (the guard for
         // the "within 10% of untraced" budget in docs/OBSERVABILITY.md).
         trc = run_threaded(inst, plan, active_cap, true, repeats, faults,
-                           checksum, recovery, /*traced=*/true, slab);
+                           checksum, recovery, /*traced=*/true, slab,
+                           transport);
         if (trc.conformance_errors > 0) guard_failed = true;
       }
       std::vector<std::tuple<const char*, std::int64_t, const RunStats*>>
@@ -325,6 +341,7 @@ int main(int argc, char** argv) {
   doc["recovery"] = recovery;
   doc["trace"] = traced;
   doc["slab"] = slab;
+  doc["transport"] = rt::to_string(transport);
   if (!fault_preset.empty()) {
     doc["fault_seed"] = flags.get_int("fault_seed");
   }

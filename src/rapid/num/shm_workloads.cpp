@@ -1,0 +1,110 @@
+#include "rapid/num/shm_workloads.hpp"
+
+#include <utility>
+
+#include "rapid/num/reference.hpp"
+#include "rapid/sched/liveness.hpp"
+#include "rapid/sched/mapping.hpp"
+#include "rapid/sched/ordering.hpp"
+#include "rapid/sparse/generators.hpp"
+#include "rapid/sparse/ordering.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::num {
+
+namespace {
+
+struct SpecParams {
+  std::string app;
+  sparse::Index grid = 12;
+  sparse::Index block = 4;
+  int procs = 4;
+  std::string sched = "rcp";
+};
+
+SpecParams parse_spec(const std::string& spec) {
+  SpecParams p;
+  const std::size_t colon = spec.find(':');
+  p.app = spec.substr(0, colon);
+  std::string rest =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string kv = rest.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    RAPID_CHECK(eq != std::string::npos,
+                cat("shm workload spec: expected key=value, got \"", kv,
+                    "\" in \"", spec, "\""));
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "grid") {
+      p.grid = static_cast<sparse::Index>(std::stoll(val));
+    } else if (key == "block") {
+      p.block = static_cast<sparse::Index>(std::stoll(val));
+    } else if (key == "procs") {
+      p.procs = static_cast<int>(std::stoll(val));
+    } else if (key == "sched") {
+      p.sched = val;
+    } else {
+      RAPID_CHECK(false, cat("shm workload spec: unknown key \"", key,
+                             "\" in \"", spec, "\""));
+    }
+  }
+  RAPID_CHECK(p.grid >= 2 && p.block >= 1 && p.procs >= 1,
+              cat("shm workload spec: degenerate parameters in \"", spec,
+                  "\""));
+  RAPID_CHECK(p.sched == "rcp" || p.sched == "dts",
+              cat("shm workload spec: sched must be rcp or dts in \"", spec,
+                  "\""));
+  return p;
+}
+
+sparse::CscMatrix nd_grid(sparse::Index s) {
+  sparse::CscMatrix a = sparse::grid_laplacian_2d(s, s);
+  return a.permuted_symmetric(sparse::nested_dissection_2d(s, s));
+}
+
+}  // namespace
+
+double ShmWorkload::residual(const rt::ThreadedExecutor& exec) const {
+  if (cholesky) {
+    return cholesky_residual(cholesky->matrix(),
+                             cholesky->extract_l_dense(exec));
+  }
+  const LuApp::Extracted x = lu->extract(exec);
+  return lu_residual(lu->matrix(), x.lu, x.piv);
+}
+
+std::unique_ptr<ShmWorkload> build_shm_workload(const std::string& spec) {
+  const SpecParams p = parse_spec(spec);
+  auto out = std::make_unique<ShmWorkload>();
+  out->spec = spec;
+  if (p.app == "cholesky") {
+    out->cholesky = std::make_unique<CholeskyApp>(
+        CholeskyApp::build(nd_grid(p.grid), p.block, p.procs));
+  } else if (p.app == "lu") {
+    out->lu = std::make_unique<LuApp>(
+        LuApp::build(nd_grid(p.grid), p.block, p.procs));
+  } else {
+    RAPID_CHECK(false, cat("shm workload spec: unknown app \"", p.app,
+                           "\" (want cholesky or lu) in \"", spec, "\""));
+  }
+  const graph::TaskGraph& g = out->graph();
+  const auto assignment = sched::owner_compute_tasks(g, p.procs);
+  const auto params = machine::MachineParams::cray_t3d(p.procs);
+  out->schedule = p.sched == "dts"
+                      ? sched::schedule_dts(g, assignment, p.procs, params)
+                      : sched::schedule_rcp(g, assignment, p.procs, params);
+  out->plan = rt::build_run_plan(g, out->schedule);
+  const auto liveness = sched::analyze_liveness(g, out->schedule);
+  out->min_mem = liveness.min_mem();
+  out->tot_mem = liveness.tot_mem();
+  return out;
+}
+
+}  // namespace rapid::num

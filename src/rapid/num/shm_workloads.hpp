@@ -1,0 +1,60 @@
+// Spec-string workloads for the cross-process shm transport. A spawned
+// rapid_shm_worker process shares no address space with the coordinator, so
+// it cannot inherit the plan or the task-body closures; instead the
+// coordinator writes a short spec string into the segment header and the
+// worker rebuilds the *identical* workload from it — same matrix generator,
+// same ordering, same scheduler — then cross-checks rt::plan_fingerprint
+// against the coordinator's before touching any shared state.
+//
+// Grammar (key=value pairs after the app name, any order, all optional):
+//   cholesky:grid=12,block=4,procs=4,sched=rcp|dts
+//   lu:grid=12,block=4,procs=4
+// Everything in the pipeline is deterministic (no seeds, no wall-clock), so
+// spec equality implies plan equality across processes and machines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rapid/num/cholesky_app.hpp"
+#include "rapid/num/lu_app.hpp"
+#include "rapid/rt/threaded_executor.hpp"
+#include "rapid/sched/schedule.hpp"
+
+namespace rapid::num {
+
+/// A workload rebuilt from a spec string: the app (graph + task bodies),
+/// its schedule and run plan, and the liveness floor. The app object owns
+/// the graph the plan points into, so keep the ShmWorkload alive for the
+/// whole run.
+struct ShmWorkload {
+  std::string spec;
+  std::unique_ptr<CholeskyApp> cholesky;  // exactly one of these is set
+  std::unique_ptr<LuApp> lu;
+  sched::Schedule schedule;
+  rt::RunPlan plan;
+  std::int64_t min_mem = 0;
+  /// Sum of all live footprints (always executable, even with the threaded
+  /// executor's 8-byte alignment padding on top of Def. 5 accounting).
+  std::int64_t tot_mem = 0;
+
+  const graph::TaskGraph& graph() const {
+    return cholesky ? cholesky->graph() : lu->graph();
+  }
+  rt::ObjectInit make_init() const {
+    return cholesky ? cholesky->make_init() : lu->make_init();
+  }
+  rt::TaskBody make_body() const {
+    return cholesky ? cholesky->make_body() : lu->make_body();
+  }
+  /// Relative factorization residual against the generated matrix,
+  /// assembled from the owner heaps after a successful run.
+  double residual(const rt::ThreadedExecutor& exec) const;
+};
+
+/// Parses and builds; throws rapid::Error on an unknown app name or a
+/// malformed key=value list.
+std::unique_ptr<ShmWorkload> build_shm_workload(const std::string& spec);
+
+}  // namespace rapid::num

@@ -105,6 +105,39 @@ struct FaultPlan {
   /// retry history in the StallReport.
   bool drop_nacks = false;
 
+  /// Induced failure — process kill (multi-process/shm transport only):
+  /// rank `kill_proc` SIGKILLs itself at its `kill_at_site`-th (1-based)
+  /// entry into protocol phase `kill_phase`, counted in the rank's own
+  /// deterministic program order. The in-process backend ignores it (a
+  /// thread cannot fail independently); the shm coordinator must detect
+  /// the corpse and fail-stop with a ProcFailureReport. Site ordinals are
+  /// per (rank, phase): REC counts first-blocked-or-ready entries per
+  /// position, EXE counts task bodies started, SND counts task
+  /// completions, MAP counts MAP procedures begun.
+  graph::ProcId kill_proc = graph::kInvalidProc;
+  std::int32_t kill_phase = -1;  // one of kKillRec..kKillMap
+  std::int64_t kill_at_site = -1;
+
+  static constexpr std::int32_t kKillRec = 0;
+  static constexpr std::int32_t kKillExe = 1;
+  static constexpr std::int32_t kKillSnd = 2;
+  static constexpr std::int32_t kKillMap = 3;
+
+  /// Process-kill plan: rank `proc` dies at its `nth` entry into `phase`.
+  static FaultPlan kill_proc_at(graph::ProcId proc, std::int32_t phase,
+                                std::int64_t nth) {
+    FaultPlan p;
+    p.kill_proc = proc;
+    p.kill_phase = phase;
+    p.kill_at_site = nth;
+    return p;
+  }
+
+  bool should_kill(graph::ProcId q, std::int32_t phase,
+                   std::int64_t ordinal) const {
+    return q == kill_proc && phase == kill_phase && ordinal == kill_at_site;
+  }
+
   /// Induced failures (drop/throw/transient/drop_nacks) fire only on run
   /// attempts <= this bound (ThreadedOptions::run_attempt, 1-based) —
   /// run_with_recovery's restarted attempt then runs clean. Probabilistic
@@ -118,7 +151,8 @@ struct FaultPlan {
            corrupt_prob > 0.0 || dup_addr_prob > 0.0 ||
            (drop_addr_src != graph::kInvalidProc && drop_addr_nth > 0) ||
            throw_in_task != graph::kInvalidTask ||
-           transient_throw_in_task != graph::kInvalidTask || drop_nacks;
+           transient_throw_in_task != graph::kInvalidTask || drop_nacks ||
+           (kill_proc != graph::kInvalidProc && kill_at_site > 0);
   }
 
   /// Sweep presets: one per fault class, fully determined by the seed.

@@ -1,0 +1,59 @@
+#include "rapid/rt/proc_failure.hpp"
+
+#include "rapid/support/str.hpp"
+
+namespace rapid::rt {
+
+std::string ProcFailureReport::summary() const {
+  std::string s = cat("worker process for rank p", dead_rank, " ");
+  if (detected_by == "lease") {
+    s += cat("stopped heartbeating (lease ", fixed(lease_age_seconds, 2),
+             " s stale)");
+  } else if (signal != 0) {
+    s += cat("died on signal ", signal);
+  } else {
+    s += cat("exited unexpectedly with code ", exit_code);
+  }
+  s += cat(" at pos ", pos_at_death);
+  if (!orphaned.empty()) {
+    s += cat("; ", orphaned.size(), " orphaned wait(s):");
+    for (const OrphanedWait& w : orphaned) {
+      if (w.object != graph::kInvalidData) {
+        s += cat(" [p", w.waiter, " needs v", w.version, " of object ",
+                 w.object, "]");
+      } else if (w.flag_task != graph::kInvalidTask) {
+        s += cat(" [p", w.waiter, " needs the flag of task ", w.flag_task,
+                 "]");
+      } else if (w.map_blocked) {
+        s += cat(" [p", w.waiter, " blocked on p", dead_rank, "'s mailbox]");
+      }
+    }
+  }
+  return s;
+}
+
+JsonValue ProcFailureReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["dead_rank"] = dead_rank;
+  doc["signal"] = signal;
+  doc["exit_code"] = exit_code;
+  doc["detected_by"] = detected_by;
+  doc["lease_age_seconds"] = lease_age_seconds;
+  doc["state_at_death"] = static_cast<std::int32_t>(state_at_death);
+  doc["pos_at_death"] = pos_at_death;
+  JsonValue waits = JsonValue::array();
+  for (const OrphanedWait& w : orphaned) {
+    JsonValue j = JsonValue::object();
+    j["waiter"] = w.waiter;
+    j["object"] = w.object;
+    j["version"] = w.version;
+    j["flag_task"] = w.flag_task;
+    j["map_blocked"] = w.map_blocked;
+    waits.push_back(std::move(j));
+  }
+  doc["orphaned_waits"] = std::move(waits);
+  doc["summary"] = summary();
+  return doc;
+}
+
+}  // namespace rapid::rt

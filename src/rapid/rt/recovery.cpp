@@ -32,6 +32,9 @@ RecoveryRun run_with_recovery(const RunPlan& plan, const RunConfig& config,
       last_error = std::current_exception();
       const RunReport& partial = exec->last_report();
       out.attempt_failures.push_back(partial.failure);
+      if (partial.proc_failure) {
+        out.attempt_proc_failures.push_back(partial.proc_failure);
+      }
       accumulated.merge(partial.recovery);
       accumulated.run_attempts = ++failed_attempts;
       continue;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "rapid/rt/proc_failure.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 
 namespace rapid::rt {
@@ -38,6 +39,11 @@ struct RecoveryRun {
   /// failure summary of attempt i+1 (empty when the first attempt
   /// succeeded).
   std::vector<std::string> attempt_failures;
+  /// Structured reports of every attempt that died to a process failure
+  /// (shm transport: a worker was SIGKILLed, crashed, or lapsed its lease).
+  /// Restarting respawns the dead rank's process from scratch, so these
+  /// attempts are recoverable exactly like protocol-level faults.
+  std::vector<std::shared_ptr<const ProcFailureReport>> attempt_proc_failures;
   std::int32_t attempts = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rapid/obs/metrics.hpp"
+#include "rapid/rt/proc_failure.hpp"
 
 namespace rapid::rt {
 
@@ -16,6 +17,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kWatchdog: return "watchdog";
     case FailureKind::kIntegrity: return "integrity";
     case FailureKind::kRetriesExhausted: return "retries-exhausted";
+    case FailureKind::kProcFailure: return "proc-failure";
   }
   return "?";
 }
@@ -83,6 +85,8 @@ JsonValue RunReport::to_json() const {
   rec["task_retries"] = recovery.task_retries;
   rec["run_attempts"] = recovery.run_attempts;
   doc["recovery"] = std::move(rec);
+  doc["transport"] = transport;
+  if (proc_failure) doc["proc_failure"] = proc_failure->to_json();
   if (metrics) doc["metrics"] = metrics->to_json();
   return doc;
 }

@@ -19,6 +19,7 @@ struct MetricsSummary;  // obs/metrics.hpp — trace-derived metrics
 namespace rapid::rt {
 
 struct StallReport;  // rt/stall.hpp — full diagnosis of a stalled run
+struct ProcFailureReport;  // rt/proc_failure.hpp — dead-rank diagnosis
 
 /// Thrown when a schedule cannot execute under the configured capacity
 /// (paper Def. 6: MIN_MEM exceeds the per-processor memory). The bench
@@ -72,6 +73,7 @@ enum class FailureKind : std::uint8_t {
   kWatchdog,       // no progress for watchdog_seconds, no cycle proven
   kIntegrity,      // checksum mismatch detected with recovery disabled
   kRetriesExhausted,  // a waiter's bounded re-requests ran out
+  kProcFailure,    // a worker process died (signal, crash, or lease lapse)
 };
 
 const char* to_string(FailureKind kind);
@@ -130,8 +132,10 @@ struct RunReport {
   /// added/renamed so downstream consumers of BENCH_executor.json and the
   /// CI report artifacts can detect what they are reading. Version 2 added
   /// the optional "metrics" block (trace-derived histograms/residencies);
-  /// version 3 added "put_batches" (coalesced RMA put rounds).
-  static constexpr std::int32_t kSchemaVersion = 3;
+  /// version 3 added "put_batches" (coalesced RMA put rounds); version 4
+  /// added "transport" (inproc|shm backend) and the optional
+  /// "proc_failure" block (dead-rank diagnosis of a multi-process run).
+  static constexpr std::int32_t kSchemaVersion = 4;
 
   bool executable = true;
   /// Why the run was not executable (empty when executable).
@@ -143,6 +147,13 @@ struct RunReport {
   /// Every captured per-processor failure (a multi-thread failure is not
   /// masked by whichever thread lost the race to report first).
   std::vector<std::string> errors;
+
+  /// Which transport backend ran the data plane ("inproc" threads or "shm"
+  /// worker processes) — the bench guard rows record it.
+  std::string transport = "inproc";
+  /// Structured diagnosis of a dead worker process (failure_kind ==
+  /// kProcFailure); null otherwise. Mirrored into ProcFailureError.
+  std::shared_ptr<const ProcFailureReport> proc_failure;
 
   /// Modeled (simulator) or measured (threaded) parallel time, µs.
   double parallel_time_us = 0.0;

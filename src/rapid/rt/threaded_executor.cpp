@@ -3,18 +3,27 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 
+#include <signal.h>
+#include <unistd.h>
+
 #include "rapid/obs/metrics.hpp"
 #include "rapid/obs/trace.hpp"
+#include "rapid/obs/trace_io.hpp"
 #include "rapid/rt/map_engine.hpp"
+#include "rapid/rt/proc_failure.hpp"
+#include "rapid/rt/shm_transport.hpp"
 #include "rapid/rt/stall.hpp"
+#include "rapid/rt/transport.hpp"
 #include "rapid/support/backoff.hpp"
 #include "rapid/support/checksum.hpp"
 #include "rapid/support/log.hpp"
@@ -59,62 +68,6 @@ struct ThreadedExecutor::Impl {
   /// deadlines are steady_clock-based (Stopwatch and WaitTracker), so
   /// wall-clock jumps can neither starve nor spuriously fire them.
   const double effective_watchdog;
-
-  /// A re-request: the waiter could not trust (or never received) a message
-  /// and asks the owner to send it again. Carries everything the owner
-  /// needs to service it idempotently: the waiter's own buffer address
-  /// (healing a lost address package — paper Fact I generalized: the waiter
-  /// always knows its own buffer), and the last put sequence number the
-  /// waiter observed, so the owner retransmits at most once per observed
-  /// state (docs/PROTOCOL.md, "Integrity and re-request recovery").
-  struct NackRequest {
-    ProcId requester = graph::kInvalidProc;
-    DataId object = graph::kInvalidData;  // content re-request …
-    std::int32_t version = -1;            // … the version still needed
-    TaskId flag_task = graph::kInvalidTask;  // or a flag re-request
-    mem::Offset reader_offset = mem::kNullOffset;
-    std::uint32_t observed_seq = 0;
-  };
-
-  /// Per-processor shared state — the RMA window. The heap and the
-  /// per-object version slots form a lock-free data plane: a sender memcpys
-  /// the payload into the destination heap with **no lock held** (nobody else
-  /// touches those bytes: regions are disjoint per object, and owner-compute
-  /// makes the object's owner the only writer), then publishes visibility
-  /// with a release store on received_version; readers gate on acquire
-  /// loads. Completion flags are a dense atomic array with the same
-  /// discipline. The integrity plane adds two more single-writer-per-slot
-  /// arrays: the payload CRC and the put sequence number, published in the
-  /// order crc → version → seq so an acquire load of seq makes all three
-  /// (and the payload bytes) visible. Only the multi-slot address-package
-  /// mailbox and the re-request inbox keep mutexes — many-producer queues
-  /// of variable-size messages, off the data path. docs/RUNTIME.md has the
-  /// full memory-ordering argument; docs/PROTOCOL.md the recovery argument.
-  struct Shared {
-    std::vector<std::byte> heap;
-    /// Per object, -1 = none yet. Single writer per slot (the object's
-    /// owner), so max-merge is a plain compare + release store.
-    std::unique_ptr<std::atomic<std::int32_t>[]> received_version;
-    /// Per task, 1 = completion flag delivered. Single writer per slot.
-    std::unique_ptr<std::atomic<std::uint8_t>[]> flags;
-    /// Per object: CRC32C of the last put payload, and the 1-based put
-    /// sequence number that published it (0 = no put yet). Same single
-    /// writer as received_version.
-    std::unique_ptr<std::atomic<std::uint32_t>[]> received_crc;
-    std::unique_ptr<std::atomic<std::uint32_t>[]> put_seq;
-
-    std::mutex mailbox_m;
-    std::vector<std::deque<AddrPackage>> mailbox;  // per source proc
-    /// Lock-free "is there anything to drain" hint; modified under
-    /// mailbox_m, read without it on the RA fast path.
-    std::atomic<std::int32_t> mailbox_pending{0};
-
-    /// Re-request (NACK) inbox: many-producer, drained by this processor
-    /// in service_ra_cq.
-    std::mutex nack_m;
-    std::deque<NackRequest> nacks;
-    std::atomic<std::int32_t> nack_pending{0};
-  };
 
   /// Identity + deadline of the wait a processor is currently blocked in
   /// (worker-private). Deadlines are monotonic (now_ns) and grow per the
@@ -214,38 +167,35 @@ struct ThreadedExecutor::Impl {
     std::int64_t addr_pkgs_sent = 0;  // deterministic per-proc ordinal
     std::int64_t park_accum = 0;      // parks from finished MAP-send waits
     std::int64_t timeout_accum = 0;
+    /// Process-kill fault bookkeeping: deterministic per-(rank, phase)
+    /// entry ordinals (indexed by FaultPlan::kKillRec..kKillMap), and the
+    /// last position whose REC entry was counted (REC counts positions,
+    /// not poll iterations).
+    std::int64_t kill_ordinals[4] = {0, 0, 0, 0};
+    std::int32_t last_rec_pos = -1;
   };
 
-  /// Always-published light status (relaxed-cost stores at protocol state
-  /// transitions) so the monitor can describe even a worker that is stuck
-  /// inside a task body and cannot answer a snapshot request.
-  struct alignas(64) LightStatus {
-    std::atomic<std::uint8_t> state{
-        static_cast<std::uint8_t>(ProcState::kStart)};
-    std::atomic<std::int32_t> pos{0};
-  };
-
-  std::vector<std::unique_ptr<Shared>> shared;
   std::vector<Private> priv;
-  std::unique_ptr<LightStatus[]> status;
   std::vector<std::size_t> epoch_base;  // per object, into epoch_remaining
   /// Dense index of each object among its owner's permanents (for the
   /// known_addrs tables); -1 until built.
   std::vector<std::int32_t> owned_index;
 
-  /// Data-plane doorbell: rung on every protocol event; blocked workers
-  /// park on it. The control doorbell is rung only on run termination
-  /// events (failure, global quiescence, retry exhaustion) so the monitor
-  /// can park without making every bump_progress() pay a notify.
-  Doorbell bell;
-  Doorbell control_bell;
+  /// The one-sided transport behind the data plane: windows, mailboxes,
+  /// NACK channels, doorbells, the abort/quiescence/failure control plane,
+  /// and the light per-processor status (plus leases, cross-process).
+  /// `win` caches the raw window views so the hot path stays devirtualized;
+  /// `bell`/`control_bell` alias the transport's bells. owned_tp holds the
+  /// in-process backend; shm runs point tp into the session's transport.
+  std::unique_ptr<Transport> owned_tp;
+  Transport* tp = nullptr;
+  std::vector<WindowView> win;
+  Bell* bell = nullptr;
+  Bell* control_bell = nullptr;
+  /// Coordinator-side shm session (segment + worker processes); kept on
+  /// the Impl so read_object can still reach the owner heaps after run().
+  std::unique_ptr<ShmSession> session;
 
-  std::atomic<bool> abort{false};
-  std::atomic<int> quiescent_count{0};
-  std::mutex error_m;
-  std::string error_text;            // first failure (defines disposition)
-  std::vector<std::string> errors;   // every failure, in capture order
-  FailureKind first_kind = FailureKind::kNone;
   std::shared_ptr<const StallReport> stall_report;  // set by the monitor
   bool completed = false;  // run() finished cleanly; gates read_object()
   RunReport last_report;   // filled by run() even on the throwing paths
@@ -299,25 +249,31 @@ struct ThreadedExecutor::Impl {
                                1e6)
                 : options_.watchdog_seconds) {}
 
-  void fail(std::string what, FailureKind kind) {
-    {
-      std::lock_guard<std::mutex> lock(error_m);
-      errors.push_back(what);
-      if (error_text.empty()) {
-        error_text = std::move(what);
-        first_kind = kind;
-      }
-    }
-    abort.store(true, std::memory_order_release);
-    bell.ring();          // wake parked workers so they observe the abort
-    control_bell.ring();  // and the monitor
+  void fail(ProcId q, std::string what, FailureKind kind) {
+    tp->report_failure(q, kind, what);
+    tp->request_abort();
+    bell->ring();          // wake parked workers so they observe the abort
+    control_bell->ring();  // and the monitor
   }
 
-  void bump_progress() { bell.ring(); }
+  void bump_progress() { bell->ring(); }
 
+  /// Publishes q's light protocol state (and, cross-process, refreshes its
+  /// heartbeat lease).
   void set_state(ProcId q, ProcState s) {
-    status[static_cast<std::size_t>(q)].state.store(
-        static_cast<std::uint8_t>(s), std::memory_order_release);
+    tp->beat(q, static_cast<std::uint8_t>(s), priv[q].pos);
+  }
+
+  /// Process-kill fault hook: rank q SIGKILLs itself at its nth entry into
+  /// `phase`. Real process death only — the in-process backend ignores the
+  /// plan (a thread cannot fail independently of the run).
+  void maybe_kill(ProcId q, std::int32_t phase) {
+    Private& me = priv[q];
+    const std::int64_t ordinal = ++me.kill_ordinals[phase];
+    if (induced_on && tp->cross_process() &&
+        faults.should_kill(q, phase, ordinal)) {
+      std::raise(SIGKILL);
+    }
   }
 
   /// Record entry into one of the paper's five protocol states
@@ -381,7 +337,8 @@ struct ThreadedExecutor::Impl {
   void transmit_batch(ProcId q, ProcId dest,
                       std::span<const ContentSend> sends) {
     Private& me = priv[q];
-    Shared& dst = *shared[dest];
+    const WindowView& dst = win[dest];
+    const WindowView& mine = win[q];
     auto& staged = me.staged;
     staged.clear();
     std::int64_t batch_bytes = 0;
@@ -402,23 +359,20 @@ struct ThreadedExecutor::Impl {
                       size, static_cast<std::uint16_t>(attempt));
       }
       if (size > 0) {
-        std::memcpy(dst.heap.data() + dst_off,
-                    shared[q]->heap.data() + src_off,
-                    static_cast<std::size_t>(size));
+        tp->put(dst, dst_off, mine.heap + src_off, size);
       }
       std::uint32_t crc = 0;
       if (checksum_on) {
         // Digest of the source bytes (stable: the owner is the only writer
         // of its own object and is not inside a task body here).
-        crc = crc32c({shared[q]->heap.data() + src_off,
-                      static_cast<std::size_t>(size)});
+        crc = crc32c({mine.heap + src_off, static_cast<std::size_t>(size)});
       }
       if (faults_on && size > 0 &&
           faults.corrupt_put(s.object, s.version, dest, attempt)) {
         const auto [site, mask] = faults.corrupt_site(s.object, s.version,
                                                       dest);
-        dst.heap[static_cast<std::size_t>(dst_off) +
-                 static_cast<std::size_t>(
+        dst.heap[static_cast<std::ptrdiff_t>(dst_off) +
+                 static_cast<std::ptrdiff_t>(
                      site % static_cast<std::uint64_t>(size))] ^=
             static_cast<std::byte>(mask);
       }
@@ -434,14 +388,9 @@ struct ThreadedExecutor::Impl {
     // the copied-but-invisible state the fault models.
     if (delay_us > 0) sleep_us(delay_us);
     for (const StagedPut& p : staged) {
-      if (checksum_on) {
-        dst.received_crc[p.object].store(p.crc, std::memory_order_relaxed);
-      }
-      auto& slot = dst.received_version[p.object];
-      if (slot.load(std::memory_order_relaxed) < p.version) {
-        slot.store(p.version, std::memory_order_release);
-      }
-      dst.put_seq[p.object].store(p.attempt, std::memory_order_release);
+      // The one publication-order contract (crc relaxed -> version
+      // release max-merge -> seq release), defined once on the Transport.
+      tp->publish(dst, p.object, p.version, checksum_on, p.crc, p.attempt);
       if (p.attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
       if (tracing) {
         trace->record(q, p.attempt > 1 ? obs::EventKind::kResend
@@ -507,7 +456,7 @@ struct ThreadedExecutor::Impl {
   }
 
   void send_flag(ProcId q, ProcId dest, TaskId t) {
-    shared[dest]->flags[t].store(1, std::memory_order_release);
+    tp->raise_flag(win[dest], t);
     flag_messages.fetch_add(1, std::memory_order_relaxed);
     if (tracing) trace->record(q, obs::EventKind::kFlagSend, t, 0, dest);
     bump_progress();
@@ -553,12 +502,7 @@ struct ThreadedExecutor::Impl {
       }
     }
     if (induced_on && faults.drop_nacks) return;  // lost recovery traffic
-    Shared& dst = *shared[owner];
-    {
-      std::lock_guard<std::mutex> lock(dst.nack_m);
-      dst.nacks.push_back(n);
-    }
-    dst.nack_pending.fetch_add(1, std::memory_order_release);
+    tp->push_nack(owner, n);
     bump_progress();  // wake the owner if parked
   }
 
@@ -647,7 +591,8 @@ struct ThreadedExecutor::Impl {
       w.flag_task = gate.flag_task;
       w.attempts = 0;
       w.started_ns = now;
-      w.deadline_ns = now + options.retry.delay_us(1) * 1000;
+      w.deadline_ns =
+          sat_add_i64(now, sat_mul_i64(options.retry.delay_us(1), 1000));
     }
     if (w.exhausted) return;
     const bool fast = gate.rejected && me.fast_nack;
@@ -665,11 +610,14 @@ struct ThreadedExecutor::Impl {
       me.retry_log.push_back(r);
       me.exhausted_index = me.retry_log.size() - 1;
       exhausted_waiters.fetch_add(1, std::memory_order_acq_rel);
-      control_bell.ring();  // the monitor decides whether to escalate
+      tp->beat_wait(q, w.object, w.version, w.flag_task, graph::kInvalidProc,
+                    w.attempts, true);
+      control_bell->ring();  // the monitor decides whether to escalate
       return;
     }
     ++w.attempts;
-    w.deadline_ns = now + options.retry.delay_us(w.attempts + 1) * 1000;
+    w.deadline_ns = sat_add_i64(
+        now, sat_mul_i64(options.retry.delay_us(w.attempts + 1), 1000));
     send_nack(q, gate);
   }
 
@@ -708,20 +656,10 @@ struct ThreadedExecutor::Impl {
   /// caller's backoff resets on progress).
   bool service_ra_cq(ProcId q) {
     Private& me = priv[q];
-    Shared& mine = *shared[q];
     bool progressed = false;
-    if (mine.mailbox_pending.load(std::memory_order_acquire) != 0) {
+    if (tp->addr_packages_pending(q)) {
       std::vector<AddrPackage> consumed;
-      {
-        std::lock_guard<std::mutex> lock(mine.mailbox_m);
-        for (auto& slot : mine.mailbox) {
-          while (!slot.empty()) {
-            consumed.push_back(std::move(slot.front()));
-            slot.pop_front();
-          }
-        }
-        mine.mailbox_pending.store(0, std::memory_order_relaxed);
-      }
+      tp->drain_addr_packages(q, &consumed);
       for (const AddrPackage& pkg : consumed) {
         if (pkg.seq != 0) {
           auto& last_seen = me.pkg_seq_seen[pkg.reader];
@@ -735,7 +673,8 @@ struct ThreadedExecutor::Impl {
           if (checksum_on && pkg.crc != pkg.checksum()) {
             checksum_rejections.fetch_add(1, std::memory_order_relaxed);
             if (!recovery_on) {
-              fail(cat("integrity: address package from p", pkg.reader,
+              fail(q,
+                   cat("integrity: address package from p", pkg.reader,
                        " to p", q, " failed its checksum"),
                    FailureKind::kIntegrity);
               return progressed;
@@ -759,15 +698,9 @@ struct ThreadedExecutor::Impl {
         bump_progress();
       }
     }
-    if (recovery_on &&
-        mine.nack_pending.load(std::memory_order_acquire) != 0) {
+    if (recovery_on && tp->nacks_pending(q)) {
       std::vector<NackRequest> requests;
-      {
-        std::lock_guard<std::mutex> lock(mine.nack_m);
-        requests.assign(mine.nacks.begin(), mine.nacks.end());
-        mine.nacks.clear();
-      }
-      mine.nack_pending.store(0, std::memory_order_release);
+      tp->drain_nacks(q, &requests);
       for (const NackRequest& n : requests) {
         if (service_nack(q, n)) progressed = true;
       }
@@ -827,36 +760,25 @@ struct ThreadedExecutor::Impl {
     AddrPackage stamped = pkg;
     stamped.seq = ++me.pkg_seq_sent[dest];
     stamped.crc = stamped.checksum();
-    Backoff backoff(bell, options.spin_iters, effective_park_us);
+    // Network-level duplication fault: same sequence number, past the slot
+    // bound (the bound is a protocol courtesy the fault deliberately
+    // violates); the receiver must suppress the replay.
+    std::int32_t copies = 1;
+    if (faults_on && faults.dup_addr_package(q, dest, ordinal)) copies = 2;
+    Backoff backoff(*bell, options.spin_iters, effective_park_us);
     bool sent = false;
-    while (!abort.load(std::memory_order_acquire)) {
+    while (!tp->aborted()) {
       if (snap_gen.load(std::memory_order_acquire) != me.snap_seen) {
         publish_snapshot(q, backoff.parks(), backoff.park_timeouts(), dest);
       }
-      const std::uint64_t seen = bell.value();
-      {
-        Shared& dst = *shared[dest];
-        std::lock_guard<std::mutex> lock(dst.mailbox_m);
-        if (static_cast<std::int32_t>(dst.mailbox[q].size()) <
-            config.mailbox_slots) {
-          dst.mailbox[q].push_back(stamped);
-          std::int32_t pushed = 1;
-          if (faults_on && faults.dup_addr_package(q, dest, ordinal)) {
-            // Network-level duplication: same sequence number, past the
-            // slot bound (the mailbox is a deque; the bound is a protocol
-            // courtesy the fault deliberately violates).
-            dst.mailbox[q].push_back(stamped);
-            ++pushed;
-          }
-          dst.mailbox_pending.fetch_add(pushed, std::memory_order_release);
-          addr_packages.fetch_add(1, std::memory_order_relaxed);
-          addr_entries.fetch_add(
-              static_cast<std::int64_t>(stamped.entries.size()),
-              std::memory_order_relaxed);
-          sent = true;
-        }
-      }
-      if (sent) {
+      const std::uint64_t seen = bell->value();
+      if (tp->try_send_addr_package(q, dest, stamped, config.mailbox_slots,
+                                    copies)) {
+        addr_packages.fetch_add(1, std::memory_order_relaxed);
+        addr_entries.fetch_add(
+            static_cast<std::int64_t>(stamped.entries.size()),
+            std::memory_order_relaxed);
+        sent = true;
         if (tracing) {
           trace->record(q, obs::EventKind::kAddrPkgSend,
                         static_cast<std::int32_t>(stamped.entries.size()),
@@ -868,6 +790,13 @@ struct ThreadedExecutor::Impl {
       if (service_ra_cq(q)) {
         backoff.reset();
       } else {
+        // Publish the blocked-on-mailbox state (with the full destination)
+        // before parking so a cross-process coordinator can attribute this
+        // wait if the destination's process dies.
+        tp->beat(q, static_cast<std::uint8_t>(ProcState::kMapBlocked),
+                 me.pos);
+        tp->beat_wait(q, graph::kInvalidData, -1, graph::kInvalidTask, dest,
+                      0, false);
         traced_pause(q, backoff, seen);
       }
     }
@@ -887,7 +816,7 @@ struct ThreadedExecutor::Impl {
   /// them.
   bool content_trusted(ProcId q, DataId d, GateRef* gate) {
     Private& me = priv[q];
-    Shared& mine = *shared[q];
+    const WindowView& mine = win[static_cast<std::size_t>(q)];
     const std::uint32_t seq = mine.put_seq[d].load(std::memory_order_acquire);
     if (seq == 0) return false;  // version visible, seq racing: retry soon
     if (me.verified_seq[d] == seq) return true;
@@ -900,7 +829,7 @@ struct ThreadedExecutor::Impl {
     const std::uint32_t expect =
         mine.received_crc[d].load(std::memory_order_relaxed);
     const std::uint32_t actual =
-        crc32c({mine.heap.data() + off, static_cast<std::size_t>(size)});
+        crc32c({mine.heap + off, static_cast<std::size_t>(size)});
     if (actual == expect) {
       me.verified_seq[d] = seq;
       return true;
@@ -909,7 +838,8 @@ struct ThreadedExecutor::Impl {
     me.fast_nack = true;  // re-request immediately, not at the deadline
     checksum_rejections.fetch_add(1, std::memory_order_relaxed);
     if (!recovery_on) {
-      fail(cat("integrity: checksum mismatch on object ",
+      fail(q,
+           cat("integrity: checksum mismatch on object ",
                plan.graph->data(d).name, " (put seq ", seq,
                ") received at processor ", q),
            FailureKind::kIntegrity);
@@ -924,9 +854,9 @@ struct ThreadedExecutor::Impl {
   /// remote input's payload digest matched. On false, `gate` (if given) is
   /// filled with the first unmet gate for wait tracking and diagnosis.
   bool task_ready(ProcId q, TaskId t, GateRef* gate = nullptr) {
-    const TaskRuntimePlan& tp = plan.tasks[t];
-    Shared& mine = *shared[q];
-    for (const RemoteRead& rr : tp.remote_reads) {
+    const TaskRuntimePlan& trp = plan.tasks[t];
+    const WindowView& mine = win[static_cast<std::size_t>(q)];
+    for (const RemoteRead& rr : trp.remote_reads) {
       const std::int32_t have =
           mine.received_version[rr.object].load(std::memory_order_acquire);
       const bool arrived = have >= rr.version;
@@ -940,7 +870,7 @@ struct ThreadedExecutor::Impl {
       }
       return false;
     }
-    for (TaskId u : tp.remote_sync_preds) {
+    for (TaskId u : trp.remote_sync_preds) {
       if (mine.flags[u].load(std::memory_order_acquire) == 0) {
         if (gate) gate->flag_task = u;
         return false;
@@ -976,13 +906,7 @@ struct ThreadedExecutor::Impl {
               me.suspended_by_dest[static_cast<std::size_t>(r)].size());
     }
     s.addr_epoch = me.addr_epoch;
-    {
-      Shared& mine = *shared[q];
-      std::lock_guard<std::mutex> lock(mine.mailbox_m);
-      for (const auto& slot : mine.mailbox) {
-        s.mailbox_packages += static_cast<std::int64_t>(slot.size());
-      }
-    }
+    s.mailbox_packages = tp->mailbox_occupancy(q);
     s.parks = me.park_accum + (me.backoff ? me.backoff->parks() : 0) +
               extra_parks;
     s.park_timeouts = me.timeout_accum +
@@ -1058,9 +982,7 @@ struct ThreadedExecutor::Impl {
     for (;;) {
       int expected = 0;
       for (ProcId q = 0; q < plan.num_procs; ++q) {
-        const auto st = static_cast<ProcState>(
-            status[static_cast<std::size_t>(q)].state.load(
-                std::memory_order_acquire));
+        const auto st = static_cast<ProcState>(tp->light(q).state);
         // kExe workers are inside a body and cannot answer; kFailed
         // workers have unwound. Everyone else loops and will respond.
         if (st != ProcState::kExe && st != ProcState::kFailed) ++expected;
@@ -1077,18 +999,13 @@ struct ThreadedExecutor::Impl {
     for (ProcId q = 0; q < plan.num_procs; ++q) {
       ProcSnapshot& s = snaps[static_cast<std::size_t>(q)];
       if (s.detailed) continue;
-      auto& light = status[static_cast<std::size_t>(q)];
+      const LightState light = tp->light(q);
       s.proc = q;
-      s.state =
-          static_cast<ProcState>(light.state.load(std::memory_order_acquire));
-      s.pos = light.pos.load(std::memory_order_acquire);
+      s.state = static_cast<ProcState>(light.state);
+      s.pos = light.pos;
       s.order_size = static_cast<std::int32_t>(plan.procs[q].order.size());
     }
-    std::vector<std::string> errs;
-    {
-      std::lock_guard<std::mutex> lock(error_m);
-      errs = errors;
-    }
+    std::vector<std::string> errs = tp->failure_texts();
     return diagnose_stall(plan, std::move(snaps), stalled_seconds,
                           std::move(errs));
   }
@@ -1113,7 +1030,7 @@ struct ThreadedExecutor::Impl {
         std::min(options.stall_check_seconds, effective_watchdog);
     const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
         static_cast<std::int64_t>(stall_after * 1e6 / 4), 1000, 250000);
-    std::uint64_t last = bell.value();
+    std::uint64_t last = bell->value();
     Stopwatch since_progress;
     bool diagnosed = false;  // already analyzed this bell value
     std::shared_ptr<const StallReport> pending;  // slow-progress diagnosis
@@ -1121,13 +1038,11 @@ struct ThreadedExecutor::Impl {
       // Control value read before the exit checks: a ring that lands after
       // the read makes the park return immediately, so run termination is
       // never charged a full heartbeat of latency.
-      const std::uint64_t control_seen = control_bell.value();
-      if (quiescent_count.load(std::memory_order_acquire) >=
-              plan.num_procs ||
-          abort.load(std::memory_order_acquire)) {
+      const std::uint64_t control_seen = control_bell->value();
+      if (tp->quiescent_count() >= plan.num_procs || tp->aborted()) {
         break;
       }
-      const std::uint64_t now = bell.value();
+      const std::uint64_t now = bell->value();
       if (now != last) {
         last = now;
         since_progress.reset();
@@ -1139,11 +1054,12 @@ struct ThreadedExecutor::Impl {
           exhausted_waiters.load(std::memory_order_acquire) > 0) {
         auto report =
             std::make_shared<StallReport>(collect_and_diagnose(stalled));
-        if (bell.value() != now) continue;  // progressed mid-snapshot
+        if (bell->value() != now) continue;  // progressed mid-snapshot
         if (exhausted_waiters.load(std::memory_order_acquire) > 0) {
           report->retries_exhausted = true;
           stall_report = report;
-          fail(cat("recovery retries exhausted after ", fixed(stalled, 2),
+          fail(graph::kInvalidProc,
+               cat("recovery retries exhausted after ", fixed(stalled, 2),
                    " s without progress: ", report->summary()),
                FailureKind::kRetriesExhausted);
           break;
@@ -1153,11 +1069,12 @@ struct ThreadedExecutor::Impl {
       if (stalled > stall_after && !diagnosed) {
         auto report =
             std::make_shared<StallReport>(collect_and_diagnose(stalled));
-        if (bell.value() != now) continue;  // progressed mid-snapshot
+        if (bell->value() != now) continue;  // progressed mid-snapshot
         diagnosed = true;
         if (report->genuine_deadlock && !recovery_on) {
           stall_report = report;
-          fail(cat("protocol deadlock after ", fixed(stalled, 2), " s: ",
+          fail(graph::kInvalidProc,
+               cat("protocol deadlock after ", fixed(stalled, 2), " s: ",
                    report->summary()),
                FailureKind::kDeadlock);
           break;
@@ -1172,12 +1089,13 @@ struct ThreadedExecutor::Impl {
               std::make_shared<StallReport>(collect_and_diagnose(stalled));
         }
         stall_report = pending;
-        fail(cat("watchdog: no protocol progress for ", fixed(stalled, 2),
+        fail(graph::kInvalidProc,
+             cat("watchdog: no protocol progress for ", fixed(stalled, 2),
                  " s: ", pending->summary()),
              FailureKind::kWatchdog);
         break;
       }
-      control_bell.wait(control_seen, heartbeat_us);
+      control_bell->wait(control_seen, heartbeat_us);
     }
   }
 
@@ -1190,7 +1108,7 @@ struct ThreadedExecutor::Impl {
     std::span<const std::byte> read(DataId d) const override {
       const std::int64_t size = impl_.plan.graph->data(d).size_bytes;
       const mem::Offset off = impl_.priv[proc_].memory->offset_of(d);
-      return {impl_.shared[proc_]->heap.data() + off,
+      return {impl_.win[static_cast<std::size_t>(proc_)].heap + off,
               static_cast<std::size_t>(size)};
     }
 
@@ -1200,7 +1118,7 @@ struct ThreadedExecutor::Impl {
                       impl_.plan.graph->data(d).name));
       const std::int64_t size = impl_.plan.graph->data(d).size_bytes;
       const mem::Offset off = impl_.priv[proc_].memory->offset_of(d);
-      return {impl_.shared[proc_]->heap.data() + off,
+      return {impl_.win[static_cast<std::size_t>(proc_)].heap + off,
               static_cast<std::size_t>(size)};
     }
 
@@ -1211,13 +1129,13 @@ struct ThreadedExecutor::Impl {
 
   void complete_task(ProcId q, TaskId t) {
     Private& me = priv[q];
-    const TaskRuntimePlan& tp = plan.tasks[t];
+    const TaskRuntimePlan& trp = plan.tasks[t];
     trace_state(q, obs::ProtoState::kSnd);
-    for (ProcId dest : tp.flag_dests) send_flag(q, dest, t);
+    for (ProcId dest : trp.flag_dests) send_flag(q, dest, t);
     // Collect every send this SND state produces, then route them together:
     // dispatch_sends coalesces same-destination puts into one batch.
     me.send_scratch.clear();
-    for (const auto& [d, v] : tp.epoch_memberships) {
+    for (const auto& [d, v] : trp.epoch_memberships) {
       auto& remaining = me.epoch_remaining[epoch_base[d] +
                                            static_cast<std::size_t>(v) - 1];
       if (--remaining == 0) {
@@ -1264,7 +1182,7 @@ struct ThreadedExecutor::Impl {
         return;
       } catch (const TransientTaskError&) {
         if (!recovery_on || attempt > options.retry.max_attempts ||
-            abort.load(std::memory_order_acquire)) {
+            tp->aborted()) {
           throw;
         }
         task_retries.fetch_add(1, std::memory_order_relaxed);
@@ -1287,10 +1205,10 @@ struct ThreadedExecutor::Impl {
       }
       dispatch_sends(q, pp.initial_sends);
 
-      me.backoff.emplace(bell, options.spin_iters, effective_park_us);
+      me.backoff.emplace(*bell, options.spin_iters, effective_park_us);
       Backoff& backoff = *me.backoff;
       const auto n = static_cast<std::int32_t>(pp.order.size());
-      while (!abort.load(std::memory_order_acquire)) {
+      while (!tp->aborted()) {
         if (snap_gen.load(std::memory_order_acquire) != me.snap_seen) {
           publish_snapshot(q, 0, 0, graph::kInvalidProc);
         }
@@ -1300,6 +1218,7 @@ struct ThreadedExecutor::Impl {
             set_state(q, ProcState::kMap);
             trace_state(q, obs::ProtoState::kMap);
             if (tracing) trace->record(q, obs::EventKind::kMapBegin, me.pos);
+            if (faults_on) maybe_kill(q, FaultPlan::kKillMap);
             const MapResult map = me.memory->perform_map(me.pos);
             ++me.maps;
             if (tracing) {
@@ -1329,11 +1248,17 @@ struct ThreadedExecutor::Impl {
           // The protocol enters REC before every task (Fig. 3(b)); a ready
           // task just passes through it instantly.
           trace_state(q, obs::ProtoState::kRec);
+          if (faults_on && me.pos != me.last_rec_pos) {
+            // First REC entry at this schedule position (re-entries after a
+            // blocked pause are the same protocol state, not a new one).
+            me.last_rec_pos = me.pos;
+            maybe_kill(q, FaultPlan::kKillRec);
+          }
           // Doorbell value read BEFORE the readiness check: an input that
           // arrives between the check and the park moves the bell past
           // `seen`, so the park returns immediately instead of sleeping
           // through the wakeup.
-          const std::uint64_t seen = bell.value();
+          const std::uint64_t seen = bell->value();
           GateRef gate;
           if (task_ready(q, t, &gate)) {
             if (recovery_on) finish_wait(q);
@@ -1346,7 +1271,7 @@ struct ThreadedExecutor::Impl {
               // happens-before edge, not a timestamp heuristic.
               for (const RemoteRead& rr : plan.tasks[t].remote_reads) {
                 const std::uint32_t seq =
-                    shared[q]->put_seq[rr.object].load(
+                    win[static_cast<std::size_t>(q)].put_seq[rr.object].load(
                         std::memory_order_acquire);
                 trace->record(q, obs::EventKind::kConsume, rr.object,
                               rr.version,
@@ -1356,12 +1281,13 @@ struct ThreadedExecutor::Impl {
             }
             set_state(q, ProcState::kExe);
             trace_state(q, obs::ProtoState::kExe);
+            if (faults_on) maybe_kill(q, FaultPlan::kKillExe);
             if (tracing) trace->record(q, obs::EventKind::kTaskBegin, t);
             execute_task(t, resolver);
             if (tracing) trace->record(q, obs::EventKind::kTaskEnd, t);
             ++me.pos;
-            status[static_cast<std::size_t>(q)].pos.store(
-                me.pos, std::memory_order_release);
+            tp->beat(q, static_cast<std::uint8_t>(ProcState::kExe), me.pos);
+            if (faults_on) maybe_kill(q, FaultPlan::kKillSnd);
             complete_task(q, t);  // SND
             backoff.reset();
           } else if (service_ra_cq(q)) {  // REC
@@ -1369,27 +1295,28 @@ struct ThreadedExecutor::Impl {
           } else {
             set_state(q, ProcState::kRecBlocked);
             if (recovery_on) note_blocked_wait(q, gate);
+            tp->beat_wait(q, gate.object, gate.version, gate.flag_task,
+                          graph::kInvalidProc, me.wait.attempts,
+                          me.wait.exhausted);
             traced_pause(q, backoff, seen);
           }
           continue;
         }
         // END: drain, then wait for global quiescence.
         trace_state(q, obs::ProtoState::kEnd);
-        const std::uint64_t seen = bell.value();
+        const std::uint64_t seen = bell->value();
         const bool progressed = service_ra_cq(q);
         if (!me.counted_quiescent && me.suspended_count == 0) {
           me.counted_quiescent = true;
           set_state(q, ProcState::kQuiescent);
-          if (quiescent_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-              plan.num_procs) {
-            control_bell.ring();  // the run is over: wake the monitor
+          if (tp->note_quiescent(q) == plan.num_procs) {
+            control_bell->ring();  // the run is over: wake the monitor
           }
           bump_progress();  // and any peers parked waiting for quiescence
         } else if (!me.counted_quiescent) {
           set_state(q, ProcState::kEndDrain);
         }
-        if (quiescent_count.load(std::memory_order_acquire) ==
-            plan.num_procs) {
+        if (tp->quiescent_count() == plan.num_procs) {
           return;
         }
         if (progressed) {
@@ -1400,13 +1327,14 @@ struct ThreadedExecutor::Impl {
       }
     } catch (const NonExecutableError& e) {
       set_state(q, ProcState::kFailed);
-      fail(e.what(), FailureKind::kNonExecutable);
+      fail(q, e.what(), FailureKind::kNonExecutable);
     } catch (const InjectedFaultError& e) {
       set_state(q, ProcState::kFailed);
-      fail(cat("processor ", q, ": ", e.what()), FailureKind::kInjectedFault);
+      fail(q, cat("processor ", q, ": ", e.what()),
+           FailureKind::kInjectedFault);
     } catch (const std::exception& e) {
       set_state(q, ProcState::kFailed);
-      fail(cat("processor ", q, ": ", e.what()), FailureKind::kTaskError);
+      fail(q, cat("processor ", q, ": ", e.what()), FailureKind::kTaskError);
     }
   }
 
@@ -1432,6 +1360,627 @@ struct ThreadedExecutor::Impl {
     report.recovery.checksum_rejections = checksum_rejections.load();
     report.recovery.task_retries = task_retries.load();
   }
+
+  // ---- run orchestration -------------------------------------------------
+
+  /// Per-run state reset plus the plan-derived index tables; shared by both
+  /// backends and by shm_worker_run.
+  void reset_run_state() {
+    completed = false;
+    priv.clear();
+    priv.resize(static_cast<std::size_t>(plan.num_procs));
+    win.clear();
+    snap_slots.assign(static_cast<std::size_t>(plan.num_procs),
+                      ProcSnapshot{});
+    snap_gen.store(0);
+    snap_acked.store(0);
+    exhausted_waiters.store(0);
+    stall_report.reset();
+    epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
+    owned_index.assign(static_cast<std::size_t>(plan.graph->num_data()), -1);
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      std::int32_t next = 0;
+      for (DataId d : plan.procs[q].permanents) owned_index[d] = next++;
+    }
+  }
+
+  /// Rank q's plan-derived private state: the MAP engine (whose offsets are
+  /// deterministic, so every process derives the same addresses) and the
+  /// owner/reader tables. The free hook pokes rank q's window, so it is
+  /// installed only where this process plays q's protocol role. Requires
+  /// `win` to be populated. Throws NonExecutableError on capacity failure.
+  void setup_proc_state(ProcId q, bool install_free_hook) {
+    Private& pr = priv[q];
+    pr.memory = std::make_unique<ProcMemory>(
+        plan, q, config.capacity_per_proc, /*alignment=*/8,
+        config.alloc_policy, config.slab_arena);
+    if (install_free_hook &&
+        (options.poison_freed || checksum_on || tracing)) {
+      // Poison-fill freed volatile regions so a read through a stale
+      // address (use-after-free across MAP reuse) yields garbage that the
+      // numeric checks catch, not stale-but-plausible content — and reset
+      // the freed object's verification state so a recycled region is
+      // never trusted on the strength of a previous lifetime's checksum.
+      // The hook fires between a MAP's frees and its reallocations, and
+      // the protocol guarantees no put is in flight to a dead region (see
+      // docs/RUNTIME.md), so neither the memset nor the reset can race a
+      // sender. impl.priv is sized once before the workers start, so the
+      // captured pointers stay valid.
+      std::byte* heap = win[static_cast<std::size_t>(q)].heap;
+      Private* mine = &pr;
+      const bool poison = options.poison_freed;
+      Impl* self = this;
+      pr.memory->set_free_hook(
+          [heap, mine, poison, self, q](DataId d, mem::Offset off,
+                                        std::int64_t size) {
+            if (poison && size > 0) {
+              std::memset(heap + off, 0xA5, static_cast<std::size_t>(size));
+            }
+            mine->verified_seq[d] = 0;
+            mine->rejected_seq[d] = 0;
+            // The hook fires on the owning worker's thread inside its
+            // MAP, so recording here obeys the single-writer ring rule.
+            if (self->tracing) {
+              self->trace->record(q, obs::EventKind::kMapFree, d, 0, 0,
+                                  size);
+            }
+          });
+    }
+    if (!config.active_memory) pr.memory->preallocate_all();
+    pr.current_version.assign(
+        static_cast<std::size_t>(plan.graph->num_data()), 0);
+    pr.known_addrs.assign(plan.procs[q].permanents.size() *
+                              static_cast<std::size_t>(plan.num_procs),
+                          mem::kNullOffset);
+    pr.sent_seq.assign(pr.known_addrs.size(), 0);
+    pr.verified_seq.assign(static_cast<std::size_t>(plan.graph->num_data()),
+                           0);
+    pr.rejected_seq.assign(static_cast<std::size_t>(plan.graph->num_data()),
+                           0);
+    pr.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
+    pr.batch_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
+    pr.addr_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    pr.scanned_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    pr.pkg_seq_sent.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    pr.pkg_seq_seen.assign(static_cast<std::size_t>(plan.num_procs), 0);
+  }
+
+  /// Flattened epoch counters (owner-private: every writer of an object
+  /// runs on its owner) plus the baseline address prefill.
+  void setup_epochs_and_baseline() {
+    std::size_t total_epochs = 0;
+    for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+      epoch_base[d] = total_epochs;
+      total_epochs += plan.objects[d].epochs.size();
+    }
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      priv[q].epoch_remaining.assign(total_epochs, 0);
+    }
+    for (DataId d = 0; d < plan.graph->num_data(); ++d) {
+      const ProcId owner = plan.graph->data(d).owner;
+      for (std::size_t v = 0; v < plan.objects[d].epochs.size(); ++v) {
+        priv[owner].epoch_remaining[epoch_base[d] + v] =
+            static_cast<std::int32_t>(plan.objects[d].epochs[v].size());
+      }
+    }
+    // Baseline: owners learn every reader address before any worker starts.
+    if (!config.active_memory) {
+      for (ProcId reader = 0; reader < plan.num_procs; ++reader) {
+        for (const sched::VolatileLifetime& v :
+             plan.procs[reader].volatiles) {
+          const ProcId owner = plan.graph->data(v.object).owner;
+          addr_slot(priv[owner], v.object, reader) =
+              priv[reader].memory->offset_of(v.object);
+        }
+      }
+    }
+  }
+
+  RunReport nonexecutable_report(const std::exception& e) {
+    RunReport report;
+    report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    report.peak_bytes_per_proc.assign(
+        static_cast<std::size_t>(plan.num_procs), 0);
+    report.executable = false;
+    report.failure = e.what();
+    report.failure_kind = FailureKind::kNonExecutable;
+    report.errors.push_back(e.what());
+    report.transport = to_string(options.transport);
+    last_report = report;
+    return report;
+  }
+
+  /// Shared failure disposition: returns normally only for the reported
+  /// (non-throwing) kNonExecutable channel.
+  [[noreturn]] void throw_disposition(RunReport& report) {
+    switch (report.failure_kind) {
+      case FailureKind::kDeadlock:
+      case FailureKind::kWatchdog:
+      case FailureKind::kRetriesExhausted:
+        throw ProtocolDeadlockError(report.failure, stall_report);
+      case FailureKind::kProcFailure:
+        throw ProcFailureError(report.failure, report.proc_failure);
+      default:
+        throw ExecutionFailedError(report.failure, report.errors);
+    }
+  }
+
+  RunReport run_inproc() {
+    RunReport report;
+    report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    report.peak_bytes_per_proc.assign(
+        static_cast<std::size_t>(plan.num_procs), 0);
+    reset_run_state();
+    try {
+      if (config.audit) verify::audit_or_throw(plan, config);
+      owned_tp = make_inproc_transport(
+          plan.num_procs, plan.graph->num_data(), plan.graph->num_tasks(),
+          config.capacity_per_proc);
+      tp = owned_tp.get();
+      bell = &tp->data_bell();
+      control_bell = &tp->control_bell();
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        win.push_back(tp->window(q));
+      }
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        setup_proc_state(q, /*install_free_hook=*/true);
+      }
+    } catch (const NonExecutableError& e) {
+      return nonexecutable_report(e);
+    }
+    setup_epochs_and_baseline();
+
+    if (tracing) {
+      RAPID_CHECK(trace->num_procs() >= plan.num_procs,
+                  "the Trace is sized for fewer processors than the plan");
+      // Baseline heap samples (permanents, plus preallocated volatiles in
+      // baseline mode), recorded before the workers exist so the
+      // single-writer ring rule holds via the thread-creation edge.
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        trace->record(q, obs::EventKind::kHeapSample, 0, 0, 0,
+                      priv[q].memory->in_use_bytes());
+        trace->record(q, obs::EventKind::kHeapPeak, 0, 0, 0,
+                      priv[q].memory->peak_bytes());
+      }
+    }
+
+    Stopwatch wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(plan.num_procs));
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      threads.emplace_back([this, q] { worker(q); });
+    }
+    monitor();
+    for (auto& th : threads) th.join();
+    report.parallel_time_us = wall.seconds() * 1e6;
+    fill_counters(report);
+    report.transport = to_string(tp->kind());
+    if (tracing) {
+      report.metrics = std::make_shared<obs::MetricsSummary>(
+          obs::derive_metrics(*trace));
+    }
+
+    if (tp->any_failure()) {
+      const std::vector<std::string> texts = tp->failure_texts();
+      report.failure = texts.empty() ? "unknown failure" : texts.front();
+      report.failure_kind = tp->first_failure_kind();
+      report.errors = texts;
+      last_report = report;
+      if (report.failure_kind == FailureKind::kNonExecutable) {
+        report.executable = false;  // the "∞" channel: reported, not thrown
+        last_report = report;
+        return report;
+      }
+      throw_disposition(report);
+    }
+    completed = report.executable;
+    last_report = report;
+    return report;
+  }
+
+  // ---- shm coordinator ---------------------------------------------------
+
+  ShmRunSpec build_shm_spec(const std::string& trace_dir) const {
+    ShmRunSpec spec;
+    spec.capacity_per_proc = config.capacity_per_proc;
+    spec.active_memory = config.active_memory ? 1 : 0;
+    spec.alloc_policy = static_cast<std::uint8_t>(config.alloc_policy);
+    spec.slab_arena = config.slab_arena ? 1 : 0;
+    spec.mailbox_slots = config.mailbox_slots;
+    spec.watchdog_seconds = options.watchdog_seconds;
+    spec.stall_check_seconds = options.stall_check_seconds;
+    spec.snapshot_wait_seconds = options.snapshot_wait_seconds;
+    spec.spin_iters = options.spin_iters;
+    spec.park_timeout_us = options.park_timeout_us;
+    spec.poison_freed = options.poison_freed ? 1 : 0;
+    spec.checksum = options.checksum ? 1 : 0;
+    spec.retry = options.retry;
+    spec.run_attempt = options.run_attempt;
+    spec.faults = faults;
+    spec.lease_timeout_seconds = options.lease_timeout_seconds;
+    spec.trace_enabled = tracing ? 1 : 0;
+    std::strncpy(spec.trace_dir, trace_dir.c_str(),
+                 sizeof(spec.trace_dir) - 1);
+    std::strncpy(spec.workload_spec, options.workload_spec.c_str(),
+                 sizeof(spec.workload_spec) - 1);
+    spec.plan_fingerprint = rt::plan_fingerprint(plan);
+    return spec;
+  }
+
+  /// Light-state stall diagnosis for the coordinator: the workers live in
+  /// other processes, so snapshots are synthesized from their beat/beat_wait
+  /// publications in the control segment instead of the cooperative
+  /// snapshot handshake.
+  StallReport shm_collect(double stalled_seconds) {
+    std::vector<ProcSnapshot> snaps(static_cast<std::size_t>(plan.num_procs));
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      ProcSnapshot& s = snaps[static_cast<std::size_t>(q)];
+      const LightState l = tp->light(q);
+      s.proc = q;
+      s.state = static_cast<ProcState>(l.state);
+      s.pos = l.pos;
+      s.order_size = static_cast<std::int32_t>(plan.procs[q].order.size());
+      if (s.pos >= 0 && s.pos < s.order_size) {
+        s.current_task = plan.procs[q].order[s.pos];
+      }
+      if (s.state == ProcState::kRecBlocked) {
+        s.waiting_object = l.waiting_object;
+        s.waiting_version = l.waiting_version;
+        s.waiting_flag_task = l.waiting_flag;
+      } else if (s.state == ProcState::kMapBlocked) {
+        s.mailbox_full_dest = l.map_dest;
+      }
+      s.retry_attempts = l.retry_attempts;
+    }
+    return diagnose_stall(plan, std::move(snaps), stalled_seconds,
+                          tp->failure_texts());
+  }
+
+  /// Structured diagnosis of rank `dead`'s death, including every
+  /// survivor's wait that only the corpse could have satisfied. Also
+  /// records the failure into the control segment (coordinator slot) and
+  /// requests the abort so survivors unwind.
+  std::shared_ptr<ProcFailureReport> make_proc_failure(
+      ProcId dead, const char* detected_by, int sig, int code,
+      double lease_age) {
+    auto r = std::make_shared<ProcFailureReport>();
+    r->dead_rank = dead;
+    r->signal = sig;
+    r->exit_code = code;
+    r->detected_by = detected_by;
+    r->lease_age_seconds = lease_age;
+    const LightState dl = tp->light(dead);
+    r->state_at_death = dl.state;
+    r->pos_at_death = dl.pos;
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      if (q == dead || session->child(q).exited) continue;
+      const LightState l = tp->light(q);
+      const auto st = static_cast<ProcState>(l.state);
+      if (st == ProcState::kRecBlocked) {
+        if (l.waiting_object != graph::kInvalidData &&
+            plan.graph->data(l.waiting_object).owner == dead) {
+          OrphanedWait w;
+          w.waiter = q;
+          w.object = l.waiting_object;
+          w.version = l.waiting_version;
+          r->orphaned.push_back(w);
+        } else if (l.waiting_flag != graph::kInvalidTask &&
+                   plan.schedule.proc_of_task[l.waiting_flag] == dead) {
+          OrphanedWait w;
+          w.waiter = q;
+          w.flag_task = l.waiting_flag;
+          r->orphaned.push_back(w);
+        }
+      } else if (st == ProcState::kMapBlocked && l.map_dest == dead) {
+        OrphanedWait w;
+        w.waiter = q;
+        w.map_blocked = true;
+        r->orphaned.push_back(w);
+      }
+    }
+    tp->report_failure(graph::kInvalidProc, FailureKind::kProcFailure,
+                       r->summary());
+    tp->request_abort();
+    bell->ring();
+    control_bell->ring();
+    return r;
+  }
+
+  void fill_counters_shm(RunReport& report) {
+    ShmTransport& st = session->transport();
+    for (ProcId q = 0; q < plan.num_procs; ++q) {
+      if (!st.worker_done(q)) continue;
+      report.maps_per_proc[q] =
+          static_cast<std::int32_t>(st.worker_counter(q, kCtrMaps));
+      report.peak_bytes_per_proc[q] = st.worker_counter(q, kCtrPeakBytes);
+      report.content_messages += st.worker_counter(q, kCtrContentMessages);
+      report.content_bytes += st.worker_counter(q, kCtrContentBytes);
+      report.put_batches += st.worker_counter(q, kCtrPutBatches);
+      report.flag_messages += st.worker_counter(q, kCtrFlagMessages);
+      report.addr_packages += st.worker_counter(q, kCtrAddrPackages);
+      report.addr_entries += st.worker_counter(q, kCtrAddrEntries);
+      report.suspended_sends += st.worker_counter(q, kCtrSuspendedSends);
+      report.tasks_executed += st.worker_counter(q, kCtrTasksExecuted);
+      report.recovery.nacks_sent += st.worker_counter(q, kCtrNacksSent);
+      report.recovery.resends += st.worker_counter(q, kCtrResends);
+      report.recovery.flag_resends += st.worker_counter(q, kCtrFlagResends);
+      report.recovery.duplicate_suppressions +=
+          st.worker_counter(q, kCtrDupSuppressions);
+      report.recovery.checksum_rejections +=
+          st.worker_counter(q, kCtrChecksumRejections);
+      report.recovery.task_retries += st.worker_counter(q, kCtrTaskRetries);
+    }
+  }
+
+  /// Merges the per-rank trace dumps the workers left in `dir` into the
+  /// session Trace (epoch-rebased; see obs/trace_io.hpp).
+  void merge_worker_traces(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      RAPID_WARN("shm trace merge: cannot read " << dir << ": "
+                                                 << ec.message());
+      return;
+    }
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.size() < 11 || name[0] != 'p' ||
+          name.rfind(".trace.bin") != name.size() - 10) {
+        continue;
+      }
+      try {
+        const obs::LoadedProcTrace lt =
+            obs::load_proc_trace(entry.path().string());
+        if (lt.proc >= 0 && lt.proc < trace->num_procs()) {
+          obs::merge_proc_trace(trace, lt);
+        }
+      } catch (const Error& e) {
+        RAPID_WARN("shm trace merge: skipping " << name << ": " << e.what());
+      }
+    }
+  }
+
+  RunReport run_shm() {
+    RunReport report;
+    report.transport = to_string(TransportKind::kShm);
+    report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
+    report.peak_bytes_per_proc.assign(
+        static_cast<std::size_t>(plan.num_procs), 0);
+    reset_run_state();
+
+    std::string trace_dir = options.shm_trace_dir;
+    bool throwaway_trace_dir = false;
+    if (tracing) {
+      RAPID_CHECK(trace->num_procs() >= plan.num_procs,
+                  "the Trace is sized for fewer processors than the plan");
+      if (trace_dir.empty()) {
+        trace_dir = (std::filesystem::temp_directory_path() /
+                     cat("rapid-trace-", ::getpid(), "-",
+                         now_ns() & 0xffffff))
+                        .string();
+        throwaway_trace_dir = true;
+      }
+      std::filesystem::create_directories(trace_dir);
+    }
+
+    try {
+      if (config.audit) verify::audit_or_throw(plan, config);
+      ShmTransport::Dims dims;
+      dims.num_procs = plan.num_procs;
+      dims.num_data = plan.graph->num_data();
+      dims.num_tasks = plan.graph->num_tasks();
+      dims.heap_bytes = config.capacity_per_proc;
+      session = ShmSession::create(dims, build_shm_spec(trace_dir));
+      tp = &session->transport();
+      bell = &tp->data_bell();
+      control_bell = &tp->control_bell();
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        win.push_back(tp->window(q));
+      }
+      // Coordinator-side MAP engines for every rank: the offsets are
+      // deterministic, so read_object and the baseline prefill agree with
+      // the engines the workers rebuild for themselves. No free hooks —
+      // the coordinator never plays a protocol role.
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        setup_proc_state(q, /*install_free_hook=*/false);
+      }
+    } catch (const NonExecutableError& e) {
+      session.reset();
+      return nonexecutable_report(e);
+    }
+    setup_epochs_and_baseline();
+
+    Stopwatch wall;
+    if (options.shm_launch == ThreadedOptions::ShmLaunch::kSpawn) {
+      RAPID_CHECK(!options.shm_worker_path.empty(),
+                  "shm spawn mode needs ThreadedOptions::shm_worker_path");
+      RAPID_CHECK(!options.workload_spec.empty(),
+                  "shm spawn mode needs ThreadedOptions::workload_spec so "
+                  "rapid_shm_worker can rebuild the plan");
+      session->spawn_exec(options.shm_worker_path);
+    } else {
+      ShmTransport* st = &session->transport();
+      session->spawn_fork([this, st](ProcId q) {
+        (void)q;  // spawn_fork already switched the transport's rank
+        return shm_worker_run(*st, plan, init, body);
+      });
+    }
+
+    // Coordinator loop: reap deaths, police leases, watch progress.
+    std::shared_ptr<ProcFailureReport> proc_failure;
+    ShmTransport& st = session->transport();
+    const double stall_after =
+        std::min(options.stall_check_seconds, effective_watchdog);
+    const std::int64_t heartbeat_us = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(stall_after * 1e6 / 4), 1000, 250000);
+    std::uint64_t last = bell->value();
+    Stopwatch since_progress;
+    Stopwatch since_start;
+    bool diagnosed = false;
+    std::shared_ptr<const StallReport> pending;
+    for (;;) {
+      const std::uint64_t control_seen = control_bell->value();
+      session->poll();
+      for (ProcId q = 0; q < plan.num_procs && !proc_failure; ++q) {
+        ShmSession::Child& c = session->child(q);
+        if (!c.exited || c.reported) continue;
+        c.reported = true;
+        if (c.signal != 0 || (c.exit_code != kShmWorkerClean &&
+                              c.exit_code != kShmWorkerAborted &&
+                              c.exit_code != kShmWorkerFailed)) {
+          proc_failure = make_proc_failure(q, "waitpid", c.signal,
+                                           c.exit_code,
+                                           st.lease_age_seconds(q));
+        }
+      }
+      if (proc_failure) break;
+      if (tp->quiescent_count() >= plan.num_procs || tp->aborted()) break;
+      if (session->all_exited()) break;  // defensive: no child left to wait on
+      // Lease lapse: a rank that stopped beating while NOT inside a task
+      // body (kExe beats are suspended for the body's duration) is dead to
+      // the protocol even if the process still exists (SIGSTOP, livelock).
+      // Kill it so fail-stop is true, then report.
+      for (ProcId q = 0; q < plan.num_procs && !proc_failure; ++q) {
+        if (session->child(q).exited || st.worker_done(q)) continue;
+        const LightState l = tp->light(q);
+        const auto state = static_cast<ProcState>(l.state);
+        if (state == ProcState::kExe || state == ProcState::kQuiescent ||
+            state == ProcState::kFailed) {
+          continue;
+        }
+        const double age = l.lease_ns == 0 ? since_start.seconds()
+                                           : st.lease_age_seconds(q);
+        if (age > options.lease_timeout_seconds) {
+          ::kill(session->child(q).pid, SIGKILL);
+          proc_failure = make_proc_failure(q, "lease", SIGKILL, 0, age);
+        }
+      }
+      if (proc_failure) break;
+      const std::uint64_t now = bell->value();
+      if (now != last) {
+        last = now;
+        since_progress.reset();
+        diagnosed = false;
+        pending.reset();
+      }
+      const double stalled = since_progress.seconds();
+      if (stalled > stall_after && !diagnosed) {
+        auto rep = std::make_shared<StallReport>(shm_collect(stalled));
+        if (bell->value() != now) continue;  // progressed mid-snapshot
+        diagnosed = true;
+        bool exhausted = false;
+        for (ProcId q = 0; q < plan.num_procs; ++q) {
+          if (tp->light(q).retries_exhausted) exhausted = true;
+        }
+        if (recovery_on && exhausted) {
+          rep->retries_exhausted = true;
+          stall_report = rep;
+          fail(graph::kInvalidProc,
+               cat("recovery retries exhausted after ", fixed(stalled, 2),
+                   " s without progress: ", rep->summary()),
+               FailureKind::kRetriesExhausted);
+          break;
+        }
+        if (rep->genuine_deadlock && !recovery_on) {
+          stall_report = rep;
+          fail(graph::kInvalidProc,
+               cat("protocol deadlock after ", fixed(stalled, 2), " s: ",
+                   rep->summary()),
+               FailureKind::kDeadlock);
+          break;
+        }
+        pending = rep;
+      }
+      if (stalled > effective_watchdog) {
+        if (!pending) {
+          pending = std::make_shared<StallReport>(shm_collect(stalled));
+        }
+        stall_report = pending;
+        fail(graph::kInvalidProc,
+             cat("watchdog: no protocol progress for ", fixed(stalled, 2),
+                 " s: ", pending->summary()),
+             FailureKind::kWatchdog);
+        break;
+      }
+      control_bell->wait(control_seen, heartbeat_us);
+    }
+
+    // Teardown: whatever ended the loop, no child may outlive the run.
+    const bool clean = !proc_failure && !tp->any_failure() &&
+                       tp->quiescent_count() >= plan.num_procs;
+    if (!clean) {
+      tp->request_abort();
+      bell->ring();
+      control_bell->ring();
+    }
+    if (!session->wait_all(
+            std::max(2.0, 2.0 * options.lease_timeout_seconds))) {
+      session->kill_all(SIGKILL);
+      session->wait_all(5.0);
+    }
+    report.parallel_time_us = wall.seconds() * 1e6;
+    fill_counters_shm(report);
+    if (tracing) {
+      merge_worker_traces(trace_dir);
+      report.metrics = std::make_shared<obs::MetricsSummary>(
+          obs::derive_metrics(*trace));
+      if (throwaway_trace_dir) {
+        std::error_code ec;
+        std::filesystem::remove_all(trace_dir, ec);
+      }
+    }
+
+    if (proc_failure) {
+      report.failure_kind = FailureKind::kProcFailure;
+      report.failure = proc_failure->summary();
+      report.errors = tp->failure_texts();
+      report.proc_failure = proc_failure;
+      last_report = report;
+      throw_disposition(report);
+    }
+    if (tp->any_failure()) {
+      const std::vector<std::string> texts = tp->failure_texts();
+      report.failure = texts.empty() ? "unknown failure" : texts.front();
+      report.failure_kind = tp->first_failure_kind();
+      report.errors = texts;
+      last_report = report;
+      if (report.failure_kind == FailureKind::kNonExecutable) {
+        report.executable = false;
+        last_report = report;
+        return report;
+      }
+      throw_disposition(report);
+    }
+    if (!clean) {
+      // All children exited without quiescence or any recorded failure —
+      // should be impossible; surface it (with each child's exit status and
+      // last beat) rather than return a bogus clean report.
+      report.failure_kind = FailureKind::kWatchdog;
+      std::string detail = cat("shm run ended without quiescence or a "
+                               "recorded failure (quiescent ",
+                               tp->quiescent_count(), "/", plan.num_procs,
+                               ")");
+      for (ProcId q = 0; q < plan.num_procs; ++q) {
+        const ShmSession::Child& c = session->child(q);
+        const LightState l = tp->light(q);
+        detail += cat("; p", q, ": ",
+                      c.exited
+                          ? (c.signal != 0 ? cat("signal ", c.signal)
+                                           : cat("exit ", c.exit_code))
+                          : std::string("running"),
+                      " state ", static_cast<int>(l.state), " pos ", l.pos);
+      }
+      report.failure = detail;
+      report.errors.push_back(report.failure);
+      last_report = report;
+      throw_disposition(report);
+    }
+    completed = report.executable;
+    last_report = report;
+    return report;
+  }
 };
 
 ThreadedExecutor::ThreadedExecutor(const RunPlan& plan, const RunConfig& config,
@@ -1443,206 +1992,10 @@ ThreadedExecutor::ThreadedExecutor(const RunPlan& plan, const RunConfig& config,
 ThreadedExecutor::~ThreadedExecutor() = default;
 
 RunReport ThreadedExecutor::run() {
-  Impl& impl = *impl_;
-  const RunPlan& plan = impl.plan;
-  RunReport report;
-  report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
-  report.peak_bytes_per_proc.assign(static_cast<std::size_t>(plan.num_procs),
-                                    0);
-
-  // Set up heaps and memory managers; capacity failures surface here or at
-  // the first MAP inside a worker.
-  impl.completed = false;
-  impl.shared.clear();
-  impl.priv.clear();
-  impl.priv.resize(static_cast<std::size_t>(plan.num_procs));
-  impl.status =
-      std::make_unique<Impl::LightStatus[]>(static_cast<std::size_t>(
-          plan.num_procs));
-  impl.snap_slots.assign(static_cast<std::size_t>(plan.num_procs),
-                         ProcSnapshot{});
-  impl.snap_gen.store(0);
-  impl.snap_acked.store(0);
-  impl.exhausted_waiters.store(0);
-  impl.error_text.clear();
-  impl.errors.clear();
-  impl.first_kind = FailureKind::kNone;
-  impl.stall_report.reset();
-  impl.epoch_base.assign(static_cast<std::size_t>(plan.graph->num_data()), 0);
-  impl.owned_index.assign(static_cast<std::size_t>(plan.graph->num_data()),
-                          -1);
-  for (ProcId q = 0; q < plan.num_procs; ++q) {
-    std::int32_t next = 0;
-    for (DataId d : plan.procs[q].permanents) impl.owned_index[d] = next++;
+  if (impl_->options.transport == TransportKind::kShm) {
+    return impl_->run_shm();
   }
-  try {
-    if (impl.config.audit) verify::audit_or_throw(plan, impl.config);
-    for (ProcId q = 0; q < plan.num_procs; ++q) {
-      auto sh = std::make_unique<Impl::Shared>();
-      const auto num_data = static_cast<std::size_t>(plan.graph->num_data());
-      const auto num_tasks = static_cast<std::size_t>(plan.graph->num_tasks());
-      sh->received_version =
-          std::make_unique<std::atomic<std::int32_t>[]>(num_data);
-      for (std::size_t d = 0; d < num_data; ++d) {
-        sh->received_version[d].store(-1, std::memory_order_relaxed);
-      }
-      sh->flags = std::make_unique<std::atomic<std::uint8_t>[]>(num_tasks);
-      for (std::size_t t = 0; t < num_tasks; ++t) {
-        sh->flags[t].store(0, std::memory_order_relaxed);
-      }
-      sh->received_crc =
-          std::make_unique<std::atomic<std::uint32_t>[]>(num_data);
-      sh->put_seq = std::make_unique<std::atomic<std::uint32_t>[]>(num_data);
-      for (std::size_t d = 0; d < num_data; ++d) {
-        sh->received_crc[d].store(0, std::memory_order_relaxed);
-        sh->put_seq[d].store(0, std::memory_order_relaxed);
-      }
-      sh->mailbox.resize(static_cast<std::size_t>(plan.num_procs));
-      sh->heap.resize(static_cast<std::size_t>(impl.config.capacity_per_proc));
-      impl.shared.push_back(std::move(sh));
-      Impl::Private& pr = impl.priv[q];
-      pr.memory = std::make_unique<ProcMemory>(
-          plan, q, impl.config.capacity_per_proc, /*alignment=*/8,
-          impl.config.alloc_policy, impl.config.slab_arena);
-      if (impl.options.poison_freed || impl.checksum_on || impl.tracing) {
-        // Poison-fill freed volatile regions so a read through a stale
-        // address (use-after-free across MAP reuse) yields garbage that the
-        // numeric checks catch, not stale-but-plausible content — and reset
-        // the freed object's verification state so a recycled region is
-        // never trusted on the strength of a previous lifetime's checksum.
-        // The hook fires between a MAP's frees and its reallocations, and
-        // the protocol guarantees no put is in flight to a dead region (see
-        // docs/RUNTIME.md), so neither the memset nor the reset can race a
-        // sender. impl.priv is sized once before the workers start, so the
-        // captured pointer stays valid.
-        Impl::Shared* window = impl.shared.back().get();
-        Impl::Private* mine = &pr;
-        const bool poison = impl.options.poison_freed;
-        Impl* self = &impl;
-        pr.memory->set_free_hook(
-            [window, mine, poison, self, q](DataId d, mem::Offset off,
-                                            std::int64_t size) {
-              if (poison && size > 0) {
-                std::memset(window->heap.data() + off, 0xA5,
-                            static_cast<std::size_t>(size));
-              }
-              mine->verified_seq[d] = 0;
-              mine->rejected_seq[d] = 0;
-              // The hook fires on the owning worker's thread inside its
-              // MAP, so recording here obeys the single-writer ring rule.
-              if (self->tracing) {
-                self->trace->record(q, obs::EventKind::kMapFree, d, 0, 0,
-                                    size);
-              }
-            });
-      }
-      if (!impl.config.active_memory) pr.memory->preallocate_all();
-      pr.current_version.assign(
-          static_cast<std::size_t>(plan.graph->num_data()), 0);
-      pr.known_addrs.assign(
-          plan.procs[q].permanents.size() *
-              static_cast<std::size_t>(plan.num_procs),
-          mem::kNullOffset);
-      pr.sent_seq.assign(pr.known_addrs.size(), 0);
-      pr.verified_seq.assign(
-          static_cast<std::size_t>(plan.graph->num_data()), 0);
-      pr.rejected_seq.assign(
-          static_cast<std::size_t>(plan.graph->num_data()), 0);
-      pr.suspended_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
-      pr.batch_by_dest.resize(static_cast<std::size_t>(plan.num_procs));
-      pr.addr_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
-      pr.scanned_epoch.assign(static_cast<std::size_t>(plan.num_procs), 0);
-      pr.pkg_seq_sent.assign(static_cast<std::size_t>(plan.num_procs), 0);
-      pr.pkg_seq_seen.assign(static_cast<std::size_t>(plan.num_procs), 0);
-    }
-  } catch (const NonExecutableError& e) {
-    report.executable = false;
-    report.failure = e.what();
-    report.failure_kind = FailureKind::kNonExecutable;
-    report.errors.push_back(e.what());
-    impl.last_report = report;
-    return report;
-  }
-  // Flattened epoch counters (owner-private: every writer of an object runs
-  // on its owner).
-  std::size_t total_epochs = 0;
-  for (DataId d = 0; d < plan.graph->num_data(); ++d) {
-    impl.epoch_base[d] = total_epochs;
-    total_epochs += plan.objects[d].epochs.size();
-  }
-  for (ProcId q = 0; q < plan.num_procs; ++q) {
-    impl.priv[q].epoch_remaining.assign(total_epochs, 0);
-  }
-  for (DataId d = 0; d < plan.graph->num_data(); ++d) {
-    const ProcId owner = plan.graph->data(d).owner;
-    for (std::size_t v = 0; v < plan.objects[d].epochs.size(); ++v) {
-      impl.priv[owner].epoch_remaining[impl.epoch_base[d] + v] =
-          static_cast<std::int32_t>(plan.objects[d].epochs[v].size());
-    }
-  }
-  // Baseline: owners learn every reader address before the threads start.
-  if (!impl.config.active_memory) {
-    for (ProcId reader = 0; reader < plan.num_procs; ++reader) {
-      for (const sched::VolatileLifetime& v : plan.procs[reader].volatiles) {
-        const ProcId owner = plan.graph->data(v.object).owner;
-        impl.addr_slot(impl.priv[owner], v.object, reader) =
-            impl.priv[reader].memory->offset_of(v.object);
-      }
-    }
-  }
-
-  if (impl.tracing) {
-    RAPID_CHECK(impl.trace->num_procs() >= plan.num_procs,
-                "the Trace is sized for fewer processors than the plan");
-    // Baseline heap samples (permanents, plus preallocated volatiles in
-    // baseline mode), recorded before the workers exist so the
-    // single-writer ring rule holds via the thread-creation edge.
-    for (ProcId q = 0; q < plan.num_procs; ++q) {
-      impl.trace->record(q, obs::EventKind::kHeapSample, 0, 0, 0,
-                         impl.priv[q].memory->in_use_bytes());
-      impl.trace->record(q, obs::EventKind::kHeapPeak, 0, 0, 0,
-                         impl.priv[q].memory->peak_bytes());
-    }
-  }
-
-  impl.abort.store(false);
-  impl.quiescent_count.store(0);
-  Stopwatch wall;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(plan.num_procs));
-  for (ProcId q = 0; q < plan.num_procs; ++q) {
-    threads.emplace_back([&impl, q] { impl.worker(q); });
-  }
-  impl.monitor();
-  for (auto& th : threads) th.join();
-  report.parallel_time_us = wall.seconds() * 1e6;
-  impl.fill_counters(report);
-  if (impl.tracing) {
-    report.metrics = std::make_shared<obs::MetricsSummary>(
-        obs::derive_metrics(*impl.trace));
-  }
-
-  if (!impl.error_text.empty()) {
-    report.failure = impl.error_text;
-    report.failure_kind = impl.first_kind;
-    report.errors = impl.errors;
-    impl.last_report = report;
-    switch (impl.first_kind) {
-      case FailureKind::kNonExecutable:
-        report.executable = false;
-        impl.last_report = report;
-        return report;  // the "∞" channel: reported, not thrown
-      case FailureKind::kDeadlock:
-      case FailureKind::kWatchdog:
-      case FailureKind::kRetriesExhausted:
-        throw ProtocolDeadlockError(impl.error_text, impl.stall_report);
-      default:
-        throw ExecutionFailedError(impl.error_text, impl.errors);
-    }
-  }
-  impl.completed = report.executable;
-  impl.last_report = report;
-  return report;
+  return impl_->run_inproc();
 }
 
 std::vector<std::byte> ThreadedExecutor::read_object(DataId d) const {
@@ -1653,8 +2006,130 @@ std::vector<std::byte> ThreadedExecutor::read_object(DataId d) const {
   const ProcId owner = impl.plan.graph->data(d).owner;
   const std::int64_t size = impl.plan.graph->data(d).size_bytes;
   const mem::Offset off = impl.priv[owner].memory->offset_of(d);
-  const auto* base = impl.shared[owner]->heap.data() + off;
+  const std::byte* base =
+      impl.win[static_cast<std::size_t>(owner)].heap + off;
   return std::vector<std::byte>(base, base + size);
+}
+
+// One rank's worker run against an shm transport: rebuild the run
+// parameters from the segment header (so fork children and exec'd
+// rapid_shm_worker processes execute identically), run the unchanged
+// protocol loop on the calling thread, then publish counters and dump the
+// trace ring for the coordinator to merge.
+int shm_worker_run(ShmTransport& transport, const RunPlan& plan,
+                   const ObjectInit& init, const TaskBody& body) {
+  const ProcId q = transport.local_rank();
+  // A lambda so the catch below can turn *anything* escaping the worker
+  // loop into a structured failure in the segment, never a silent nonzero
+  // exit. (A plain helper function would lose Impl friendship.)
+  auto inner = [&]() -> int {
+  const ShmRunSpec& spec = transport.spec();
+  RunConfig config;
+  config.capacity_per_proc = spec.capacity_per_proc;
+  config.active_memory = spec.active_memory != 0;
+  config.alloc_policy = static_cast<mem::AllocPolicy>(spec.alloc_policy);
+  config.slab_arena = spec.slab_arena != 0;
+  config.mailbox_slots = spec.mailbox_slots;
+  config.audit = false;  // the coordinator audited before spawning
+  ThreadedOptions options;
+  options.watchdog_seconds = spec.watchdog_seconds;
+  options.stall_check_seconds = spec.stall_check_seconds;
+  options.snapshot_wait_seconds = spec.snapshot_wait_seconds;
+  options.spin_iters = spec.spin_iters;
+  options.park_timeout_us = spec.park_timeout_us;
+  options.poison_freed = spec.poison_freed != 0;
+  options.checksum = spec.checksum != 0;
+  options.retry = spec.retry;
+  options.run_attempt = spec.run_attempt;
+  options.faults = spec.faults;
+  options.transport = TransportKind::kShm;
+  options.lease_timeout_seconds = spec.lease_timeout_seconds;
+  obs::TraceConfig tc;
+  tc.enabled = spec.trace_enabled != 0;
+  tc.events_per_proc = spec.trace_events_per_proc;
+  obs::Trace local_trace(plan.num_procs, tc);
+  if (spec.trace_enabled != 0) options.trace = &local_trace;
+
+  ThreadedExecutor::Impl impl(plan, config, init, body, options);
+  impl.reset_run_state();
+  impl.tp = &transport;
+  impl.bell = &transport.data_bell();
+  impl.control_bell = &transport.control_bell();
+  for (ProcId r = 0; r < plan.num_procs; ++r) {
+    impl.win.push_back(transport.window(r));
+  }
+  set_log_thread_proc(q);
+  try {
+    // MAP engines for every rank (offsets feed the baseline prefill and the
+    // owner tables); the free hook only for the rank whose window this
+    // process owns.
+    for (ProcId r = 0; r < plan.num_procs; ++r) {
+      impl.setup_proc_state(r, /*install_free_hook=*/r == q);
+    }
+  } catch (const std::exception& e) {
+    transport.report_failure(q, FailureKind::kNonExecutable, e.what());
+    transport.request_abort();
+    transport.data_bell().ring();
+    transport.control_bell().ring();
+    return kShmWorkerFailed;
+  }
+  impl.setup_epochs_and_baseline();
+  if (impl.tracing) {
+    impl.trace->record(q, obs::EventKind::kHeapSample, 0, 0, 0,
+                       impl.priv[q].memory->in_use_bytes());
+    impl.trace->record(q, obs::EventKind::kHeapPeak, 0, 0, 0,
+                       impl.priv[q].memory->peak_bytes());
+  }
+  transport.beat(q, static_cast<std::uint8_t>(ProcState::kStart), 0);
+
+  impl.worker(q);  // the full REC/EXE/SND/MAP/END loop, on this thread
+
+  int rc = kShmWorkerClean;
+  if (transport.rank_failed(q)) {
+    rc = kShmWorkerFailed;
+  } else if (transport.aborted() &&
+             transport.quiescent_count() < plan.num_procs) {
+    rc = kShmWorkerAborted;
+  }
+  std::int64_t counters[kNumShmCounters] = {};
+  counters[kCtrContentMessages] = impl.content_messages.load();
+  counters[kCtrContentBytes] = impl.content_bytes.load();
+  counters[kCtrPutBatches] = impl.put_batches.load();
+  counters[kCtrFlagMessages] = impl.flag_messages.load();
+  counters[kCtrAddrPackages] = impl.addr_packages.load();
+  counters[kCtrAddrEntries] = impl.addr_entries.load();
+  counters[kCtrSuspendedSends] = impl.suspended_sends.load();
+  counters[kCtrTasksExecuted] = impl.tasks_executed.load();
+  counters[kCtrNacksSent] = impl.nacks_sent.load();
+  counters[kCtrResends] = impl.resends.load();
+  counters[kCtrFlagResends] = impl.flag_resends.load();
+  counters[kCtrDupSuppressions] = impl.duplicate_suppressions.load();
+  counters[kCtrChecksumRejections] = impl.checksum_rejections.load();
+  counters[kCtrTaskRetries] = impl.task_retries.load();
+  counters[kCtrMaps] = impl.priv[q].maps;
+  counters[kCtrPeakBytes] =
+      impl.priv[q].memory ? impl.priv[q].memory->peak_bytes() : 0;
+  transport.publish_worker_done(q, counters);
+  if (impl.tracing && spec.trace_dir[0] != '\0') {
+    const std::string path =
+        cat(spec.trace_dir, "/p", q, ".pid", ::getpid(), ".trace.bin");
+    if (!obs::save_proc_trace(*impl.trace, q, path)) {
+      RAPID_WARN("shm worker p" << q << ": failed to dump trace to "
+                                << path);
+    }
+  }
+  return rc;
+  };
+  try {
+    return inner();
+  } catch (const std::exception& e) {
+    transport.report_failure(q, FailureKind::kTaskError,
+                             cat("shm worker p", q, ": ", e.what()));
+    transport.request_abort();
+    transport.data_bell().ring();
+    transport.control_bell().ring();
+    return kShmWorkerFailed;
+  }
 }
 
 const RunReport& ThreadedExecutor::last_report() const {

@@ -22,9 +22,12 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "rapid/rt/faults.hpp"
 #include "rapid/rt/plan.hpp"
 #include "rapid/rt/report.hpp"
+#include "rapid/rt/transport.hpp"
 #include "rapid/support/backoff.hpp"
 
 namespace rapid::obs {
@@ -32,6 +35,8 @@ class Trace;  // obs/trace.hpp — per-processor ring-buffer event tracer
 }
 
 namespace rapid::rt {
+
+class ShmTransport;  // rt/shm_transport.hpp
 
 /// Resolves data objects to buffers in the executing processor's heap.
 /// Reads of remote objects see the locally received copy; writes are only
@@ -100,8 +105,37 @@ struct ThreadedOptions {
   /// set, each worker appends protocol events to its own ring in the Trace
   /// (single-writer, lock-free), and run() attaches the derived
   /// MetricsSummary to the RunReport. The Trace must outlive run() and be
-  /// sized for at least plan.num_procs processors.
+  /// sized for at least plan.num_procs processors. On the shm transport
+  /// each worker process traces into a private ring, dumps it at clean
+  /// exit, and the coordinator merges the per-rank files into this Trace.
   obs::Trace* trace = nullptr;
+
+  /// Which one-sided transport carries the data plane. kInProc (default)
+  /// is the thread-per-processor executor; kShm runs each paper-processor
+  /// as an OS process over a POSIX shared-memory segment
+  /// (docs/TRANSPORT.md).
+  TransportKind transport = TransportKind::kInProc;
+  /// How shm worker processes come to life: fork (default — they inherit
+  /// the plan and task bodies, any workload works) or spawning the
+  /// rapid_shm_worker binary (requires workload_spec so the worker can
+  /// rebuild the plan; only spec-expressible workloads).
+  enum class ShmLaunch : std::uint8_t { kFork = 0, kSpawn = 1 };
+  ShmLaunch shm_launch = ShmLaunch::kFork;
+  /// Path to the rapid_shm_worker binary (spawn mode only).
+  std::string shm_worker_path;
+  /// Workload spec string (num/shm_workloads.hpp grammar) identifying the
+  /// plan for spawned workers; checked against a fingerprint of the
+  /// coordinator's plan before any worker touches shared state.
+  std::string workload_spec;
+  /// Directory for per-rank worker trace dumps (shm + trace only). Empty:
+  /// a throwaway directory under the system temp dir, removed after the
+  /// merge.
+  std::string shm_trace_dir;
+  /// Heartbeat lease (shm only): a worker whose lease goes stale for this
+  /// long while not inside a task body is declared dead (SIGKILLed if
+  /// still twitching, e.g. SIGSTOP) and the run fail-stops with a
+  /// ProcFailureReport.
+  double lease_timeout_seconds = 2.0;
 };
 
 class ThreadedExecutor {
@@ -135,6 +169,9 @@ class ThreadedExecutor {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+
+  friend int shm_worker_run(ShmTransport& transport, const RunPlan& plan,
+                            const ObjectInit& init, const TaskBody& body);
 };
 
 }  // namespace rapid::rt

@@ -13,7 +13,12 @@ std::int64_t RetryPolicy::delay_us(std::int32_t attempt) const {
 
 std::int64_t RetryPolicy::total_wait_us() const {
   std::int64_t total = 0;
-  for (std::int32_t k = 1; k <= max_attempts; ++k) total += delay_us(k);
+  for (std::int32_t k = 1; k <= max_attempts; ++k) {
+    total = sat_add_i64(total, delay_us(k));
+    // Every later attempt's delay is >= this one, so once the running sum
+    // saturates no further term can change the answer.
+    if (total == INT64_MAX) break;
+  }
   return total;
 }
 

@@ -24,6 +24,41 @@ inline void cpu_relax() {
 #endif
 }
 
+/// Saturating arithmetic for deadline/budget math derived from retry
+/// policies. Callers may configure max_attempts x multiplier products whose
+/// exact sum exceeds int64 microseconds (centuries); the budgets derived
+/// from them must clamp, not wrap into the past.
+inline std::int64_t sat_add_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return (a > 0) ? INT64_MAX : INT64_MIN;
+  }
+  return r;
+}
+
+inline std::int64_t sat_mul_i64(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return ((a > 0) == (b > 0)) ? INT64_MAX : INT64_MIN;
+  }
+  return r;
+}
+
+/// Abstract progress bell: the doorbell handshake contract (see Doorbell)
+/// independent of the wakeup primitive. The threaded backend parks on a
+/// condition variable; the shared-memory backend parks on a futex word in
+/// the control segment. Blocked protocol states only ever talk to this
+/// interface.
+class Bell {
+ public:
+  virtual ~Bell() = default;
+  virtual std::uint64_t value() const = 0;
+  virtual void ring() = 0;
+  /// Parks until value() != seen or `timeout_us` elapses; returns whether
+  /// the counter moved past `seen`. Spurious wakeups are allowed.
+  virtual bool wait(std::uint64_t seen, std::int64_t timeout_us) = 0;
+};
+
 /// A monotonically increasing event counter with a condition variable
 /// attached. ring() is wait-free on the fast path (no sleepers): one
 /// fetch_add plus one load. wait(seen, ...) blocks until the counter has
@@ -31,9 +66,9 @@ inline void cpu_relax() {
 /// already moved, and a ring can never be lost between the caller's
 /// predicate check and the park as long as `seen` was read *before* the
 /// predicate (see docs/RUNTIME.md, "Doorbell handshake").
-class Doorbell {
+class Doorbell final : public Bell {
  public:
-  std::uint64_t value() const {
+  std::uint64_t value() const override {
     return count_.load(std::memory_order_acquire);
   }
 
@@ -42,7 +77,7 @@ class Doorbell {
   /// reorder against a waiter's (register-sleeper, re-check-counter) pair:
   /// either the waiter sees the new count and skips the park, or this ring
   /// sees the sleeper and notifies.
-  void ring() {
+  void ring() override {
     count_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) != 0) {
       // Taking the mutex (even empty) orders this notify after any waiter
@@ -57,7 +92,7 @@ class Doorbell {
   /// Returns whether the counter moved past `seen` (i.e. the wakeup carried
   /// progress) — false means a pure timeout/spurious wakeup, which the
   /// stall diagnostics count separately from productive rings.
-  bool wait(std::uint64_t seen, std::int64_t timeout_us) {
+  bool wait(std::uint64_t seen, std::int64_t timeout_us) override {
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
       std::unique_lock<std::mutex> lock(m_);
@@ -99,7 +134,8 @@ struct RetryPolicy {
   /// Sum of every deadline: how long a single wait may stay unsatisfied
   /// before its retries exhaust. The stall monitor scales its watchdog
   /// budget by this so in-flight recovery is never misdiagnosed as a
-  /// genuine deadlock.
+  /// genuine deadlock. Saturates at INT64_MAX for absurd
+  /// max_attempts x multiplier products instead of wrapping negative.
   std::int64_t total_wait_us() const;
 
   /// Default recovery tuning for tests and the bench --recovery mode.
@@ -112,7 +148,7 @@ struct RetryPolicy {
 /// processor that is actively draining work never pays a park.
 class Backoff {
  public:
-  Backoff(Doorbell& bell, std::int32_t spin_iters, std::int64_t park_timeout_us)
+  Backoff(Bell& bell, std::int32_t spin_iters, std::int64_t park_timeout_us)
       : bell_(bell),
         spin_iters_(spin_iters),
         park_timeout_us_(park_timeout_us) {}
@@ -130,7 +166,7 @@ class Backoff {
   std::int64_t park_timeouts() const { return park_timeouts_; }
 
  private:
-  Doorbell& bell_;
+  Bell& bell_;
   std::int32_t spin_iters_;
   std::int64_t park_timeout_us_;
   std::int32_t attempts_ = 0;

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include <unistd.h>
+
 namespace rapid {
 
 namespace {
@@ -61,12 +63,16 @@ int log_thread_proc() { return t_proc; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  // The pid disambiguates interleaved stderr when the shm transport runs
+  // one OS process per rank (getpid() is async-signal-safe and cheap; the
+  // value changes across fork, so it cannot be cached at static-init time).
   std::lock_guard<std::mutex> lock(g_emit_mutex);
   if (t_proc >= 0) {
-    std::fprintf(stderr, "[rapid %s p%d] %s\n", level_name(level), t_proc,
-                 msg.c_str());
+    std::fprintf(stderr, "[rapid %s pid%ld p%d] %s\n", level_name(level),
+                 static_cast<long>(::getpid()), t_proc, msg.c_str());
   } else {
-    std::fprintf(stderr, "[rapid %s] %s\n", level_name(level), msg.c_str());
+    std::fprintf(stderr, "[rapid %s pid%ld] %s\n", level_name(level),
+                 static_cast<long>(::getpid()), msg.c_str());
   }
 }
 }  // namespace detail

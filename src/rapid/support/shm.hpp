@@ -1,0 +1,103 @@
+// POSIX shared-memory plumbing for the cross-process transport backend:
+// a named segment wrapper (shm_open + ftruncate + mmap MAP_SHARED), a
+// futex-backed Bell whose state lives inside the segment, and a tiny
+// spinlock that survives a SIGKILLed holder by bailing out when the run's
+// abort flag rises. Everything here is offset/POD based — the segment is
+// mapped at different addresses in every process, so no pointer ever
+// crosses a process boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "rapid/support/backoff.hpp"
+
+namespace rapid {
+
+/// A named POSIX shared-memory segment. The creating (coordinator) process
+/// owns the name: its destructor unlinks it. Attaching processes map the
+/// existing segment and only unmap on destruction. Mappings are
+/// MAP_SHARED, so plain std::atomic objects placement-new'd into the
+/// segment give real cross-process ordering on every platform we target
+/// (all lock-free, address-free atomics).
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ~ShmSegment();
+
+  /// Creates (O_CREAT | O_EXCL) a segment of `bytes` bytes, zero-filled.
+  /// Throws rapid::Error on failure.
+  static ShmSegment create(const std::string& name, std::int64_t bytes);
+
+  /// Maps an existing segment created by another process.
+  static ShmSegment attach(const std::string& name);
+
+  std::byte* data() const { return data_; }
+  std::int64_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+  bool valid() const { return data_ != nullptr; }
+
+  /// Unmaps (and unlinks, if owner) early; the destructor is then a no-op.
+  void close();
+
+ private:
+  std::string name_;
+  std::byte* data_ = nullptr;
+  std::int64_t size_ = 0;
+  bool owner_ = false;
+};
+
+/// Bell state embedded in a shared segment. `count` is the progress
+/// counter (the doorbell value); `word` is the 32-bit futex cell (a
+/// truncated shadow of count — only inequality matters); `sleepers` gates
+/// the wake syscall exactly like Doorbell's condvar path.
+struct ShmBellState {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<std::int32_t> sleepers{0};
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+
+/// Futex-backed Bell over segment-resident state. Same handshake contract
+/// as Doorbell: ring() bumps count and word with seq_cst so it cannot
+/// reorder against a waiter's (register-sleeper, re-check-count) pair;
+/// wait() re-checks the counter after registering as a sleeper and before
+/// the kernel wait, so a ring between the caller's predicate check and the
+/// park is never lost (the futex compare re-checks `word` atomically in
+/// the kernel).
+class FutexBell final : public Bell {
+ public:
+  explicit FutexBell(ShmBellState* s) : s_(s) {}
+
+  std::uint64_t value() const override {
+    return s_->count.load(std::memory_order_acquire);
+  }
+
+  void ring() override;
+  bool wait(std::uint64_t seen, std::int64_t timeout_us) override;
+
+ private:
+  ShmBellState* s_;
+};
+
+/// Spinlock over a segment-resident word, used for the (coarse, cold)
+/// mailbox and NACK channels. A holder can die by SIGKILL while the lock
+/// is taken; acquire() therefore periodically checks the run's abort flag
+/// and gives up (returns false) once the coordinator has declared the run
+/// dead, so no survivor can wedge on a corpse's lock. There is no
+/// ownership recovery — the protocol is fail-stop past that point.
+class ShmSpinLock {
+ public:
+  /// Returns false iff the abort flag rose while spinning.
+  static bool acquire(std::atomic<std::uint32_t>& lock,
+                      const std::atomic<std::uint32_t>& abort_flag);
+  static void release(std::atomic<std::uint32_t>& lock);
+};
+
+}  // namespace rapid

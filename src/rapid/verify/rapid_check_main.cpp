@@ -24,6 +24,7 @@
 #include "rapid/rt/plan.hpp"
 #include "rapid/rt/sim_executor.hpp"
 #include "rapid/rt/threaded_executor.hpp"
+#include "rapid/rt/transport.hpp"
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
@@ -114,6 +115,9 @@ int main(int argc, char** argv) {
   Flags flags;
   flags.define("workload", "all", "cholesky|lu|all");
   flags.define("executor", "both", "threaded|sim|both");
+  flags.define("transport", "inproc",
+               "one-sided transport for the threaded executor: inproc|shm "
+               "(shm forks one worker process per paper-processor)");
   flags.define("scale", "0.4", "workload scale in (0,1]");
   flags.define("block", "10", "block size for the matrix partition");
   flags.define("procs", "4", "number of processors");
@@ -145,6 +149,14 @@ int main(int argc, char** argv) {
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
   const bool strict = flags.get_bool("strict");
+  rt::TransportKind transport = rt::TransportKind::kInProc;
+  try {
+    transport = rt::transport_from_string(flags.get("transport"));
+  } catch (const rapid::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const bool shm = transport == rt::TransportKind::kShm;
   const auto params = machine::MachineParams::cray_t3d(procs);
 
   std::vector<std::string> workloads;
@@ -209,6 +221,7 @@ int main(int argc, char** argv) {
             if (threaded) {
               rt::ThreadedOptions options;
               options.trace = trace.get();
+              options.transport = transport;
               rt::ThreadedExecutor exec(plan, config, w.make_init(),
                                         w.make_body(), options);
               report = exec.run();
@@ -226,7 +239,8 @@ int main(int argc, char** argv) {
           copt.slab_arena = flags.get_bool("slab");
           copt.report = &report;
           CheckedRun run;
-          run.label = cat(name, "/", executor, " clean");
+          run.label = cat(name, "/", executor,
+                          threaded && shm ? "+shm" : "", " clean");
           run.report = verify::check_conformance(plan, *trace, copt);
           total_errors += run.report.errors();
           total_warnings += run.report.warnings();
@@ -247,6 +261,7 @@ int main(int argc, char** argv) {
               config.slab_arena = flags.get_bool("slab");
               rt::ThreadedOptions options;
               options.trace = trace.get();
+              options.transport = transport;
               options.retry = RetryPolicy::standard();
               options.faults = rt::FaultPlan::preset(preset, seed);
               rt::ThreadedExecutor exec(plan, config, w.make_init(),
@@ -257,8 +272,8 @@ int main(int argc, char** argv) {
                               " failed: ", report.failure));
               copt.report = &report;
               CheckedRun frun;
-              frun.label =
-                  cat(name, "/threaded ", preset, " seed ", seed);
+              frun.label = cat(name, "/threaded", shm ? "+shm " : " ",
+                               preset, " seed ", seed);
               frun.report = verify::check_conformance(plan, *trace, copt);
               total_errors += frun.report.errors();
               total_warnings += frun.report.warnings();

@@ -254,7 +254,7 @@ TEST(ObsThreaded, MetricsSummaryReconcilesWithRun) {
   // The metrics block rides into the run report's JSON (schema version 3:
   // v2 added "metrics", v3 added "put_batches").
   const std::string json = report.to_json().dump();
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"put_batches\""), std::string::npos);
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"state_residency_us\""), std::string::npos);
