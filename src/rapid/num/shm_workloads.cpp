@@ -21,6 +21,10 @@ struct SpecParams {
   sparse::Index block = 4;
   int procs = 4;
   std::string sched = "rcp";
+  // grid app only
+  int rows = 8;
+  int cols = 8;
+  std::int64_t delay = 0;
 };
 
 SpecParams parse_spec(const std::string& spec) {
@@ -50,17 +54,24 @@ SpecParams parse_spec(const std::string& spec) {
       p.procs = static_cast<int>(std::stoll(val));
     } else if (key == "sched") {
       p.sched = val;
+    } else if (key == "rows") {
+      p.rows = static_cast<int>(std::stoll(val));
+    } else if (key == "cols") {
+      p.cols = static_cast<int>(std::stoll(val));
+    } else if (key == "delay") {
+      p.delay = std::stoll(val);
     } else {
       RAPID_CHECK(false, cat("shm workload spec: unknown key \"", key,
                              "\" in \"", spec, "\""));
     }
   }
-  RAPID_CHECK(p.grid >= 2 && p.block >= 1 && p.procs >= 1,
+  RAPID_CHECK(p.grid >= 2 && p.block >= 1 && p.procs >= 1 && p.rows >= 1 &&
+                  p.cols >= 1 && p.delay >= 0,
               cat("shm workload spec: degenerate parameters in \"", spec,
                   "\""));
-  RAPID_CHECK(p.sched == "rcp" || p.sched == "dts",
-              cat("shm workload spec: sched must be rcp or dts in \"", spec,
-                  "\""));
+  RAPID_CHECK(p.sched == "rcp" || p.sched == "dts" || p.sched == "mpo",
+              cat("shm workload spec: sched must be rcp, dts or mpo in \"",
+                  spec, "\""));
   return p;
 }
 
@@ -76,6 +87,7 @@ double ShmWorkload::residual(const rt::ThreadedExecutor& exec) const {
     return cholesky_residual(cholesky->matrix(),
                              cholesky->extract_l_dense(exec));
   }
+  if (grid) return static_cast<double>(grid->max_abs_error(exec));
   const LuApp::Extracted x = lu->extract(exec);
   return lu_residual(lu->matrix(), x.lu, x.piv);
 }
@@ -90,16 +102,22 @@ std::unique_ptr<ShmWorkload> build_shm_workload(const std::string& spec) {
   } else if (p.app == "lu") {
     out->lu = std::make_unique<LuApp>(
         LuApp::build(nd_grid(p.grid), p.block, p.procs));
+  } else if (p.app == "grid") {
+    out->grid = std::make_unique<GridIntApp>(
+        GridIntApp::build(p.rows, p.cols, p.procs, p.delay));
   } else {
     RAPID_CHECK(false, cat("shm workload spec: unknown app \"", p.app,
-                           "\" (want cholesky or lu) in \"", spec, "\""));
+                           "\" (want cholesky, lu or grid) in \"", spec,
+                           "\""));
   }
   const graph::TaskGraph& g = out->graph();
   const auto assignment = sched::owner_compute_tasks(g, p.procs);
   const auto params = machine::MachineParams::cray_t3d(p.procs);
-  out->schedule = p.sched == "dts"
-                      ? sched::schedule_dts(g, assignment, p.procs, params)
-                      : sched::schedule_rcp(g, assignment, p.procs, params);
+  out->schedule =
+      p.sched == "dts" ? sched::schedule_dts(g, assignment, p.procs, params)
+      : p.sched == "mpo"
+          ? sched::schedule_mpo(g, assignment, p.procs, params)
+          : sched::schedule_rcp(g, assignment, p.procs, params);
   out->plan = rt::build_run_plan(g, out->schedule);
   const auto liveness = sched::analyze_liveness(g, out->schedule);
   out->min_mem = liveness.min_mem();

@@ -7,10 +7,15 @@
 // against the coordinator's before touching any shared state.
 //
 // Grammar (key=value pairs after the app name, any order, all optional):
-//   cholesky:grid=12,block=4,procs=4,sched=rcp|dts
+//   cholesky:grid=12,block=4,procs=4,sched=rcp|dts|mpo
 //   lu:grid=12,block=4,procs=4
-// Everything in the pipeline is deterministic (no seeds, no wall-clock), so
-// spec equality implies plan equality across processes and machines.
+//   grid:rows=8,cols=8,procs=4,delay=0,sched=mpo
+// Everything in the pipeline is deterministic (no seeds, no wall-clock;
+// grid's optional per-task delay draws from a stateless hash of the task
+// id), so spec equality implies plan equality across processes and
+// machines. The runtime service reuses these specs as its RunRequest plan
+// language — grid is its exact-integer workload (residual is a bit-exact
+// max-abs-diff, not a floating-point factorization residual).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include <string>
 
 #include "rapid/num/cholesky_app.hpp"
+#include "rapid/num/grid_app.hpp"
 #include "rapid/num/lu_app.hpp"
 #include "rapid/rt/threaded_executor.hpp"
 #include "rapid/sched/schedule.hpp"
@@ -32,6 +38,7 @@ struct ShmWorkload {
   std::string spec;
   std::unique_ptr<CholeskyApp> cholesky;  // exactly one of these is set
   std::unique_ptr<LuApp> lu;
+  std::unique_ptr<GridIntApp> grid;
   sched::Schedule schedule;
   rt::RunPlan plan;
   std::int64_t min_mem = 0;
@@ -40,16 +47,25 @@ struct ShmWorkload {
   std::int64_t tot_mem = 0;
 
   const graph::TaskGraph& graph() const {
-    return cholesky ? cholesky->graph() : lu->graph();
+    if (cholesky) return cholesky->graph();
+    if (lu) return lu->graph();
+    return grid->graph();
   }
   rt::ObjectInit make_init() const {
-    return cholesky ? cholesky->make_init() : lu->make_init();
+    if (cholesky) return cholesky->make_init();
+    if (lu) return lu->make_init();
+    return grid->make_init();
   }
   rt::TaskBody make_body() const {
-    return cholesky ? cholesky->make_body() : lu->make_body();
+    if (cholesky) return cholesky->make_body();
+    if (lu) return lu->make_body();
+    return grid->make_body();
   }
-  /// Relative factorization residual against the generated matrix,
-  /// assembled from the owner heaps after a successful run.
+  /// Relative factorization residual against the generated matrix (cholesky
+  /// and lu), assembled from the owner heaps after a successful run. For
+  /// the grid app this is the largest |final - expected| over all objects —
+  /// integer arithmetic, so anything other than exactly 0.0 is a protocol
+  /// bug, not roundoff.
   double residual(const rt::ThreadedExecutor& exec) const;
 };
 

@@ -29,6 +29,7 @@
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
+#include "rapid/support/exit_codes.hpp"
 #include "rapid/support/flags.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/support/table.hpp"
@@ -75,8 +76,12 @@ void write_file(const std::string& path, const std::string& content) {
 /// The tracing plane's own acceptance checks (see ISSUE/docs): five states
 /// per processor, MAP events present where MAPs ran, and an occupancy
 /// high-water mark that equals the MAP engine's reported peak exactly.
-void check_trace(const obs::Trace& trace, const obs::OccupancyProfile& occ,
-                 const rt::RunReport& report) {
+/// Returns the findings instead of throwing: a broken trace is the thing
+/// this tool checks (kExitFindings), not an infrastructure failure.
+std::vector<std::string> check_trace(const obs::Trace& trace,
+                                     const obs::OccupancyProfile& occ,
+                                     const rt::RunReport& report) {
+  std::vector<std::string> findings;
   const int p = trace.num_procs();
   std::int64_t map_allocs = 0;
   std::int64_t map_frees = 0;
@@ -93,19 +98,27 @@ void check_trace(const obs::Trace& trace, const obs::OccupancyProfile& occ,
     }
     for (std::size_t s = 0;
          s < static_cast<std::size_t>(obs::ProtoState::kCount); ++s) {
-      RAPID_CHECK(state_seen[s],
-                  cat("processor ", q, " trace is missing state ",
-                      obs::to_string(static_cast<obs::ProtoState>(s))));
+      if (!state_seen[s]) {
+        findings.push_back(cat("processor ", q, " trace is missing state ",
+                               obs::to_string(static_cast<obs::ProtoState>(s))));
+      }
     }
-    RAPID_CHECK(occ.high_water[static_cast<std::size_t>(q)] ==
-                    report.peak_bytes_per_proc[static_cast<std::size_t>(q)],
-                cat("processor ", q, " reconstructed high-water ",
-                    occ.high_water[static_cast<std::size_t>(q)],
-                    " != MAP engine peak ",
-                    report.peak_bytes_per_proc[static_cast<std::size_t>(q)]));
+    if (occ.high_water[static_cast<std::size_t>(q)] !=
+        report.peak_bytes_per_proc[static_cast<std::size_t>(q)]) {
+      findings.push_back(
+          cat("processor ", q, " reconstructed high-water ",
+              occ.high_water[static_cast<std::size_t>(q)],
+              " != MAP engine peak ",
+              report.peak_bytes_per_proc[static_cast<std::size_t>(q)]));
+    }
   }
-  RAPID_CHECK(map_allocs > 0, "no MAP alloc events in an active-memory run");
-  RAPID_CHECK(map_frees > 0, "no MAP free events in an active-memory run");
+  if (map_allocs == 0) {
+    findings.push_back("no MAP alloc events in an active-memory run");
+  }
+  if (map_frees == 0) {
+    findings.push_back("no MAP free events in an active-memory run");
+  }
+  return findings;
 }
 
 }  // namespace
@@ -128,10 +141,11 @@ int main(int argc, char** argv) {
     flags.parse(argc, argv);
   } catch (const rapid::Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    return kExitInfraError;
   }
-  if (flags.help_requested()) return 0;
+  if (flags.help_requested()) return kExitOk;
 
+  try {
   const int procs = static_cast<int>(flags.get_int("procs"));
   const double scale = flags.get_double("scale");
   const auto block = static_cast<sparse::Index>(flags.get_int("block"));
@@ -188,7 +202,7 @@ int main(int argc, char** argv) {
   }
 
   const obs::OccupancyProfile occ = obs::build_occupancy(*trace);
-  check_trace(*trace, occ, report);
+  const std::vector<std::string> findings = check_trace(*trace, occ, report);
 
   obs::TraceLabels labels;
   for (graph::TaskId t = 0; t < w.graph->num_tasks(); ++t) {
@@ -252,5 +266,15 @@ int main(int argc, char** argv) {
       static_cast<long long>(m.map_interval_us.percentile(0.5)));
   std::printf("wrote %s.trace.json and %s.occupancy.csv\n", prefix.c_str(),
               prefix.c_str());
-  return 0;
+  if (!findings.empty()) {
+    for (const std::string& f : findings) {
+      std::fprintf(stderr, "rapid_trace finding: %s\n", f.c_str());
+    }
+    return kExitFindings;
+  }
+  return kExitOk;
+  } catch (const rapid::Error& e) {
+    std::fprintf(stderr, "rapid_trace: %s\n", e.what());
+    return kExitInfraError;
+  }
 }

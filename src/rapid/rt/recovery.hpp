@@ -26,6 +26,25 @@ struct RunRecoveryOptions {
   /// Total run() attempts, including the first (1 = no restart, identical
   /// to calling ThreadedExecutor::run() directly).
   std::int32_t max_run_attempts = 3;
+  /// Pause before restarting after a failed attempt (µs; 0 = immediate,
+  /// the pre-PR behavior). Grows by restart_backoff_multiplier per further
+  /// restart, so a run tripping over a persistent environmental fault backs
+  /// off instead of hammering: attempt k (k >= 2) waits
+  /// restart_backoff_us * multiplier^(k-2).
+  std::int64_t restart_backoff_us = 0;
+  double restart_backoff_multiplier = 2.0;
+  /// Per-attempt cancellation deadline forwarded to
+  /// ThreadedOptions::attempt_deadline_us (0 keeps whatever the caller set
+  /// there). Each attempt gets the full budget; a cancelled attempt is
+  /// never restarted — a lapsed deadline only lapses further.
+  std::int64_t attempt_deadline_us = 0;
+  /// When true, a run that still fails after the attempt cap — or is
+  /// cancelled — does not rethrow: the RecoveryRun comes back with
+  /// failed == true, the failing attempt's partial report, and the executor
+  /// that produced it. The runtime service uses this so every admitted run
+  /// yields a structured (possibly partial) RunReport instead of an
+  /// exception to re-wrap.
+  bool capture_failure = false;
 };
 
 /// Result of run_with_recovery(): the successful attempt's report with the
@@ -45,6 +64,23 @@ struct RecoveryRun {
   /// attempts are recoverable exactly like protocol-level faults.
   std::vector<std::shared_ptr<const ProcFailureReport>> attempt_proc_failures;
   std::int32_t attempts = 0;
+  /// Capture mode (RunRecoveryOptions::capture_failure) only: the run did
+  /// not complete — `report` is the last attempt's partial report and
+  /// failure_kind/failure describe why. Always false when the legacy
+  /// rethrowing mode returned.
+  bool failed = false;
+  FailureKind failure_kind = FailureKind::kNone;
+  std::string failure;
+  /// The per-attempt deadline that was in force (µs; 0 = none) and the
+  /// restart backoff actually waited before each restart, for post-hoc
+  /// timeout diagnosis in the JSON artifact.
+  std::int64_t attempt_deadline_us = 0;
+  std::vector<std::int64_t> backoff_waits_us;
+
+  /// CI-artifact form: the merged RunReport plus the attempt history —
+  /// per-attempt failure summaries, proc-failure blocks, the deadline in
+  /// force, and the restart backoff waits.
+  JsonValue to_json() const;
 };
 
 /// Runs the plan under the threaded executor, restarting from scratch on
@@ -54,7 +90,10 @@ struct RecoveryRun {
 /// FaultPlan gated by induced_fault_runs stops injecting on the restarts. A
 /// non-executable plan is reported immediately (restarting cannot make a
 /// capacity failure fit); exhausting the attempts rethrows the last
-/// attempt's exception.
+/// attempt's exception (or returns it structured in capture_failure mode).
+/// A RunCancelledError is never retried: cancellation is a caller decision,
+/// not a fault, and a lapsed deadline only lapses further on a restart.
+/// Restarts wait restart_backoff_us (growing by the multiplier) first.
 RecoveryRun run_with_recovery(const RunPlan& plan, const RunConfig& config,
                               ObjectInit init, TaskBody body,
                               ThreadedOptions options = {},

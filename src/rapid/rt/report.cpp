@@ -18,6 +18,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kIntegrity: return "integrity";
     case FailureKind::kRetriesExhausted: return "retries-exhausted";
     case FailureKind::kProcFailure: return "proc-failure";
+    case FailureKind::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -55,6 +56,8 @@ double RunReport::idle_fraction() const {
 JsonValue RunReport::to_json() const {
   JsonValue doc = JsonValue::object();
   doc["schema_version"] = kSchemaVersion;
+  if (run_id >= 0) doc["run_id"] = run_id;
+  doc["attempt_deadline_us"] = attempt_deadline_us;
   doc["executable"] = executable;
   doc["failure"] = failure;
   doc["failure_kind"] = to_string(failure_kind);

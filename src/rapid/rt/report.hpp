@@ -74,9 +74,34 @@ enum class FailureKind : std::uint8_t {
   kIntegrity,      // checksum mismatch detected with recovery disabled
   kRetriesExhausted,  // a waiter's bounded re-requests ran out
   kProcFailure,    // a worker process died (signal, crash, or lease lapse)
+  kCancelled,      // cooperative cancellation (deadline lapse or cancel())
 };
 
 const char* to_string(FailureKind kind);
+
+struct RunReport;  // defined below
+
+/// Thrown when a run was cooperatively cancelled — its per-attempt deadline
+/// (ThreadedOptions::attempt_deadline_us) lapsed, or an external
+/// ThreadedExecutor::cancel() landed. Cancellation is not a fault: the
+/// abort rides the same control plane as failure handling, every worker
+/// unwinds at its next protocol step, the arena is reclaimed with the
+/// executor, and the partial counters survive in last_report(). Carries a
+/// copy of that partial report so service-level callers can return it
+/// without keeping the executor alive. run_with_recovery never restarts a
+/// cancelled run (a lapsed deadline only lapses further on a restart).
+class RunCancelledError : public Error {
+ public:
+  explicit RunCancelledError(std::string what,
+                             std::shared_ptr<const RunReport> partial = {})
+      : Error(std::move(what)), partial_(std::move(partial)) {}
+
+  /// The cancelled attempt's partial RunReport (null on legacy paths).
+  const std::shared_ptr<const RunReport>& partial() const { return partial_; }
+
+ private:
+  std::shared_ptr<const RunReport> partial_;
+};
 
 /// What the self-healing layer did during a run (all zero on a clean run
 /// with no faults). run_with_recovery() merges these across restart
@@ -125,6 +150,12 @@ struct RunConfig {
   /// differ from the plain coalescing arena, so conformance/audit replays
   /// must be constructed with the same flag; byte accounting is identical.
   bool slab_arena = false;
+  /// Kernel dispatch level for this run's task bodies (num::KernelLevel as
+  /// an int: 0 auto, 1 ref, 2 blocked; negative — the default — inherits
+  /// the process-global num::kernel_level()). Worker threads install it as
+  /// a thread-local override, so concurrent service runs with different
+  /// levels coexist in one process without clobbering each other.
+  std::int32_t kernel_dispatch = -1;
 };
 
 struct RunReport {
@@ -134,10 +165,20 @@ struct RunReport {
   /// the optional "metrics" block (trace-derived histograms/residencies);
   /// version 3 added "put_batches" (coalesced RMA put rounds); version 4
   /// added "transport" (inproc|shm backend) and the optional
-  /// "proc_failure" block (dead-rank diagnosis of a multi-process run).
-  static constexpr std::int32_t kSchemaVersion = 4;
+  /// "proc_failure" block (dead-rank diagnosis of a multi-process run);
+  /// version 5 added "run_id" (service-assigned, omitted when unset) and
+  /// "attempt_deadline_us" (the per-attempt cancellation deadline in force,
+  /// 0 = none).
+  static constexpr std::int32_t kSchemaVersion = 5;
 
   bool executable = true;
+  /// Service-assigned run id mirrored from ThreadedOptions::run_id
+  /// (negative = not a service run; omitted from to_json()).
+  std::int64_t run_id = -1;
+  /// The per-attempt cancellation deadline that was in force
+  /// (ThreadedOptions::attempt_deadline_us; 0 = none) — post-hoc timeout
+  /// diagnosis needs to know the budget, not just that it lapsed.
+  std::int64_t attempt_deadline_us = 0;
   /// Why the run was not executable (empty when executable).
   std::string failure;
   /// Failure disposition. kNone on success; kNonExecutable pairs with

@@ -56,6 +56,10 @@ struct ShmRunSpec {
   std::uint8_t alloc_policy = 0;  // mem::AllocPolicy
   std::uint8_t slab_arena = 0;
   std::int32_t mailbox_slots = 1;
+  /// RunConfig::kernel_dispatch (-1 = inherit the process-global level).
+  std::int32_t kernel_dispatch = -1;
+  /// ThreadedOptions::run_id for worker log tags (-1 = standalone run).
+  std::int64_t run_id = -1;
   // ThreadedOptions scalars.
   double watchdog_seconds = 30.0;
   double stall_check_seconds = 0.5;

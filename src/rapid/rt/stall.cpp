@@ -187,7 +187,11 @@ StallReport diagnose_stall(const RunPlan& plan,
 
 std::string StallReport::summary() const {
   std::string out = cat("no protocol progress for ",
-                        fixed(stalled_seconds, 2), " s\n");
+                        fixed(stalled_seconds, 2), " s");
+  if (attempt_deadline_us > 0) {
+    out += cat(" (attempt deadline ", attempt_deadline_us, " us)");
+  }
+  out += "\n";
   if (!cycle.empty()) {
     out += "wait-for cycle: ";
     for (const ProcId q : cycle) out += cat("p", q, " -> ");
@@ -228,6 +232,7 @@ std::string StallReport::summary() const {
 JsonValue StallReport::to_json() const {
   JsonValue doc = JsonValue::object();
   doc["stalled_seconds"] = stalled_seconds;
+  doc["attempt_deadline_us"] = attempt_deadline_us;
   doc["genuine_deadlock"] = genuine_deadlock;
   doc["retries_exhausted"] = retries_exhausted;
   JsonValue cyc = JsonValue::array();

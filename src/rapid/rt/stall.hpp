@@ -102,6 +102,12 @@ struct WaitEdge {
 /// artifacts (support/json escapes arbitrary message content).
 struct StallReport {
   double stalled_seconds = 0.0;
+  /// The per-attempt cancellation deadline in force when the stall was
+  /// diagnosed (ThreadedOptions::attempt_deadline_us; 0 = none). Surfaced
+  /// so a service-imposed timeout is diagnosable post-hoc: a report whose
+  /// stalled_seconds approaches this budget describes a run that was about
+  /// to be cancelled, not one that deadlocked.
+  std::int64_t attempt_deadline_us = 0;
   std::vector<ProcSnapshot> procs;
   std::vector<WaitEdge> edges;
   /// Processors forming a wait-for cycle, in cycle order; empty when the

@@ -16,6 +16,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "rapid/num/dispatch.hpp"
 #include "rapid/obs/metrics.hpp"
 #include "rapid/obs/trace.hpp"
 #include "rapid/obs/trace_io.hpp"
@@ -199,6 +200,17 @@ struct ThreadedExecutor::Impl {
   std::shared_ptr<const StallReport> stall_report;  // set by the monitor
   bool completed = false;  // run() finished cleanly; gates read_object()
   RunReport last_report;   // filled by run() even on the throwing paths
+
+  /// Cooperative cancellation. cancel() only sets the flag (it may race
+  /// run() setup, so it must not touch the transport); the monitor and the
+  /// shm coordinator poll it every heartbeat and perform the actual abort
+  /// from the thread that owns the control-plane pointers.
+  std::atomic<bool> cancel_requested{false};
+  std::mutex cancel_m;
+  std::string cancel_reason;
+  /// Wall clock of the current attempt, reset at run() entry; the
+  /// attempt_deadline_us budget is measured against it.
+  Stopwatch since_run_start;
 
   /// Cooperative stall-snapshot handshake: the monitor bumps snap_gen;
   /// each worker notices at the top of its protocol loop (or inside a
@@ -1006,8 +1018,50 @@ struct ThreadedExecutor::Impl {
       s.order_size = static_cast<std::int32_t>(plan.procs[q].order.size());
     }
     std::vector<std::string> errs = tp->failure_texts();
-    return diagnose_stall(plan, std::move(snaps), stalled_seconds,
-                          std::move(errs));
+    StallReport report = diagnose_stall(plan, std::move(snaps),
+                                        stalled_seconds, std::move(errs));
+    report.attempt_deadline_us = options.attempt_deadline_us;
+    return report;
+  }
+
+  /// Deadline/cancel poll shared by the inproc monitor and the shm
+  /// coordinator loop. Returns true when it cancelled the run (the caller
+  /// breaks out of its loop; workers unwind via the abort).
+  bool check_cancelled() {
+    if (options.attempt_deadline_us > 0) {
+      const auto elapsed_us =
+          static_cast<std::int64_t>(since_run_start.seconds() * 1e6);
+      if (elapsed_us >= options.attempt_deadline_us) {
+        fail(graph::kInvalidProc,
+             cat("run cancelled: attempt deadline of ",
+                 options.attempt_deadline_us, " us lapsed after ", elapsed_us,
+                 " us"),
+             FailureKind::kCancelled);
+        return true;
+      }
+    }
+    if (cancel_requested.load(std::memory_order_acquire)) {
+      std::string reason;
+      {
+        std::lock_guard<std::mutex> lock(cancel_m);
+        reason = cancel_reason;
+      }
+      fail(graph::kInvalidProc, cat("run cancelled: ", reason),
+           FailureKind::kCancelled);
+      return true;
+    }
+    return false;
+  }
+
+  /// Heartbeat park bounded by the time left on the attempt deadline, so a
+  /// lapse is noticed promptly even when the heartbeat is coarse.
+  std::int64_t deadline_clamped(std::int64_t heartbeat_us) const {
+    if (options.attempt_deadline_us <= 0) return heartbeat_us;
+    const auto elapsed_us =
+        static_cast<std::int64_t>(since_run_start.seconds() * 1e6);
+    const std::int64_t remaining =
+        std::max<std::int64_t>(options.attempt_deadline_us - elapsed_us, 500);
+    return std::min(heartbeat_us, remaining);
   }
 
   /// The progress monitor (replaces the blind watchdog): parked on the
@@ -1042,6 +1096,7 @@ struct ThreadedExecutor::Impl {
       if (tp->quiescent_count() >= plan.num_procs || tp->aborted()) {
         break;
       }
+      if (check_cancelled()) break;
       const std::uint64_t now = bell->value();
       if (now != last) {
         last = now;
@@ -1095,7 +1150,7 @@ struct ThreadedExecutor::Impl {
              FailureKind::kWatchdog);
         break;
       }
-      control_bell->wait(control_seen, heartbeat_us);
+      control_bell->wait(control_seen, deadline_clamped(heartbeat_us));
     }
   }
 
@@ -1195,6 +1250,13 @@ struct ThreadedExecutor::Impl {
   void worker(ProcId q) {
     Private& me = priv[q];
     set_log_thread_proc(q);
+    set_log_thread_run(options.run_id);
+    // Per-run kernel dispatch: a thread-local override instead of the
+    // process-global level, so co-resident service runs with different
+    // RunConfig::kernel_dispatch never clobber each other.
+    if (config.kernel_dispatch >= 0) {
+      num::set_thread_kernel_level(config.kernel_dispatch);
+    }
     try {
       const ProcPlan& pp = plan.procs[q];
       // Initialize owned objects, then issue version-0 sends (they suspend
@@ -1478,6 +1540,8 @@ struct ThreadedExecutor::Impl {
 
   RunReport nonexecutable_report(const std::exception& e) {
     RunReport report;
+    report.run_id = options.run_id;
+    report.attempt_deadline_us = options.attempt_deadline_us;
     report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
     report.peak_bytes_per_proc.assign(
         static_cast<std::size_t>(plan.num_procs), 0);
@@ -1500,6 +1564,9 @@ struct ThreadedExecutor::Impl {
         throw ProtocolDeadlockError(report.failure, stall_report);
       case FailureKind::kProcFailure:
         throw ProcFailureError(report.failure, report.proc_failure);
+      case FailureKind::kCancelled:
+        throw RunCancelledError(report.failure,
+                                std::make_shared<RunReport>(report));
       default:
         throw ExecutionFailedError(report.failure, report.errors);
     }
@@ -1507,10 +1574,14 @@ struct ThreadedExecutor::Impl {
 
   RunReport run_inproc() {
     RunReport report;
+    report.run_id = options.run_id;
+    report.attempt_deadline_us = options.attempt_deadline_us;
     report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
     report.peak_bytes_per_proc.assign(
         static_cast<std::size_t>(plan.num_procs), 0);
     reset_run_state();
+    since_run_start.reset();
+    set_log_thread_run(options.run_id);
     try {
       if (config.audit) verify::audit_or_throw(plan, config);
       owned_tp = make_inproc_transport(
@@ -1587,6 +1658,8 @@ struct ThreadedExecutor::Impl {
     spec.alloc_policy = static_cast<std::uint8_t>(config.alloc_policy);
     spec.slab_arena = config.slab_arena ? 1 : 0;
     spec.mailbox_slots = config.mailbox_slots;
+    spec.kernel_dispatch = config.kernel_dispatch;
+    spec.run_id = options.run_id;
     spec.watchdog_seconds = options.watchdog_seconds;
     spec.stall_check_seconds = options.stall_check_seconds;
     spec.snapshot_wait_seconds = options.snapshot_wait_seconds;
@@ -1632,8 +1705,10 @@ struct ThreadedExecutor::Impl {
       }
       s.retry_attempts = l.retry_attempts;
     }
-    return diagnose_stall(plan, std::move(snaps), stalled_seconds,
-                          tp->failure_texts());
+    StallReport report = diagnose_stall(plan, std::move(snaps),
+                                        stalled_seconds, tp->failure_texts());
+    report.attempt_deadline_us = options.attempt_deadline_us;
+    return report;
   }
 
   /// Structured diagnosis of rank `dead`'s death, including every
@@ -1744,11 +1819,15 @@ struct ThreadedExecutor::Impl {
 
   RunReport run_shm() {
     RunReport report;
+    report.run_id = options.run_id;
+    report.attempt_deadline_us = options.attempt_deadline_us;
     report.transport = to_string(TransportKind::kShm);
     report.maps_per_proc.assign(static_cast<std::size_t>(plan.num_procs), 0);
     report.peak_bytes_per_proc.assign(
         static_cast<std::size_t>(plan.num_procs), 0);
     reset_run_state();
+    since_run_start.reset();
+    set_log_thread_run(options.run_id);
 
     std::string trace_dir = options.shm_trace_dir;
     bool throwaway_trace_dir = false;
@@ -1837,6 +1916,7 @@ struct ThreadedExecutor::Impl {
       }
       if (proc_failure) break;
       if (tp->quiescent_count() >= plan.num_procs || tp->aborted()) break;
+      if (check_cancelled()) break;
       if (session->all_exited()) break;  // defensive: no child left to wait on
       // Lease lapse: a rank that stopped beating while NOT inside a task
       // body (kExe beats are suspended for the body's duration) is dead to
@@ -1904,7 +1984,7 @@ struct ThreadedExecutor::Impl {
              FailureKind::kWatchdog);
         break;
       }
-      control_bell->wait(control_seen, heartbeat_us);
+      control_bell->wait(control_seen, deadline_clamped(heartbeat_us));
     }
 
     // Teardown: whatever ended the loop, no child may outlive the run.
@@ -2030,8 +2110,10 @@ int shm_worker_run(ShmTransport& transport, const RunPlan& plan,
   config.alloc_policy = static_cast<mem::AllocPolicy>(spec.alloc_policy);
   config.slab_arena = spec.slab_arena != 0;
   config.mailbox_slots = spec.mailbox_slots;
+  config.kernel_dispatch = spec.kernel_dispatch;
   config.audit = false;  // the coordinator audited before spawning
   ThreadedOptions options;
+  options.run_id = spec.run_id;
   options.watchdog_seconds = spec.watchdog_seconds;
   options.stall_check_seconds = spec.stall_check_seconds;
   options.snapshot_wait_seconds = spec.snapshot_wait_seconds;
@@ -2134,6 +2216,19 @@ int shm_worker_run(ShmTransport& transport, const RunPlan& plan,
 
 const RunReport& ThreadedExecutor::last_report() const {
   return impl_->last_report;
+}
+
+void ThreadedExecutor::cancel(std::string reason) {
+  Impl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl.cancel_m);
+    impl.cancel_reason = std::move(reason);
+  }
+  // Release store pairs with the monitor's acquire poll. Only the flag is
+  // touched here: the control-plane pointers (bells, transport) are owned
+  // by the run() thread and may not even exist yet; the monitor performs
+  // the actual abort within one heartbeat.
+  impl.cancel_requested.store(true, std::memory_order_release);
 }
 
 }  // namespace rapid::rt

@@ -97,6 +97,17 @@ struct ThreadedOptions {
   /// 1-based attempt number when driven by run_with_recovery();
   /// FaultPlan::induced_fault_runs gates induced failures by it.
   std::int32_t run_attempt = 1;
+  /// Per-attempt cancellation deadline (µs of wall time from run() entry;
+  /// 0 = none). When it lapses the monitor cooperatively cancels the run:
+  /// abort is requested on the control plane, every worker unwinds at its
+  /// next protocol step, and run() throws RunCancelledError carrying the
+  /// partial RunReport — the run never wedges a worker past its budget.
+  /// The service layer sets this to each run's remaining deadline.
+  std::int64_t attempt_deadline_us = 0;
+  /// Service-assigned run id (negative = standalone run). Mirrored into
+  /// RunReport::run_id and the per-thread log tag so interleaved logs and
+  /// reports of co-resident runs are attributable.
+  std::int64_t run_id = -1;
   /// Deterministic fault injection (off by default — enabled() false means
   /// every hook reduces to one predictable branch). See docs/FAULTS.md.
   FaultPlan faults;
@@ -165,6 +176,14 @@ class ThreadedExecutor {
   /// a run that threw — run_with_recovery() merges these across restart
   /// attempts. Valid after run() returned or threw.
   const RunReport& last_report() const;
+
+  /// Requests cooperative cancellation of an in-flight run() from another
+  /// thread. The monitor observes the request within one heartbeat
+  /// (bounded by stall_check_seconds/4, at most 250 ms), aborts the run,
+  /// and run() throws RunCancelledError with the partial report. Safe to
+  /// call at any time, including before run() or after completion (a run
+  /// that already quiesced is unaffected).
+  void cancel(std::string reason = "cancelled by caller");
 
  private:
   struct Impl;

@@ -19,6 +19,7 @@ int initial_level() {
 std::atomic<int> g_level{initial_level()};
 std::mutex g_emit_mutex;
 thread_local int t_proc = -1;
+thread_local long long t_run = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -61,19 +62,30 @@ void set_log_thread_proc(int proc) { t_proc = proc; }
 
 int log_thread_proc() { return t_proc; }
 
+void set_log_thread_run(long long run_id) { t_run = run_id; }
+
+long long log_thread_run() { return t_run; }
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   // The pid disambiguates interleaved stderr when the shm transport runs
   // one OS process per rank (getpid() is async-signal-safe and cheap; the
   // value changes across fork, so it cannot be cached at static-init time).
+  // The run tag disambiguates co-resident service runs in one process.
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  if (t_proc >= 0) {
-    std::fprintf(stderr, "[rapid %s pid%ld p%d] %s\n", level_name(level),
-                 static_cast<long>(::getpid()), t_proc, msg.c_str());
-  } else {
-    std::fprintf(stderr, "[rapid %s pid%ld] %s\n", level_name(level),
-                 static_cast<long>(::getpid()), msg.c_str());
+  char tags[64] = {'\0'};
+  int n = 0;
+  if (t_run >= 0) {
+    n += std::snprintf(tags + n, sizeof(tags) - static_cast<std::size_t>(n),
+                       " r%lld", t_run);
   }
+  if (t_proc >= 0 && n >= 0) {
+    n += std::snprintf(tags + n, sizeof(tags) - static_cast<std::size_t>(n),
+                       " p%d", t_proc);
+  }
+  if (n < 0) tags[0] = '\0';
+  std::fprintf(stderr, "[rapid %s pid%ld%s] %s\n", level_name(level),
+               static_cast<long>(::getpid()), tags, msg.c_str());
 }
 }  // namespace detail
 

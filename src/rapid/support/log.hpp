@@ -29,6 +29,13 @@ LogLevel log_level_from_env(const char* spec,
 void set_log_thread_proc(int proc);
 int log_thread_proc();
 
+/// Tag this thread's log lines with a run id (negative clears the tag).
+/// The runtime service admits many concurrent runs into one process, so
+/// interleaved stderr is attributable only when every line carries the run
+/// that produced it; single-run callers never set it and see the old format.
+void set_log_thread_run(long long run_id);
+long long log_thread_run();
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
 }

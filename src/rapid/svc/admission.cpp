@@ -1,0 +1,75 @@
+#include "rapid/svc/admission.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "rapid/rt/map_engine.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::svc {
+
+RunDemand compute_demand(const rt::RunPlan& plan,
+                         const rt::RunConfig& config) {
+  RunDemand demand;
+  demand.peak_bytes_per_proc.reserve(
+      static_cast<std::size_t>(plan.num_procs));
+  for (rt::ProcId p = 0; p < plan.num_procs; ++p) {
+    std::unique_ptr<rt::ProcMemory> memory;
+    try {
+      // Alignment 8 matches the threaded executor's arenas, so the replayed
+      // peaks are the bytes the real run will touch, not the Def. 5 lower
+      // bound.
+      memory = std::make_unique<rt::ProcMemory>(
+          plan, p, config.capacity_per_proc, /*alignment=*/8,
+          config.alloc_policy, config.slab_arena);
+      if (config.active_memory) {
+        const auto n =
+            static_cast<std::int32_t>(plan.procs[p].order.size());
+        for (std::int32_t pos = 0; pos < n; ++pos) {
+          if (!memory->needs_map(pos)) continue;
+          (void)memory->perform_map(pos);
+          ++demand.maps;
+        }
+      } else {
+        memory->preallocate_all();
+      }
+    } catch (const rt::NonExecutableError& e) {
+      demand.executable = false;
+      demand.failure = e.what();  // already names the processor/position
+      return demand;
+    }
+    demand.peak_bytes_per_proc.push_back(memory->peak_bytes());
+    demand.total_bytes += memory->peak_bytes();
+  }
+  return demand;
+}
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted:
+      return "admitted";
+    case AdmissionVerdict::kQueued:
+      return "queued";
+    case AdmissionVerdict::kRejected:
+      return "rejected";
+    case AdmissionVerdict::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+JsonValue AdmissionReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["verdict"] = to_string(verdict);
+  doc["run_id"] = run_id;
+  doc["spec"] = spec;
+  doc["need_bytes"] = need_bytes;
+  doc["budget_bytes"] = budget_bytes;
+  doc["reserved_bytes"] = reserved_bytes;
+  doc["shortfall_bytes"] = shortfall_bytes;
+  doc["queue_depth"] = queue_depth;
+  doc["reason"] = reason;
+  return doc;
+}
+
+}  // namespace rapid::svc

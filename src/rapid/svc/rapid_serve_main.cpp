@@ -1,0 +1,183 @@
+// rapid_serve: drive the multi-tenant RuntimeService from run-spec lines.
+// Each input line describes one RunRequest — a workload spec in the
+// num/shm_workloads.hpp grammar followed by optional key=value tokens —
+// and the tool prints one JSON RunRecord per run plus a closing service
+// summary, so a shell loop or a CI lane can exercise admission control,
+// deadlines, backpressure and fault containment without writing C++.
+//
+//   echo "grid:rows=8,cols=8,procs=4 capacity=4096" | ./rapid_serve
+//   ./rapid_serve --runs=mix.txt --budget=$((64<<20)) --workers=4 \
+//                 --json=service_report.json --report-dir=reports/
+//
+// Line grammar (after the workload spec, any order):
+//   capacity=<bytes>     per-proc capacity          (default 1048576)
+//   deadline_us=<n>      per-run deadline, 0 = none (default 0)
+//   priority=<n>         higher dispatches first    (default 0)
+//   attempts=<n>         restart attempt cap        (default 3)
+//   backoff_us=<n>       restart backoff base      (default 0)
+//   faults=<preset>      addr|put|slow|park|corrupt|dup (arms retry too)
+//   seed=<n>             seed for the fault preset  (default 1)
+//   kernel=<n>           per-run kernel dispatch: 0 auto, 1 ref, 2 blocked
+//   active=<0|1>         paper's active memory      (default 1)
+//   slab=<0|1>           slab arena fast path       (default 0)
+//
+// Exit codes (support/exit_codes.hpp): 0 every run completed with clean
+// numerics; 1 findings (a run failed, was rejected, shed, expired, or
+// finished inexact); 2 infrastructure error (bad flags, unreadable input,
+// unexpected exception).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rapid/rt/faults.hpp"
+#include "rapid/support/backoff.hpp"
+#include "rapid/support/exit_codes.hpp"
+#include "rapid/support/flags.hpp"
+#include "rapid/support/str.hpp"
+#include "rapid/svc/service.hpp"
+
+namespace {
+
+using namespace rapid;
+
+/// Parses one input line into a RunRequest. Throws rapid::Error on a
+/// malformed key (the caller converts that into an infra error — the line
+/// never reached the service).
+svc::RunRequest parse_line(const std::string& line) {
+  std::istringstream in(line);
+  svc::RunRequest req;
+  in >> req.spec;
+  RAPID_CHECK(!req.spec.empty(), "empty run line");
+  req.config.capacity_per_proc = 1 << 20;
+  std::string token;
+  std::string fault_preset;
+  std::uint64_t fault_seed = 1;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    RAPID_CHECK(eq != std::string::npos,
+                cat("run line: expected key=value, got \"", token, "\""));
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    if (key == "capacity") {
+      req.config.capacity_per_proc = std::stoll(val);
+    } else if (key == "deadline_us") {
+      req.deadline_us = std::stoll(val);
+    } else if (key == "priority") {
+      req.priority = static_cast<std::int32_t>(std::stoll(val));
+    } else if (key == "attempts") {
+      req.recovery.max_run_attempts = static_cast<std::int32_t>(
+          std::stoll(val));
+    } else if (key == "backoff_us") {
+      req.recovery.restart_backoff_us = std::stoll(val);
+    } else if (key == "faults") {
+      fault_preset = val;
+    } else if (key == "seed") {
+      fault_seed = static_cast<std::uint64_t>(std::stoll(val));
+    } else if (key == "kernel") {
+      req.config.kernel_dispatch = static_cast<std::int32_t>(
+          std::stoll(val));
+    } else if (key == "active") {
+      req.config.active_memory = std::stoll(val) != 0;
+    } else if (key == "slab") {
+      req.config.slab_arena = std::stoll(val) != 0;
+    } else {
+      RAPID_FAIL(cat("run line: unknown key \"", key, "\""));
+    }
+  }
+  if (!fault_preset.empty()) {
+    req.options.faults = rt::FaultPlan::preset(fault_preset, fault_seed);
+    req.options.retry = RetryPolicy::standard();
+  }
+  return req;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  RAPID_CHECK(out.good(), cat("cannot open ", path, " for writing"));
+  out << content;
+  RAPID_CHECK(out.good(), cat("short write to ", path));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("runs", "",
+               "file of run lines (one RunRequest per line; '#' comments); "
+               "empty: read stdin");
+  flags.define("budget", std::to_string(256ll << 20),
+               "global capacity budget in bytes");
+  flags.define("workers", "2", "worker pool size (concurrent runs)");
+  flags.define("queue", "16", "bounded admission-queue limit");
+  flags.define("cache", "32", "plan-cache entries");
+  flags.define("json", "", "write the full service document to this path");
+  flags.define("report-dir", "",
+               "also write each run's record as <dir>/run_<id>.json");
+  try {
+    flags.parse(argc, argv);
+  } catch (const rapid::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitInfraError;
+  }
+  if (flags.help_requested()) return kExitOk;
+
+  try {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (!flags.get("runs").empty()) {
+      file.open(flags.get("runs"));
+      RAPID_CHECK(file.good(),
+                  cat("cannot read run file ", flags.get("runs")));
+      in = &file;
+    }
+
+    svc::ServiceOptions sopts;
+    sopts.budget_bytes = flags.get_int("budget");
+    sopts.workers = static_cast<std::int32_t>(flags.get_int("workers"));
+    sopts.queue_limit = static_cast<std::int32_t>(flags.get_int("queue"));
+    sopts.plan_cache_entries =
+        static_cast<std::size_t>(flags.get_int("cache"));
+    svc::RuntimeService service(sopts);
+
+    std::string line;
+    std::vector<std::int64_t> ids;
+    while (std::getline(*in, line)) {
+      const std::size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      ids.push_back(service.submit(parse_line(line)));
+    }
+
+    bool findings = false;
+    for (const std::int64_t id : ids) {
+      const svc::RunRecord& record = service.wait(id);
+      const bool ok =
+          record.state == svc::RunState::kCompleted && record.numerics_ok;
+      findings = findings || !ok;
+      std::printf("%s\n", record.to_json().dump().c_str());
+      if (!flags.get("report-dir").empty()) {
+        write_file(cat(flags.get("report-dir"), "/run_", id, ".json"),
+                   record.to_json().dump());
+      }
+    }
+
+    const svc::ServiceReport report = service.report();
+    std::fprintf(stderr, "%s", report.to_json().dump().c_str());
+    if (!flags.get("json").empty()) {
+      JsonValue doc = JsonValue::object();
+      doc["artifact"] = "rapid_serve";
+      doc["service"] = report.to_json();
+      JsonValue& runs = (doc["runs"] = JsonValue::array());
+      for (const std::int64_t id : ids) {
+        runs.push_back(service.wait(id).to_json());
+      }
+      write_file(flags.get("json"), doc.dump());
+    }
+    return findings ? kExitFindings : kExitOk;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rapid_serve: %s\n", e.what());
+    return kExitInfraError;
+  }
+}

@@ -1,0 +1,431 @@
+#include "rapid/svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/log.hpp"
+#include "rapid/support/stopwatch.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid::svc {
+
+namespace {
+
+/// Completed-run acceptance: the grid app computes in exact integers (any
+/// nonzero residual is a protocol bug), the factorizations are checked
+/// against the same bound the transport tests use.
+bool residual_ok(const std::string& spec, double residual) {
+  const bool exact = spec.rfind("grid", 0) == 0;
+  return exact ? residual == 0.0 : residual < 1e-10;
+}
+
+}  // namespace
+
+const char* to_string(RunState state) {
+  switch (state) {
+    case RunState::kQueued:
+      return "queued";
+    case RunState::kRunning:
+      return "running";
+    case RunState::kCompleted:
+      return "completed";
+    case RunState::kFailed:
+      return "failed";
+    case RunState::kRejected:
+      return "rejected";
+    case RunState::kShed:
+      return "shed";
+    case RunState::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+bool is_terminal(RunState state) {
+  return state != RunState::kQueued && state != RunState::kRunning;
+}
+
+JsonValue RunRecord::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["run_id"] = run_id;
+  doc["spec"] = spec;
+  doc["priority"] = priority;
+  doc["deadline_us"] = deadline_us;
+  doc["state"] = to_string(state);
+  doc["admission"] = admission.to_json();
+  if (!reason.empty()) doc["reason"] = reason;
+  if (has_outcome) {
+    doc["outcome"] = outcome.to_json();
+    doc["residual"] = residual;
+    doc["numerics_ok"] = numerics_ok;
+  }
+  doc["wait_us"] = wait_us;
+  doc["exec_us"] = exec_us;
+  return doc;
+}
+
+JsonValue ServiceReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["submitted"] = submitted;
+  doc["completed"] = completed;
+  doc["failed"] = failed;
+  doc["rejected"] = rejected;
+  doc["shed"] = shed;
+  doc["expired"] = expired;
+  doc["cache_hits"] = cache_hits;
+  doc["cache_misses"] = cache_misses;
+  doc["budget_bytes"] = budget_bytes;
+  doc["peak_reserved_bytes"] = peak_reserved_bytes;
+  doc["peak_queue_depth"] = peak_queue_depth;
+  return doc;
+}
+
+RuntimeService::RuntimeService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.plan_cache_entries) {
+  RAPID_CHECK(options_.budget_bytes > 0 && options_.workers >= 1 &&
+                  options_.queue_limit >= 1,
+              "RuntimeService needs a positive budget, >= 1 worker and a "
+              "queue limit >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (std::int32_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RuntimeService::~RuntimeService() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+RunRecord& RuntimeService::record_of(std::int64_t run_id) {
+  const auto it = records_.find(run_id);
+  RAPID_CHECK(it != records_.end(), cat("unknown run id ", run_id));
+  return *it->second;
+}
+
+std::int64_t RuntimeService::submit(RunRequest request) {
+  // The expensive part — building the plan and replaying its demand — runs
+  // outside the service lock (the cache has its own).
+  std::shared_ptr<const CachedPlan> plan;
+  std::string build_error;
+  try {
+    plan = cache_.get(request.spec, request.config);
+  } catch (const Error& e) {
+    build_error = e.what();
+  }
+
+  std::unique_lock<std::mutex> lock(m_);
+  const std::int64_t id = next_run_id_++;
+  auto rec = std::make_unique<RunRecord>();
+  rec->run_id = id;
+  rec->spec = request.spec;
+  rec->priority = request.priority;
+  rec->deadline_us = request.deadline_us;
+  rec->admission.run_id = id;
+  rec->admission.spec = request.spec;
+  rec->admission.budget_bytes = options_.budget_bytes;
+  rec->admission.reserved_bytes = reserved_bytes_;
+  RunRecord& record = *rec;
+  records_[id] = std::move(rec);
+  submit_order_.push_back(id);
+
+  const auto reject = [&](std::string reason, std::int64_t shortfall) {
+    record.state = RunState::kRejected;
+    record.admission.verdict = AdmissionVerdict::kRejected;
+    record.admission.shortfall_bytes = shortfall;
+    record.admission.queue_depth = static_cast<std::int32_t>(queue_.size());
+    record.admission.reason = record.reason = std::move(reason);
+    ++rejected_;
+    cv_done_.notify_all();
+  };
+
+  if (!plan) {
+    reject(cat("spec did not build: ", build_error), 0);
+    return id;
+  }
+  record.admission.need_bytes = plan->demand.total_bytes;
+  if (!plan->demand.executable) {
+    reject(cat("non-executable under capacity ",
+               request.config.capacity_per_proc, " (Def. 6): ",
+               plan->demand.failure),
+           0);
+    return id;
+  }
+  if (plan->demand.total_bytes > options_.budget_bytes) {
+    reject(cat("needs ", plan->demand.total_bytes,
+               " bytes but the whole budget is ", options_.budget_bytes,
+               " (short by ",
+               plan->demand.total_bytes - options_.budget_bytes, " bytes)"),
+           plan->demand.total_bytes - options_.budget_bytes);
+    return id;
+  }
+
+  Pending pending;
+  pending.run_id = id;
+  pending.plan = std::move(plan);
+  pending.request = std::move(request);
+  pending.submit_ns = now_ns();
+  pending.deadline_ns =
+      pending.request.deadline_us > 0
+          ? pending.submit_ns + pending.request.deadline_us * 1000
+          : std::numeric_limits<std::int64_t>::max();
+
+  if (static_cast<std::int32_t>(queue_.size()) >= options_.queue_limit) {
+    // Overload: the bounded queue is full. Shed the entry with the least
+    // chance of meeting its deadline — the earliest absolute deadline,
+    // newcomer included (no-deadline entries never shed before dated ones).
+    std::size_t victim = queue_.size();  // sentinel: the newcomer
+    std::int64_t victim_deadline = pending.deadline_ns;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].deadline_ns < victim_deadline) {
+        victim_deadline = queue_[i].deadline_ns;
+        victim = i;
+      }
+    }
+    const std::int64_t shed_id =
+        victim == queue_.size() ? id : queue_[victim].run_id;
+    RunRecord& shed_rec = record_of(shed_id);
+    shed_rec.state = RunState::kShed;
+    shed_rec.admission.verdict = AdmissionVerdict::kShed;
+    shed_rec.admission.reserved_bytes = reserved_bytes_;
+    shed_rec.admission.queue_depth =
+        static_cast<std::int32_t>(queue_.size());
+    shed_rec.admission.reason = shed_rec.reason =
+        cat("admission queue full (limit ", options_.queue_limit,
+            "); shed as the earliest-deadline entry");
+    ++shed_;
+    RAPID_WARN("service: shed run " << shed_id << " (" << shed_rec.spec
+                                    << ") under overload");
+    if (victim != queue_.size()) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    cv_done_.notify_all();
+    if (shed_id == id) return id;
+  }
+
+  record.admission.verdict =
+      pending.plan->demand.total_bytes <=
+              options_.budget_bytes - reserved_bytes_
+          ? AdmissionVerdict::kAdmitted
+          : AdmissionVerdict::kQueued;
+  queue_.push_back(std::move(pending));
+  record.admission.queue_depth = static_cast<std::int32_t>(queue_.size());
+  peak_queue_depth_ = std::max(peak_queue_depth_,
+                               static_cast<std::int32_t>(queue_.size()));
+  lock.unlock();
+  cv_work_.notify_all();
+  return id;
+}
+
+void RuntimeService::sweep_expired_locked() {
+  const std::int64_t now = now_ns();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline_ns > now) {
+      ++it;
+      continue;
+    }
+    RunRecord& record = record_of(it->run_id);
+    record.state = RunState::kExpired;
+    record.wait_us = (now - it->submit_ns) / 1000;
+    record.reason = cat("deadline of ", it->request.deadline_us,
+                        " us lapsed while queued (waited ", record.wait_us,
+                        " us)");
+    ++expired_;
+    it = queue_.erase(it);
+    cv_done_.notify_all();
+  }
+}
+
+int RuntimeService::pick_locked() const {
+  const std::int64_t available = options_.budget_bytes - reserved_bytes_;
+  int best = -1;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Pending& c = queue_[i];
+    if (c.plan->demand.total_bytes > available) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const Pending& b = queue_[static_cast<std::size_t>(best)];
+    if (c.request.priority != b.request.priority) {
+      if (c.request.priority > b.request.priority) best = static_cast<int>(i);
+    } else if (c.deadline_ns != b.deadline_ns) {
+      if (c.deadline_ns < b.deadline_ns) best = static_cast<int>(i);
+    }  // else FIFO: the earlier index already wins
+  }
+  return best;
+}
+
+void RuntimeService::worker_loop() {
+  std::unique_lock<std::mutex> lock(m_);
+  for (;;) {
+    sweep_expired_locked();
+    const int idx = pick_locked();
+    if (idx < 0) {
+      if (stopping_ && queue_.empty()) return;
+      // The wait_for bound doubles as the queued-deadline sweep cadence.
+      cv_work_.wait_for(lock, std::chrono::milliseconds(20));
+      continue;
+    }
+    Pending pending = std::move(queue_[static_cast<std::size_t>(idx)]);
+    queue_.erase(queue_.begin() + idx);
+    RunRecord& record = record_of(pending.run_id);
+    const std::int64_t need = pending.plan->demand.total_bytes;
+    reserved_bytes_ += need;
+    peak_reserved_bytes_ = std::max(peak_reserved_bytes_, reserved_bytes_);
+    RAPID_CHECK(reserved_bytes_ <= options_.budget_bytes,
+                "admission invariant violated: reservations exceed budget");
+    record.state = RunState::kRunning;
+    record.wait_us = (now_ns() - pending.submit_ns) / 1000;
+    lock.unlock();
+
+    execute(record, std::move(pending));
+
+    lock.lock();
+    reserved_bytes_ -= need;
+    switch (record.state) {
+      case RunState::kCompleted:
+        ++completed_;
+        break;
+      case RunState::kFailed:
+        ++failed_;
+        break;
+      case RunState::kExpired:
+        ++expired_;
+        break;
+      default:
+        RAPID_FAIL("execute() left a non-terminal state");
+    }
+    cv_work_.notify_all();
+    cv_done_.notify_all();
+  }
+}
+
+void RuntimeService::execute(RunRecord& record, Pending pending) {
+  const RunRequest& req = pending.request;
+  Stopwatch exec_timer;
+  // The run happens with m_ released, so every record field is staged in
+  // locals and committed under the lock at the end: wait()'s predicate and
+  // to_json() snapshots read the record whenever cv_done_ stirs.
+  RunState state = RunState::kFailed;
+  std::string reason;
+  bool has_outcome = false;
+  rt::RecoveryRun outcome;
+  double residual = -1.0;
+  bool numerics_ok = false;
+
+  const auto commit = [&] {
+    std::lock_guard<std::mutex> lock(m_);
+    record.exec_us = exec_timer.nanos() / 1000;
+    record.state = state;
+    if (!reason.empty()) record.reason = std::move(reason);
+    record.has_outcome = has_outcome;
+    if (has_outcome) record.outcome = std::move(outcome);
+    record.residual = residual;
+    record.numerics_ok = numerics_ok;
+  };
+
+  std::int64_t remaining_us = 0;  // 0 = no deadline
+  if (pending.deadline_ns != std::numeric_limits<std::int64_t>::max()) {
+    remaining_us = (pending.deadline_ns - now_ns()) / 1000;
+    if (remaining_us <= 0) {
+      state = RunState::kExpired;
+      reason = cat("deadline of ", req.deadline_us,
+                   " us lapsed between pick and dispatch");
+      commit();
+      return;
+    }
+  }
+
+  rt::ThreadedOptions options = req.options;
+  options.run_id = record.run_id;
+  if (remaining_us > 0 &&
+      (options.attempt_deadline_us <= 0 ||
+       options.attempt_deadline_us > remaining_us)) {
+    options.attempt_deadline_us = remaining_us;
+  }
+  rt::RunRecoveryOptions ropts = req.recovery;
+  ropts.capture_failure = true;
+  if (remaining_us > 0 && (ropts.attempt_deadline_us <= 0 ||
+                           ropts.attempt_deadline_us > remaining_us)) {
+    ropts.attempt_deadline_us = remaining_us;
+  }
+
+  const num::ShmWorkload& workload = *pending.plan->workload;
+  try {
+    outcome = rt::run_with_recovery(workload.plan, req.config,
+                                    workload.make_init(),
+                                    workload.make_body(), options, ropts);
+    has_outcome = true;
+    if (!outcome.failed && outcome.report.executable) {
+      residual = workload.residual(*outcome.executor);
+      numerics_ok = residual_ok(record.spec, residual);
+      state = RunState::kCompleted;
+    } else if (outcome.failed &&
+               outcome.failure_kind == rt::FailureKind::kCancelled) {
+      // The cooperative per-run deadline fired mid-flight: the partial
+      // report survives, the arena went with the executor.
+      state = RunState::kExpired;
+      reason = outcome.failure;
+    } else {
+      state = RunState::kFailed;
+      reason = outcome.failed ? outcome.failure : outcome.report.failure;
+    }
+    // Completed or not, drop the executor now: records outlive runs, and a
+    // parked arena would silently outlast its budget reservation.
+    outcome.executor.reset();
+  } catch (const Error& e) {
+    // Infrastructure failure the recovery layer could not structure (e.g. a
+    // RAPID_CHECK tripping). Contained to this run.
+    state = RunState::kFailed;
+    reason = cat("infrastructure error: ", e.what());
+  }
+  commit();
+}
+
+const RunRecord& RuntimeService::wait(std::int64_t run_id) {
+  std::unique_lock<std::mutex> lock(m_);
+  RunRecord& record = record_of(run_id);
+  cv_done_.wait(lock, [&] { return is_terminal(record.state); });
+  return record;
+}
+
+std::vector<const RunRecord*> RuntimeService::wait_all() {
+  std::vector<std::int64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ids = submit_order_;
+  }
+  std::vector<const RunRecord*> out;
+  out.reserve(ids.size());
+  for (const std::int64_t id : ids) out.push_back(&wait(id));
+  return out;
+}
+
+ServiceReport RuntimeService::report() const {
+  ServiceReport r;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    r.submitted = next_run_id_;
+    r.completed = completed_;
+    r.failed = failed_;
+    r.rejected = rejected_;
+    r.shed = shed_;
+    r.expired = expired_;
+    r.budget_bytes = options_.budget_bytes;
+    r.peak_reserved_bytes = peak_reserved_bytes_;
+    r.peak_queue_depth = peak_queue_depth_;
+  }
+  r.cache_hits = cache_.hits();
+  r.cache_misses = cache_.misses();
+  return r;
+}
+
+}  // namespace rapid::svc

@@ -28,6 +28,7 @@
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
+#include "rapid/support/exit_codes.hpp"
 #include "rapid/support/flags.hpp"
 #include "rapid/support/json.hpp"
 #include "rapid/support/str.hpp"
@@ -141,9 +142,9 @@ int main(int argc, char** argv) {
     flags.parse(argc, argv);
   } catch (const rapid::Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    return kExitInfraError;
   }
-  if (flags.help_requested()) return 0;
+  if (flags.help_requested()) return kExitOk;
 
   const int procs = static_cast<int>(flags.get_int("procs"));
   const double scale = flags.get_double("scale");
@@ -154,7 +155,7 @@ int main(int argc, char** argv) {
     transport = rt::transport_from_string(flags.get("transport"));
   } catch (const rapid::Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    return kExitInfraError;
   }
   const bool shm = transport == rt::TransportKind::kShm;
   const auto params = machine::MachineParams::cray_t3d(procs);
@@ -292,7 +293,7 @@ int main(int argc, char** argv) {
     }
   } catch (const rapid::Error& e) {
     std::fprintf(stderr, "rapid_check: %s\n", e.what());
-    return 2;
+    return kExitInfraError;
   }
 
   // Litmus suite: the strong variants must verify clean, the weakened
@@ -361,7 +362,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(total_errors),
               static_cast<long long>(total_warnings), runs.size(),
               litmus.empty() ? "skipped" : litmus_ok ? "ok" : "FAILED");
-  if (total_errors > 0 || !litmus_ok) return 1;
-  if (strict && total_warnings > 0) return 1;
-  return 0;
+  if (total_errors > 0 || !litmus_ok) return kExitFindings;
+  if (strict && total_warnings > 0) return kExitFindings;
+  return kExitOk;
 }

@@ -21,6 +21,7 @@
 #include "rapid/sched/liveness.hpp"
 #include "rapid/sched/mapping.hpp"
 #include "rapid/sched/ordering.hpp"
+#include "rapid/support/exit_codes.hpp"
 #include "rapid/support/flags.hpp"
 #include "rapid/support/str.hpp"
 #include "rapid/verify/auditor.hpp"
@@ -117,9 +118,9 @@ int main(int argc, char** argv) {
     flags.parse(argc, argv);
   } catch (const rapid::Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    return kExitInfraError;
   }
-  if (flags.help_requested()) return 0;
+  if (flags.help_requested()) return kExitOk;
 
   std::vector<std::string> names;
   if (flags.get("workload") == "all") {
@@ -178,10 +179,10 @@ int main(int argc, char** argv) {
     } catch (const rapid::Error& e) {
       std::fprintf(stderr, "%s: audit failed to run: %s\n", name.c_str(),
                    e.what());
-      return 2;
+      return kExitInfraError;
     }
   }
-  if (total_errors > 0) return 1;
-  if (flags.get_bool("strict") && total_warnings > 0) return 1;
-  return 0;
+  if (total_errors > 0) return kExitFindings;
+  if (flags.get_bool("strict") && total_warnings > 0) return kExitFindings;
+  return kExitOk;
 }

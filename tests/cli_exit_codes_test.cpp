@@ -1,0 +1,104 @@
+// The exit-code contract (support/exit_codes.hpp), enforced on the real
+// binaries: 0 = ran and the checked thing is good, 1 = ran and found
+// findings (bad trace, failed guard, rejected/failed runs), 2 = the tool
+// itself could not run (bad flags, unreadable input). Scripts and CI lanes
+// branch on this distinction, so it gets a test that spawns the actual
+// executables rather than trusting each main()'s bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "rapid/support/exit_codes.hpp"
+#include "rapid/support/str.hpp"
+
+namespace rapid {
+namespace {
+
+/// Build-tree root (the directory holding tests/, src/, bench/), resolved
+/// from this test binary's own path.
+std::string build_root() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  std::string dir(buf);
+  const std::size_t slash = dir.rfind('/');
+  if (slash == std::string::npos) return {};
+  dir.resize(slash);
+  return dir + "/..";
+}
+
+std::string binary(const std::string& rel) {
+  const std::string path = build_root() + "/" + rel;
+  return ::access(path.c_str(), X_OK) == 0 ? path : std::string();
+}
+
+/// Runs the command with output discarded; returns the exit code, or -1 if
+/// the process did not exit normally.
+int run(const std::string& cmd) {
+  const int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+const std::vector<std::string> kAllClis = {
+    "src/rapid/verify/rapid_check", "src/rapid/verify/rapid_verify",
+    "src/rapid/obs/rapid_trace",    "src/rapid/svc/rapid_serve",
+    "bench/bench_executor",         "bench/bench_service",
+};
+
+TEST(CliExitCodes, HelpExitsOkOnEveryBinary) {
+  int tested = 0;
+  for (const std::string& rel : kAllClis) {
+    const std::string bin = binary(rel);
+    if (bin.empty()) continue;  // not built in this tree
+    EXPECT_EQ(run(bin + " --help"), kExitOk) << rel;
+    ++tested;
+  }
+  ASSERT_GT(tested, 0) << "no CLI binaries found under " << build_root();
+}
+
+TEST(CliExitCodes, UnknownFlagIsInfraErrorOnEveryBinary) {
+  int tested = 0;
+  for (const std::string& rel : kAllClis) {
+    const std::string bin = binary(rel);
+    if (bin.empty()) continue;
+    // A flag typo means the tool never ran: infrastructure error, not
+    // findings — a CI lane must not mistake it for a clean check.
+    EXPECT_EQ(run(bin + " --no_such_flag=1"), kExitInfraError) << rel;
+    ++tested;
+  }
+  ASSERT_GT(tested, 0) << "no CLI binaries found under " << build_root();
+}
+
+TEST(CliExitCodes, ServeDistinguishesFindingsFromInfraError) {
+  const std::string bin = binary("src/rapid/svc/rapid_serve");
+  if (bin.empty()) GTEST_SKIP() << "rapid_serve not built";
+  const std::string dir = ::testing::TempDir();
+
+  // All runs complete -> ok.
+  const std::string good = dir + "/serve_good.runs";
+  std::ofstream(good) << "grid:rows=6,cols=6,procs=4\n";
+  EXPECT_EQ(run(bin + " --runs=" + good), kExitOk);
+
+  // A run the service rejects is a finding about the workload, not a tool
+  // failure: the report is still produced, the exit code says "look".
+  const std::string bad = dir + "/serve_bad.runs";
+  std::ofstream(bad) << "grid:rows=6,cols=6,procs=4\n"
+                     << "nosuch:app=1\n";
+  EXPECT_EQ(run(bin + " --runs=" + bad), kExitFindings);
+
+  // An unreadable runs file means the service never saw the work.
+  EXPECT_EQ(run(bin + " --runs=" + dir + "/serve_missing.runs"),
+            kExitInfraError);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -251,10 +251,11 @@ TEST(ObsThreaded, MetricsSummaryReconcilesWithRun) {
   }
   EXPECT_GT(residency, 0.0);
 
-  // The metrics block rides into the run report's JSON (schema version 3:
-  // v2 added "metrics", v3 added "put_batches").
+  // The metrics block rides into the run report's JSON (v2 added
+  // "metrics", v3 "put_batches", v4 "transport"/"proc_failure", v5
+  // "run_id"/"attempt_deadline_us").
   const std::string json = report.to_json().dump();
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"put_batches\""), std::string::npos);
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"state_residency_us\""), std::string::npos);
