@@ -12,6 +12,13 @@
 //              *nonzero* shed count — unbounded growth or silent drops are
 //              findings, and every non-completed run still carries its
 //              structured admission/outcome report.
+//   telemetry_guard — the same closed-loop steady workload run with the
+//              telemetry plane off and on (registry bound + background
+//              sampler writing snapshots every 50 ms). Best-of-N
+//              throughput each way; telemetry_overhead_pct above the
+//              --max_overhead_pct gate (default 3%) is a finding. This is
+//              the regression fence that keeps "observability on" a
+//              default, not a tax.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "rapid/obs/telemetry.hpp"
+#include "rapid/rt/shm_health.hpp"
 #include "rapid/support/exit_codes.hpp"
 #include "rapid/support/flags.hpp"
 #include "rapid/support/json.hpp"
@@ -106,6 +115,48 @@ RowResult drive(const std::string& name, svc::RuntimeService& service,
   return row;
 }
 
+/// One closed-loop steady pass; with `telemetry` the service is bound to a
+/// registry and a background sampler snapshots it to `metrics_path` every
+/// 50 ms (the production rapid_serve configuration, sped up so several
+/// snapshots land even in a short pass).
+double guard_pass(bool telemetry, std::size_t runs, std::int32_t workers,
+                  const std::string& metrics_path) {
+  const std::vector<std::string> mix = {
+      "grid:rows=8,cols=8,procs=4",
+      "grid:rows=6,cols=10,procs=4",
+  };
+  std::vector<svc::RunRequest> requests;
+  for (std::size_t i = 0; i < runs; ++i) {
+    svc::RunRequest req;
+    req.spec = mix[i % mix.size()];
+    req.config.capacity_per_proc = 1 << 20;
+    requests.push_back(std::move(req));
+  }
+  svc::ServiceOptions sopts;
+  sopts.workers = workers;
+  sopts.queue_limit = static_cast<std::int32_t>(runs) + 1;
+  svc::RuntimeService service(sopts);
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (telemetry) {
+    service.bind_telemetry(registry);
+    obs::TelemetrySamplerOptions topts;
+    topts.path = metrics_path;
+    topts.interval_ms = 50;
+    sampler = std::make_unique<obs::TelemetrySampler>(registry, topts);
+    sampler->add_probe(
+        [&service](obs::MetricsRegistry&) { service.sample_telemetry(); });
+    sampler->add_probe(
+        [](obs::MetricsRegistry& reg) { rt::sample_shm_health(reg); });
+    sampler->start();
+  }
+  const RowResult row = drive(telemetry ? "guard_on" : "guard_off", service,
+                              requests, /*arrival_us=*/0);
+  if (sampler) sampler->stop();
+  return row.runs_per_sec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +166,15 @@ int main(int argc, char** argv) {
   flags.define("arrival_us", "2000",
                "open-loop inter-arrival spacing for the steady row");
   flags.define("overload_runs", "16", "overload-row burst size");
+  flags.define("guard_runs", "24",
+               "telemetry-guard row request count per pass");
+  flags.define("guard_passes", "3",
+               "best-of-N passes per telemetry setting (damps scheduler "
+               "noise)");
+  flags.define("max_overhead_pct", "3",
+               "telemetry_overhead_pct above this is a finding");
+  flags.define("telemetry_file", "/tmp/bench_service_telemetry.prom",
+               "snapshot path the guard row's sampler writes to");
   flags.define("json", "", "write BENCH_service.json here");
   try {
     flags.parse(argc, argv);
@@ -180,6 +240,30 @@ int main(int argc, char** argv) {
       overload_row = drive("overload", service, overload, 0);
     }
 
+    // -- telemetry guard row ----------------------------------------------
+    // Alternate off/on passes so clock drift and cache warm-up hit both
+    // sides equally; compare best-of-N (steady-state capability, not the
+    // noisiest pass).
+    const auto guard_runs =
+        static_cast<std::size_t>(flags.get_int("guard_runs"));
+    const std::int64_t guard_passes =
+        std::max<std::int64_t>(flags.get_int("guard_passes"), 1);
+    const double max_overhead_pct =
+        static_cast<double>(flags.get_int("max_overhead_pct"));
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (std::int64_t pass = 0; pass < guard_passes; ++pass) {
+      best_off = std::max(
+          best_off, guard_pass(false, guard_runs, sopts.workers, ""));
+      best_on = std::max(
+          best_on, guard_pass(true, guard_runs, sopts.workers,
+                              flags.get("telemetry_file")));
+    }
+    const double overhead_pct =
+        best_off > 0.0
+            ? std::max(0.0, 100.0 * (best_off - best_on) / best_off)
+            : 0.0;
+
     TextTable table({"row", "submitted", "completed", "runs/s", "p50 ms",
                      "p99 ms", "cache hit%", "shed", "expired", "peak q"});
     for (const RowResult* r : {&steady_row, &overload_row}) {
@@ -194,12 +278,26 @@ int main(int argc, char** argv) {
                      std::to_string(r->report.peak_queue_depth)});
     }
     std::fputs(table.render().c_str(), stdout);
+    std::printf("\ntelemetry guard: %.1f runs/s off, %.1f runs/s on, "
+                "overhead %.2f%% (gate %.0f%%)\n",
+                best_off, best_on, overhead_pct, max_overhead_pct);
 
     JsonValue doc = JsonValue::object();
     doc["artifact"] = "bench_service";
     JsonValue rows = JsonValue::array();
     rows.push_back(row_json(steady_row));
     rows.push_back(row_json(overload_row));
+    {
+      JsonValue guard = JsonValue::object();
+      guard["row"] = "telemetry_guard";
+      guard["passes"] = guard_passes;
+      guard["runs_per_pass"] = static_cast<std::int64_t>(guard_runs);
+      guard["runs_per_sec_telemetry_off"] = best_off;
+      guard["runs_per_sec_telemetry_on"] = best_on;
+      guard["telemetry_overhead_pct"] = overhead_pct;
+      guard["max_overhead_pct"] = max_overhead_pct;
+      rows.push_back(std::move(guard));
+    }
     doc["rows"] = std::move(rows);
     if (!flags.get("json").empty()) {
       std::FILE* f = std::fopen(flags.get("json").c_str(), "w");
@@ -224,6 +322,13 @@ int main(int argc, char** argv) {
                    "(shed=%lld, peak queue=%d, limit=%d)\n",
                    static_cast<long long>(overload_row.report.shed),
                    overload_row.report.peak_queue_depth, oopts.queue_limit);
+      findings = true;
+    }
+    if (overhead_pct > max_overhead_pct) {
+      std::fprintf(stderr,
+                   "bench_service: telemetry overhead %.2f%% exceeds the "
+                   "%.0f%% gate (off %.1f runs/s, on %.1f runs/s)\n",
+                   overhead_pct, max_overhead_pct, best_off, best_on);
       findings = true;
     }
     return findings ? kExitFindings : kExitOk;

@@ -1,5 +1,6 @@
 #include "rapid/obs/chrome_trace.hpp"
 
+#include <deque>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -25,34 +26,36 @@ std::string object_name(const TraceLabels& labels, std::int32_t id) {
 }
 
 JsonValue event_base(const char* ph, const std::string& name,
-                     const char* cat, int tid, double ts_us) {
+                     const char* cat, std::int64_t pid, int tid,
+                     double ts_us) {
   JsonValue e = JsonValue::object();
   e["name"] = name;
   e["cat"] = cat;
   e["ph"] = ph;
   e["ts"] = ts_us;
-  e["pid"] = 0;
+  e["pid"] = pid;
   e["tid"] = tid;
   return e;
 }
 
-JsonValue complete_span(const std::string& name, const char* cat, int tid,
-                        std::int64_t begin_ns, std::int64_t end_ns) {
-  JsonValue e = event_base("X", name, cat, tid, to_us(begin_ns));
+JsonValue complete_span(const std::string& name, const char* cat,
+                        std::int64_t pid, int tid, std::int64_t begin_ns,
+                        std::int64_t end_ns) {
+  JsonValue e = event_base("X", name, cat, pid, tid, to_us(begin_ns));
   e["dur"] = to_us(end_ns > begin_ns ? end_ns - begin_ns : 0);
   return e;
 }
 
-JsonValue instant(const std::string& name, const char* cat, int tid,
-                  std::int64_t t_ns) {
-  JsonValue e = event_base("i", name, cat, tid, to_us(t_ns));
+JsonValue instant(const std::string& name, const char* cat,
+                  std::int64_t pid, int tid, std::int64_t t_ns) {
+  JsonValue e = event_base("i", name, cat, pid, tid, to_us(t_ns));
   e["s"] = "t";  // thread-scoped instant
   return e;
 }
 
-JsonValue counter(const std::string& name, int tid, std::int64_t t_ns,
-                  std::int64_t bytes) {
-  JsonValue e = event_base("C", name, "memory", tid, to_us(t_ns));
+JsonValue counter(const std::string& name, std::int64_t pid, int tid,
+                  std::int64_t t_ns, std::int64_t bytes) {
+  JsonValue e = event_base("C", name, "memory", pid, tid, to_us(t_ns));
   JsonValue args = JsonValue::object();
   args["bytes"] = bytes;
   e["args"] = std::move(args);
@@ -64,12 +67,31 @@ JsonValue counter(const std::string& name, int tid, std::int64_t t_ns,
 JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
   JsonValue events = JsonValue::array();
 
+  // Multi-tenant service runs merge many traces into one document; using
+  // the owning run id as the Chrome pid splits them into separate process
+  // groups in the viewer. Untagged single-run traces keep pid 0.
+  const std::int64_t pid = trace.run_id();
+
+  {
+    JsonValue meta = JsonValue::object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = pid;
+    meta["tid"] = 0;
+    JsonValue args = JsonValue::object();
+    args["name"] =
+        pid == 0 ? std::string("rapid run")
+                 : "rapid run " + std::to_string(pid);
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+
   // Track metadata: one tid per processor, named and sorted by id.
   for (int q = 0; q < trace.num_procs(); ++q) {
     JsonValue meta = JsonValue::object();
     meta["name"] = "thread_name";
     meta["ph"] = "M";
-    meta["pid"] = 0;
+    meta["pid"] = pid;
     meta["tid"] = q;
     JsonValue args = JsonValue::object();
     args["name"] = "proc " + std::to_string(q);
@@ -77,11 +99,16 @@ JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
     events.push_back(std::move(meta));
   }
 
-  // Flow arrows put_publish -> consume need matching across processors:
-  // key (object, version, dest/reader).
-  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, int>
-      flow_ids;
-  int next_flow_id = 1;
+  // Flow arrows publish -> consume need matching across processors, and
+  // the processors are scanned in id order while dataflow goes both ways,
+  // so matching runs as a separate two-pass phase: collect every
+  // publication first (one arrow per object in staging order — the PR 7
+  // put batcher publishes several objects back-to-back and each must keep
+  // its own arrow), then resolve consumptions against them. Primary key
+  // is (object, reader, put-sequence stamp) — the same release/acquire
+  // identity the conformance checker uses — with (object, version,
+  // reader) as the fallback for unstamped records. FIFO per key so
+  // re-publications never overwrite an earlier arrow.
   struct FlowEnd {
     int tid;
     std::int64_t t_ns;
@@ -90,6 +117,29 @@ JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
     int id;
   };
   std::vector<FlowEnd> flows;
+  std::map<std::tuple<std::int32_t, std::int32_t, std::uint16_t>,
+           std::deque<int>>
+      by_seq;  // (object, reader, seq != 0) -> publish flow ids
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+           std::deque<int>>
+      by_version;  // (object, version, reader) -> publish flow ids
+  int next_flow_id = 1;
+
+  for (int q = 0; q < trace.num_procs(); ++q) {
+    for (const TraceEvent& e : trace.events(q)) {
+      if (e.kind != EventKind::kPutPublish) continue;
+      const int id = next_flow_id++;
+      flows.push_back({q, e.t_ns,
+                       object_name(labels, e.a) + " v" +
+                           std::to_string(e.b),
+                       true, id});
+      if (e.d != 0) {
+        by_seq[std::make_tuple(e.a, e.c, e.d)].push_back(id);
+      } else {
+        by_version[std::make_tuple(e.a, e.b, e.c)].push_back(id);
+      }
+    }
+  }
 
   for (int q = 0; q < trace.num_procs(); ++q) {
     const std::vector<TraceEvent> evs = trace.events(q);
@@ -105,8 +155,8 @@ JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
         case EventKind::kStateEnter: {
           if (cur_state >= 0 && e.t_ns > state_since_ns) {
             events.push_back(complete_span(
-                to_string(static_cast<ProtoState>(cur_state)), "state", q,
-                state_since_ns, e.t_ns));
+                to_string(static_cast<ProtoState>(cur_state)), "state",
+                pid, q, state_since_ns, e.t_ns));
           }
           cur_state = e.a;
           state_since_ns = e.t_ns;
@@ -120,69 +170,72 @@ JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
           // Ring overflow can orphan a begin or an end; only emit pairs.
           if (open_task == e.a) {
             events.push_back(complete_span(task_name(labels, e.a), "task",
-                                           q, task_begin_ns, e.t_ns));
+                                           pid, q, task_begin_ns, e.t_ns));
             open_task = -1;
           }
           break;
-        case EventKind::kPutPublish: {
-          const auto key = std::make_tuple(e.a, e.b, e.c);
-          int id = next_flow_id++;
-          flow_ids[key] = id;
-          flows.push_back({q, e.t_ns,
-                           object_name(labels, e.a) + " v" +
-                               std::to_string(e.b),
-                           true, id});
-          break;
-        }
         case EventKind::kConsume: {
-          // Reader side: key is (object, version, reader=this proc).
-          const auto key = std::make_tuple(e.a, e.b, q);
-          auto it = flow_ids.find(key);
-          if (it != flow_ids.end()) {
+          // Reader side: this proc is the reader. Try the sequence plane
+          // first, then the version fallback.
+          int id = -1;
+          if (e.d != 0) {
+            auto it = by_seq.find(std::make_tuple(e.a, q, e.d));
+            if (it != by_seq.end() && !it->second.empty()) {
+              id = it->second.front();
+              it->second.pop_front();
+            }
+          }
+          if (id < 0) {
+            auto it = by_version.find(std::make_tuple(e.a, e.b, q));
+            if (it != by_version.end() && !it->second.empty()) {
+              id = it->second.front();
+              it->second.pop_front();
+            }
+          }
+          if (id >= 0) {
             flows.push_back({q, e.t_ns,
                              object_name(labels, e.a) + " v" +
                                  std::to_string(e.b),
-                             false, it->second});
-            flow_ids.erase(it);
+                             false, id});
           }
           break;
         }
         case EventKind::kMapAlloc:
           events.push_back(instant("alloc " + object_name(labels, e.a),
-                                   "map", q, e.t_ns));
+                                   "map", pid, q, e.t_ns));
           break;
         case EventKind::kMapFree:
           events.push_back(instant("free " + object_name(labels, e.a),
-                                   "map", q, e.t_ns));
+                                   "map", pid, q, e.t_ns));
           break;
         case EventKind::kHeapSample:
-          events.push_back(
-              counter("heap p" + std::to_string(q), q, e.t_ns, e.bytes));
+          events.push_back(counter("heap p" + std::to_string(q), pid, q,
+                                   e.t_ns, e.bytes));
           break;
         case EventKind::kNack:
           events.push_back(instant(
               e.a >= 0 ? "nack " + object_name(labels, e.a) : "nack flag",
-              "recovery", q, e.t_ns));
+              "recovery", pid, q, e.t_ns));
           break;
         case EventKind::kResend:
           events.push_back(instant("resend " + object_name(labels, e.a),
-                                   "recovery", q, e.t_ns));
+                                   "recovery", pid, q, e.t_ns));
           break;
         case EventKind::kAddrPkgSend:
-          events.push_back(instant(
-              "addr_pkg -> p" + std::to_string(e.c), "protocol", q, e.t_ns));
+          events.push_back(instant("addr_pkg -> p" + std::to_string(e.c),
+                                   "protocol", pid, q, e.t_ns));
           break;
         case EventKind::kAddrPkgInstall:
           events.push_back(
-              instant("addr_pkg install", "protocol", q, e.t_ns));
+              instant("addr_pkg install", "protocol", pid, q, e.t_ns));
           break;
         case EventKind::kFlagSend:
           events.push_back(instant("flag " + task_name(labels, e.a) +
                                        " -> p" + std::to_string(e.c),
-                                   "protocol", q, e.t_ns));
+                                   "protocol", pid, q, e.t_ns));
           break;
         case EventKind::kPark:
-          events.push_back(instant("park", "sched", q, e.t_ns));
+          events.push_back(instant("park", "sched", pid, q, e.t_ns));
           break;
         default:
           break;
@@ -192,14 +245,13 @@ JsonValue chrome_trace(const Trace& trace, const TraceLabels& labels) {
     if (cur_state >= 0 && last_ns > state_since_ns) {
       events.push_back(
           complete_span(to_string(static_cast<ProtoState>(cur_state)),
-                        "state", q, state_since_ns, last_ns));
+                        "state", pid, q, state_since_ns, last_ns));
     }
   }
 
   for (const FlowEnd& f : flows) {
-    JsonValue e =
-        event_base(f.start ? "s" : "f", f.name, "dataflow", f.tid,
-                   to_us(f.t_ns));
+    JsonValue e = event_base(f.start ? "s" : "f", f.name, "dataflow", pid,
+                             f.tid, to_us(f.t_ns));
     e["id"] = f.id;
     if (!f.start) e["bp"] = "e";
     events.push_back(std::move(e));

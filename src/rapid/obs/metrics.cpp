@@ -5,13 +5,16 @@
 
 namespace rapid::obs {
 
-namespace {
-int bucket_of(std::int64_t value) {
+int Histogram::bucket_of(std::int64_t value) {
   if (value <= 0) return 0;
   return std::min(64 - std::countl_zero(static_cast<std::uint64_t>(value)),
-                  63);
+                  kNumBuckets - 1);
 }
-}  // namespace
+
+std::int64_t Histogram::bucket_upper(int i) {
+  if (i <= 0) return 0;
+  return (std::int64_t{1} << std::min(i, 62)) - 1;
+}
 
 void Histogram::add(std::int64_t value) {
   value = std::max<std::int64_t>(value, 0);

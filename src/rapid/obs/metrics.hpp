@@ -19,7 +19,23 @@ namespace rapid::obs {
 /// min/max, percentile estimates at bucket resolution.
 class Histogram {
  public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index for a value: 0 for values <= 0, otherwise the position
+  /// of the highest set bit + 1, capped at kNumBuckets - 1. Shared with
+  /// the live telemetry plane (obs/telemetry.hpp) so post-run and live
+  /// histograms bucket identically.
+  static int bucket_of(std::int64_t value);
+
+  /// Largest integer value that lands in bucket i (2^i - 1; bucket 0
+  /// holds only 0). The top bucket is open-ended ("+Inf" in exposition).
+  static std::int64_t bucket_upper(int i);
+
   void add(std::int64_t value);
+
+  std::int64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
 
   std::int64_t count() const { return count_; }
   std::int64_t sum() const { return sum_; }
@@ -37,7 +53,7 @@ class Histogram {
   JsonValue to_json() const;
 
  private:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = kNumBuckets;
   std::array<std::int64_t, kBuckets> buckets_{};
   std::int64_t count_ = 0;
   std::int64_t sum_ = 0;

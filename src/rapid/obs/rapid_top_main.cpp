@@ -1,0 +1,349 @@
+// rapid_top: a one-screen operator view over a rapid_serve telemetry
+// snapshot. Tails the Prometheus exposition file the service's sampler
+// writes atomically (--metrics-file) and renders runs/sec, p50/p99
+// admission-to-terminal latency, a capacity utilization bar, shed/expiry
+// counters, queue/worker occupancy, and per-rank shm liveness.
+//
+//   ./rapid_top --file=/tmp/rapid.prom                 # live, 1s refresh
+//   ./rapid_top --file=/tmp/rapid.prom --frames=1      # one frame (CI)
+//
+// The text exposition format is the parse surface on purpose: the repo's
+// JSON emitter is write-only by design, and the .prom file is what any
+// external scraper consumes anyway — parsing it here keeps one format
+// load-bearing end to end.
+//
+// Exit codes (support/exit_codes.hpp): 0 rendered every requested frame;
+// 1 findings (snapshot exists but does not parse as exposition text);
+// 2 infra error (bad flags, snapshot file missing/unreadable).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rapid/obs/telemetry.hpp"
+#include "rapid/support/check.hpp"
+#include "rapid/support/exit_codes.hpp"
+#include "rapid/support/flags.hpp"
+#include "rapid/support/stopwatch.hpp"
+
+namespace {
+
+using namespace rapid;
+
+struct Sample {
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// family name -> its samples in file order. Histogram series arrive as
+/// their expanded _bucket/_sum/_count families.
+using Families = std::map<std::string, std::vector<Sample>>;
+
+std::string unescape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == '\\' && i + 1 < v.size()) {
+      ++i;
+      out += v[i] == 'n' ? '\n' : v[i];
+    } else {
+      out += v[i];
+    }
+  }
+  return out;
+}
+
+/// Parses one exposition line ("name{k=\"v\",...} value" | "name value").
+/// Returns false (with *err set) on malformed input.
+bool parse_sample_line(const std::string& line, Families* out,
+                       std::string* err) {
+  const std::size_t brace = line.find('{');
+  const std::size_t name_end =
+      brace != std::string::npos ? brace : line.find(' ');
+  if (name_end == std::string::npos || name_end == 0) {
+    *err = "no metric name in: " + line;
+    return false;
+  }
+  Sample s;
+  const std::string name = line.substr(0, name_end);
+  std::size_t pos = name_end;
+  if (brace != std::string::npos) {
+    pos = brace + 1;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find('=', pos);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        *err = "malformed label in: " + line;
+        return false;
+      }
+      const std::string key = line.substr(pos, eq - pos);
+      std::string value;
+      std::size_t i = eq + 2;
+      for (; i < line.size() && line[i] != '"'; ++i) {
+        value += line[i];
+        if (line[i] == '\\' && i + 1 < line.size()) value += line[++i];
+      }
+      if (i >= line.size()) {
+        *err = "unterminated label value in: " + line;
+        return false;
+      }
+      s.labels[key] = unescape_label_value(line.substr(eq + 2, i - eq - 2));
+      pos = i + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      *err = "unterminated label block in: " + line;
+      return false;
+    }
+    ++pos;
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) {
+    *err = "no value in: " + line;
+    return false;
+  }
+  const std::string value_str = line.substr(pos);
+  char* end = nullptr;
+  s.value = std::strtod(value_str.c_str(), &end);
+  if (end == value_str.c_str()) {
+    *err = "unparsable value in: " + line;
+    return false;
+  }
+  (*out)[name].push_back(std::move(s));
+  return true;
+}
+
+bool parse_prometheus(const std::string& text, Families* out,
+                      std::string* err) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!parse_sample_line(line, out, err)) return false;
+    ++samples;
+  }
+  if (samples == 0) {
+    *err = "no samples in snapshot";
+    return false;
+  }
+  return true;
+}
+
+double value_of(const Families& fam, const std::string& name,
+                double fallback = 0.0) {
+  const auto it = fam.find(name);
+  if (it == fam.end() || it->second.empty()) return fallback;
+  return it->second.front().value;
+}
+
+/// Quantile from a family's cumulative _bucket samples (upper edge of the
+/// bucket reaching q). Returns -1 when the histogram is absent/empty.
+double histogram_quantile(const Families& fam, const std::string& name,
+                          double q) {
+  const auto it = fam.find(name + "_bucket");
+  if (it == fam.end()) return -1.0;
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const Sample& s : it->second) {
+    const auto le = s.labels.find("le");
+    if (le == s.labels.end()) continue;
+    const double edge = le->second == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::strtod(le->second.c_str(), nullptr);
+    buckets.emplace_back(edge, s.value);
+  }
+  std::sort(buckets.begin(), buckets.end());
+  if (buckets.empty() || buckets.back().second <= 0) return -1.0;
+  const double total = buckets.back().second;
+  double prev_edge = 0.0;
+  for (const auto& [edge, cum] : buckets) {
+    if (cum >= q * total) {
+      return std::isinf(edge) ? prev_edge : edge;
+    }
+    prev_edge = edge;
+  }
+  return buckets.back().first;
+}
+
+std::string bar(double frac, int width) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(frac * width));
+  std::string out;
+  for (int i = 0; i < width; ++i) out += i < filled ? '#' : '.';
+  return out;
+}
+
+std::string fmt_bytes(double b) {
+  char buf[64];
+  if (b >= double{1} * (1 << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGiB", b / (1 << 30));
+  } else if (b >= 1 << 20) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", b / (1 << 20));
+  } else if (b >= 1 << 10) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", b / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", b);
+  }
+  return buf;
+}
+
+std::string fmt_us(double us) {
+  char buf[64];
+  if (us < 0) return "n/a";
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us * 1e-6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", us * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+
+/// One rendered frame. `prev_completed`/`dt_seconds` feed the live
+/// runs/sec; a first (or only) frame falls back to completed/uptime.
+std::string render(const Families& fam, double prev_completed,
+                   double dt_seconds) {
+  std::ostringstream out;
+  const double submitted = value_of(fam, "rapid_runs_submitted_total");
+  const double completed = value_of(fam, "rapid_runs_completed_total");
+  const double failed = value_of(fam, "rapid_runs_failed_total");
+  const double rejected = value_of(fam, "rapid_runs_rejected_total");
+  const double shed = value_of(fam, "rapid_runs_shed_total");
+  const double expired = value_of(fam, "rapid_runs_expired_total");
+  const double uptime = value_of(fam, "rapid_uptime_seconds");
+  const double queue = value_of(fam, "rapid_queue_depth");
+  const double in_flight = value_of(fam, "rapid_runs_in_flight");
+  const double workers = value_of(fam, "rapid_workers");
+  const double reserved = value_of(fam, "rapid_reserved_bytes");
+  const double budget = value_of(fam, "rapid_budget_bytes");
+
+  double runs_per_sec = 0.0;
+  if (dt_seconds > 0 && completed >= prev_completed) {
+    runs_per_sec = (completed - prev_completed) / dt_seconds;
+  } else if (uptime > 0) {
+    runs_per_sec = completed / uptime;
+  }
+
+  out << "rapid_top — service telemetry (uptime "
+      << (uptime > 0 ? std::to_string(uptime).substr(0, 6) + "s" : "n/a")
+      << ")\n\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  runs/sec %8.2f   in flight %3.0f/%-3.0f   queue %3.0f\n",
+                runs_per_sec, in_flight, workers, queue);
+  out << line;
+  out << "  latency  p50 " << fmt_us(histogram_quantile(fam, "rapid_run_latency_us", 0.50))
+      << "  p99 " << fmt_us(histogram_quantile(fam, "rapid_run_latency_us", 0.99))
+      << "  (admission -> terminal)\n";
+  const double frac = budget > 0 ? reserved / budget : 0.0;
+  std::snprintf(line, sizeof(line), "  capacity [%s] %s / %s (%.0f%%)\n",
+                bar(frac, 30).c_str(), fmt_bytes(reserved).c_str(),
+                fmt_bytes(budget).c_str(), frac * 100.0);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  runs     submitted %.0f  completed %.0f  failed %.0f  "
+                "rejected %.0f  shed %.0f  expired %.0f\n",
+                submitted, completed, failed, rejected, shed, expired);
+  out << line;
+
+  // Per-rank shm liveness, present only while cross-process sessions run.
+  const auto ages = fam.find("rapid_rank_heartbeat_age_seconds");
+  if (ages != fam.end() && !ages->second.empty()) {
+    const auto alive_it = fam.find("rapid_rank_alive");
+    const auto nacks_it = fam.find("rapid_rank_nacks_total");
+    const auto resends_it = fam.find("rapid_rank_resends_total");
+    const auto by_rank = [](const Families::const_iterator it, bool ok,
+                            const std::string& rank) {
+      if (!ok) return 0.0;
+      for (const Sample& s : it->second) {
+        const auto r = s.labels.find("rank");
+        if (r != s.labels.end() && r->second == rank) return s.value;
+      }
+      return 0.0;
+    };
+    out << "\n  shm ranks (sessions "
+        << value_of(fam, "rapid_shm_sessions") << "):\n";
+    for (const Sample& s : ages->second) {
+      const auto r = s.labels.find("rank");
+      if (r == s.labels.end()) continue;
+      const bool alive =
+          by_rank(alive_it, alive_it != fam.end(), r->second) > 0;
+      std::snprintf(
+          line, sizeof(line),
+          "    rank %-3s %-6s beat %8.3fs ago   nacks %-6.0f resends %.0f\n",
+          r->second.c_str(), alive ? "alive" : "STALE", s.value,
+          by_rank(nacks_it, nacks_it != fam.end(), r->second),
+          by_rank(resends_it, resends_it != fam.end(), r->second));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("file", "", "telemetry snapshot (Prometheus text) to tail");
+  flags.define("interval-ms", "1000", "refresh period between frames");
+  flags.define("frames", "0",
+               "frames to render then exit (0 = until interrupted)");
+  try {
+    flags.parse(argc, argv);
+  } catch (const rapid::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitInfraError;
+  }
+  if (flags.help_requested()) return kExitOk;
+  if (flags.get("file").empty()) {
+    std::fprintf(stderr, "rapid_top: --file is required\n");
+    return kExitInfraError;
+  }
+
+  const std::int64_t frames = flags.get_int("frames");
+  const std::int64_t interval_ms = std::max<std::int64_t>(
+      flags.get_int("interval-ms"), 10);
+
+  double prev_completed = 0.0;
+  bool have_prev = false;
+  Stopwatch since_frame;
+  for (std::int64_t frame = 0; frames == 0 || frame < frames; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::ifstream in(flags.get("file"), std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "rapid_top: cannot read %s\n",
+                   flags.get("file").c_str());
+      return kExitInfraError;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Families fam;
+    std::string err;
+    if (!parse_prometheus(buf.str(), &fam, &err)) {
+      std::fprintf(stderr, "rapid_top: %s is not exposition text: %s\n",
+                   flags.get("file").c_str(), err.c_str());
+      return kExitFindings;
+    }
+
+    const double dt = have_prev ? since_frame.seconds() : 0.0;
+    since_frame.reset();
+    if (frame > 0) std::printf("\033[H\033[2J");  // home + clear
+    std::printf("%s", render(fam, prev_completed, dt).c_str());
+    std::fflush(stdout);
+    prev_completed = value_of(fam, "rapid_runs_completed_total");
+    have_prev = true;
+  }
+  return kExitOk;
+}

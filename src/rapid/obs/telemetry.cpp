@@ -1,0 +1,399 @@
+#include "rapid/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "rapid/support/check.hpp"
+#include "rapid/support/log.hpp"
+
+namespace rapid::obs {
+
+namespace {
+
+std::int64_t wall_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_double(double v) {
+  // Integral values print without a fraction so counters stay exact and
+  // diffs stay clean; everything else gets enough digits to round-trip.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string label_block(const std::vector<Label>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += l.first;
+    out += "=\"";
+    out += escape_label_value(l.second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels for a histogram bucket line: existing labels + le.
+std::string bucket_label_block(const std::vector<Label>& labels,
+                               const std::string& le) {
+  std::vector<Label> with_le = labels;
+  with_le.emplace_back("le", le);
+  return label_block(with_le);
+}
+
+}  // namespace
+
+const char* to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::int64_t SeriesSnapshot::hist_percentile(double q) const {
+  const std::int64_t total = hist_count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::int64_t seen = 0;
+  for (int i = 0; i < AtomicHistogram::kNumBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      return Histogram::bucket_upper(i);
+    }
+  }
+  return Histogram::bucket_upper(AtomicHistogram::kNumBuckets - 1);
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["schema"] = "rapid.telemetry.v1";
+  doc["wall_ns"] = wall_ns;
+  JsonValue arr = JsonValue::array();
+  for (const SeriesSnapshot& s : series) {
+    JsonValue m = JsonValue::object();
+    m["name"] = s.name;
+    m["type"] = to_string(s.type);
+    if (!s.labels.empty()) {
+      JsonValue labels = JsonValue::object();
+      for (const Label& l : s.labels) labels[l.first] = l.second;
+      m["labels"] = std::move(labels);
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        m["value"] = s.int_value;
+        break;
+      case MetricType::kGauge:
+        m["value"] = s.value;
+        break;
+      case MetricType::kHistogram: {
+        m["count"] = s.hist_count();
+        m["sum"] = s.hist_sum;
+        m["p50"] = s.hist_percentile(0.50);
+        m["p99"] = s.hist_percentile(0.99);
+        JsonValue buckets = JsonValue::array();
+        // Sparse: only non-empty buckets, as [le, count] pairs.
+        for (int i = 0; i < AtomicHistogram::kNumBuckets; ++i) {
+          const std::int64_t n = s.buckets[static_cast<std::size_t>(i)];
+          if (n == 0) continue;
+          JsonValue pair = JsonValue::array();
+          pair.push_back(Histogram::bucket_upper(i));
+          pair.push_back(n);
+          buckets.push_back(std::move(pair));
+        }
+        m["buckets"] = std::move(buckets);
+        break;
+      }
+    }
+    arr.push_back(std::move(m));
+  }
+  doc["metrics"] = std::move(arr);
+  return doc;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  std::string last_family;
+  for (const SeriesSnapshot& s : snap.series) {
+    // Series are grouped by family at snapshot time; emit HELP/TYPE once
+    // per family.
+    if (s.name != last_family) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " ";
+      out += to_string(s.type);
+      out += "\n";
+      last_family = s.name;
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += s.name + label_block(s.labels) + " " +
+               std::to_string(s.int_value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += s.name + label_block(s.labels) + " " +
+               format_double(s.value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        // Cumulative buckets. Emit the finite buckets up to the highest
+        // non-empty one so output stays compact, then +Inf. Deriving the
+        // cumulative counts from per-bucket counts keeps them monotone by
+        // construction.
+        int highest = -1;
+        for (int i = 0; i < AtomicHistogram::kNumBuckets; ++i) {
+          if (s.buckets[static_cast<std::size_t>(i)] != 0) highest = i;
+        }
+        std::int64_t cumulative = 0;
+        for (int i = 0; i <= highest && i < AtomicHistogram::kNumBuckets - 1;
+             ++i) {
+          cumulative += s.buckets[static_cast<std::size_t>(i)];
+          out += s.name + "_bucket" +
+                 bucket_label_block(
+                     s.labels, std::to_string(Histogram::bucket_upper(i))) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += s.name + "_bucket" + bucket_label_block(s.labels, "+Inf") +
+               " " + std::to_string(s.hist_count()) + "\n";
+        out += s.name + "_sum" + label_block(s.labels) + " " +
+               std::to_string(s.hist_sum) + "\n";
+        out += s.name + "_count" + label_block(s.labels) + " " +
+               std::to_string(s.hist_count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_add(
+    const std::string& name, const std::string& help, MetricType type,
+    std::vector<Label> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      RAPID_CHECK(e->type == type, "telemetry: metric '" + name +
+                                       "' re-registered as a different type");
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = type;
+  entry->labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry->histogram = std::make_unique<AtomicHistogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<Label> labels) {
+  return *find_or_add(name, help, MetricType::kCounter, std::move(labels))
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help,
+                              std::vector<Label> labels) {
+  return *find_or_add(name, help, MetricType::kGauge, std::move(labels))
+              .gauge;
+}
+
+AtomicHistogram& MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& help,
+                                            std::vector<Label> labels) {
+  return *find_or_add(name, help, MetricType::kHistogram, std::move(labels))
+              .histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.wall_ns = wall_clock_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.series.reserve(entries_.size());
+  // Group series of the same family (name) together so the exposition
+  // writer can emit HELP/TYPE once per family, preserving first-seen
+  // family order.
+  std::vector<const Entry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (std::find_if(ordered.begin(), ordered.end(), [&](const Entry* o) {
+          return o->name == e->name;
+        }) != ordered.end()) {
+      continue;  // family already placed; series added below
+    }
+    for (const std::unique_ptr<Entry>& f : entries_) {
+      if (f->name == e->name) ordered.push_back(f.get());
+    }
+  }
+  for (const Entry* e : ordered) {
+    SeriesSnapshot s;
+    s.name = e->name;
+    s.help = e->help;
+    s.type = e->type;
+    s.labels = e->labels;
+    switch (e->type) {
+      case MetricType::kCounter:
+        s.int_value = e->counter->value();
+        s.value = static_cast<double>(s.int_value);
+        break;
+      case MetricType::kGauge:
+        s.value = e->gauge->value();
+        break;
+      case MetricType::kHistogram:
+        for (int i = 0; i < AtomicHistogram::kNumBuckets; ++i) {
+          s.buckets[static_cast<std::size_t>(i)] = e->histogram->bucket(i);
+        }
+        s.hist_sum = e->histogram->sum();
+        break;
+    }
+    snap.series.push_back(std::move(s));
+  }
+  return snap;
+}
+
+bool atomic_write_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      text.empty() ||
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry& registry,
+                                   TelemetrySamplerOptions opts)
+    : registry_(registry), opts_(std::move(opts)) {
+  if (opts_.interval_ms < 10) opts_.interval_ms = 10;
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::add_probe(
+    std::function<void(MetricsRegistry&)> probe) {
+  probes_.push_back(std::move(probe));
+}
+
+void TelemetrySampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+  // Final tick so the written snapshot reflects the end state.
+  tick();
+}
+
+bool TelemetrySampler::tick() {
+  if (disabled_.load(std::memory_order_relaxed)) return false;
+  for (const auto& probe : probes_) probe(registry_);
+  const MetricsSnapshot snap = registry_.snapshot();
+  if (!write_snapshot(snap)) {
+    disabled_.store(true, std::memory_order_relaxed);
+    RAPID_WARN("telemetry: snapshot write to '"
+               << opts_.path << "' failed (" << std::strerror(errno)
+               << "); sampler disabled, service continues");
+    return false;
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TelemetrySampler::run_loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    if (!tick()) return;  // write failure: degrade quietly
+  }
+}
+
+bool TelemetrySampler::write_snapshot(const MetricsSnapshot& snap) {
+  if (opts_.path.empty()) return true;  // in-memory-only sampler (tests)
+  if (!atomic_write_file(opts_.path, prometheus_text(snap))) return false;
+  if (opts_.write_json &&
+      !atomic_write_file(opts_.path + ".json", snap.to_json().dump())) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rapid::obs

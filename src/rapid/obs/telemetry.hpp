@@ -1,0 +1,275 @@
+// Live telemetry plane for long-lived processes (the PR 9 RuntimeService).
+// Where obs/metrics.hpp reduces one finished run's trace into a summary,
+// this registry is updated *while* runs execute and snapshotted by a
+// background sampler into Prometheus text exposition + JSON files that an
+// operator (or rapid_top) can tail.
+//
+// Design rules:
+//  - Registration is cold and mutex-guarded; it happens once at service
+//    start. The returned Counter/Gauge/AtomicHistogram pointers are stable
+//    for the registry's lifetime, so the hot path touches only atomics.
+//  - Counters are monotone by contract. Sharded adds avoid a single
+//    contended cache line under many worker threads; advance_to() ratchets
+//    a counter up to an externally-maintained total (for sources that keep
+//    their own monotone count, e.g. plan-cache hits) without double
+//    counting. A counter uses add() or advance_to(), never both.
+//  - Histograms reuse the post-run power-of-two bucket rule
+//    (Histogram::bucket_of), so live and post-run distributions bucket
+//    identically and can be reconciled exactly. Snapshots derive _count
+//    from the bucket sum, which keeps cumulative buckets monotone even
+//    when read concurrently with writers (each bucket is read once).
+//  - Snapshot writers are pure functions over an immutable MetricsSnapshot;
+//    the sampler writes via a temp file + atomic rename so a tailing
+//    reader never observes a torn file.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rapid/obs/metrics.hpp"
+#include "rapid/support/json.hpp"
+
+namespace rapid::obs {
+
+/// Monotonically increasing counter. add() spreads contention over
+/// cache-line-padded shards; advance_to() is a fetch_max-style ratchet for
+/// sources that expose a running total instead of deltas.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    if (delta <= 0) return;
+    shard_for_thread().v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Raise the counter to at least `total` (no-op if already there).
+  /// Mutually exclusive with add() on the same counter.
+  void advance_to(std::int64_t total) {
+    std::int64_t cur = floor_.load(std::memory_order_relaxed);
+    while (cur < total &&
+           !floor_.compare_exchange_weak(cur, total,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const {
+    std::int64_t sum = floor_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  Shard& shard_for_thread() {
+    // Hash of the thread id, computed once per thread. Perfect spreading
+    // is not needed; avoiding one shared line under 8+ workers is.
+    static thread_local std::size_t slot =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[slot % kShards];
+  }
+
+  std::array<Shard, kShards> shards_{};
+  std::atomic<std::int64_t> floor_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, reserved bytes,
+/// heartbeat age). Double so seconds-valued gauges need no scaling.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Concurrent power-of-two histogram sharing Histogram's bucket rule.
+/// observe() is two relaxed fetch_adds; merge() imports a finished run's
+/// post-run Histogram (same buckets, so the import is exact).
+class AtomicHistogram {
+ public:
+  static constexpr int kNumBuckets = Histogram::kNumBuckets;
+
+  void observe(std::int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[static_cast<std::size_t>(Histogram::bucket_of(value))]
+        .fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  void merge(const Histogram& h) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const std::int64_t n = h.bucket(i);
+      if (n > 0) {
+        buckets_[static_cast<std::size_t>(i)].fetch_add(
+            n, std::memory_order_relaxed);
+      }
+    }
+    sum_.fetch_add(h.sum(), std::memory_order_relaxed);
+  }
+
+  std::int64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::int64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+enum class MetricType : std::uint8_t { kCounter = 0, kGauge, kHistogram };
+
+const char* to_string(MetricType t);
+
+/// One label key=value pair; values are escaped at exposition time.
+using Label = std::pair<std::string, std::string>;
+
+/// Point-in-time copy of one series. Counter/gauge use `value`; histograms
+/// use `buckets` (per-bucket, not cumulative) + `hist_sum`, with _count
+/// derived as the bucket sum.
+struct SeriesSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<Label> labels;
+  double value = 0.0;
+  std::int64_t int_value = 0;  // exact integer for counters
+  std::array<std::int64_t, AtomicHistogram::kNumBuckets> buckets{};
+  std::int64_t hist_sum = 0;
+
+  std::int64_t hist_count() const {
+    std::int64_t n = 0;
+    for (std::int64_t b : buckets) n += b;
+    return n;
+  }
+  /// Upper bound of the bucket holding quantile q (0 for empty).
+  std::int64_t hist_percentile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::int64_t wall_ns = 0;  // CLOCK_REALTIME, for snapshot freshness
+  std::vector<SeriesSnapshot> series;
+
+  JsonValue to_json() const;
+};
+
+/// Prometheus text exposition (one # HELP / # TYPE per family, label
+/// values escaped, histograms as cumulative _bucket{le=...}/_sum/_count).
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+/// Escape a label value per the exposition format: \\ -> \\\\, " -> \\",
+/// newline -> \\n.
+std::string escape_label_value(const std::string& v);
+
+/// Thread-safe registry. counter()/gauge()/histogram() are idempotent on
+/// (name, labels): a second registration returns the existing instrument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   std::vector<Label> labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               std::vector<Label> labels = {});
+  AtomicHistogram& histogram(const std::string& name,
+                             const std::string& help,
+                             std::vector<Label> labels = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::vector<Label> labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<AtomicHistogram> histogram;
+  };
+
+  Entry& find_or_add(const std::string& name, const std::string& help,
+                     MetricType type, std::vector<Label> labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Background sampler: every interval it runs the registered probes (which
+/// refresh gauges / ratchet counters from live sources), snapshots the
+/// registry, and writes `<path>` (Prometheus text) and `<path>.json` via
+/// temp-file + rename. A write failure (bad directory, ENOSPC) logs one
+/// warning, disables the sampler, and leaves the host process running.
+struct TelemetrySamplerOptions {
+  std::string path;       // exposition file; JSON sibling is path + ".json"
+  int interval_ms = 500;  // clamped to >= 10
+  bool write_json = true;
+};
+
+class TelemetrySampler {
+ public:
+  TelemetrySampler(MetricsRegistry& registry, TelemetrySamplerOptions opts);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Probes run on the sampler thread before each snapshot. Add them all
+  /// before start().
+  void add_probe(std::function<void(MetricsRegistry&)> probe);
+
+  void start();
+  /// Runs one final tick (so the last snapshot reflects the end state),
+  /// then joins. Idempotent.
+  void stop();
+
+  /// One synchronous probe+snapshot+write cycle. Returns false once the
+  /// sampler has been disabled by a write failure.
+  bool tick();
+
+  bool disabled() const {
+    return disabled_.load(std::memory_order_relaxed);
+  }
+  std::int64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_loop();
+  bool write_snapshot(const MetricsSnapshot& snap);
+
+  MetricsRegistry& registry_;
+  TelemetrySamplerOptions opts_;
+  std::vector<std::function<void(MetricsRegistry&)>> probes_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<bool> disabled_{false};
+  std::atomic<std::int64_t> ticks_{0};
+};
+
+/// Write `text` to `path` atomically (write path.tmp, fsync-free rename).
+/// Returns false on any I/O failure.
+bool atomic_write_file(const std::string& path, const std::string& text);
+
+}  // namespace rapid::obs

@@ -99,6 +99,14 @@ class Trace {
   int num_procs() const { return static_cast<int>(rings_.size()); }
   std::int64_t epoch_ns() const { return epoch_ns_; }
 
+  /// Owning run id (RunReport::run_id), tagged by the executor before any
+  /// worker starts so exporters can attribute every ring record to its
+  /// run. 0 = untagged (single-run tools). Multi-tenant service runs each
+  /// get their own Trace; the tag is what keeps merged Chrome traces
+  /// separable per run.
+  void set_run_id(std::int64_t run_id) { run_id_ = run_id; }
+  std::int64_t run_id() const { return run_id_; }
+
   /// Hot path: append one event stamped with the calibrated TSC clock
   /// (now_ns() where no TSC is available). Only the worker thread that owns
   /// `proc` may call this during a run.
@@ -158,6 +166,7 @@ class Trace {
 
   bool enabled_;
   std::int64_t epoch_ns_;
+  std::int64_t run_id_ = 0;
 #ifdef RAPID_TSC_CLOCK
   std::uint64_t epoch_tsc_ = 0;
   double ns_per_tick_ = 0.0;

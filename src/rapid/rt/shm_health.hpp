@@ -1,0 +1,31 @@
+// Cross-process transport health for the telemetry plane. Every live
+// ShmSession self-registers (shm_transport.hpp detail hooks); this module
+// reads each session's control segment — per-rank heartbeat leases and the
+// live recovery mirrors — and publishes them as registry gauges/counters.
+// Everything read here is a lock-free atomic in the mmap'd segment, so
+// sampling never touches the session's own threads, children, or waitpid
+// state; that is what makes metrics aggregate *across processes*.
+#pragma once
+
+#include "rapid/obs/telemetry.hpp"
+
+namespace rapid::rt {
+
+/// Number of coordinator-side shm sessions currently alive in this
+/// process.
+int shm_health_active_sessions();
+
+/// Sample every active session into `reg`:
+///   rapid_shm_sessions                      gauge   active sessions
+///   rapid_rank_heartbeat_age_seconds{rank}  gauge   max lease age across
+///                                                   sessions (clamped)
+///   rapid_rank_alive{rank}                  gauge   1 = some session's
+///                                                   rank beats within its
+///                                                   lease timeout
+///   rapid_rank_nacks_total{rank}            counter accumulated NACKs
+///   rapid_rank_resends_total{rank}          counter accumulated resends
+/// Counter totals accumulate deltas across sessions (each session's live
+/// mirrors reset at session start), so they stay monotone service-wide.
+void sample_shm_health(obs::MetricsRegistry& reg);
+
+}  // namespace rapid::rt

@@ -17,7 +17,9 @@ namespace rapid::rt {
 namespace {
 
 constexpr char kShmMagic[8] = {'R', 'A', 'P', 'I', 'D', 'S', 'H', 'M'};
-constexpr std::uint32_t kLayoutVersion = 1;
+// v2: live_nacks / live_resends mirrors appended to ShmRankCtl so the
+// telemetry sampler can read per-rank recovery traffic mid-run.
+constexpr std::uint32_t kLayoutVersion = 2;
 /// Bounded NACK ring per destination; a full ring drops the re-request
 /// (the waiter's next deadline re-sends it — NACKs are idempotent).
 constexpr std::int32_t kNackCap = 1024;
@@ -65,6 +67,12 @@ struct alignas(64) ShmRankCtl {
   std::atomic<std::uint8_t> wait_exhausted;
   char error_text[448];
   std::atomic<std::int64_t> counters[kNumShmCounters];
+  /// Running recovery totals mirrored by the worker mid-run (the
+  /// `counters` slots above are end-of-run, published with done). Read by
+  /// the cross-process telemetry sampler; relaxed is fine, they are
+  /// monotone hints, not protocol state.
+  std::atomic<std::int64_t> live_nacks;
+  std::atomic<std::int64_t> live_resends;
 };
 static_assert(std::atomic<std::int64_t>::is_always_lock_free);
 static_assert(std::atomic<std::int32_t>::is_always_lock_free);
@@ -565,6 +573,21 @@ std::int64_t ShmTransport::worker_counter(ProcId q, ShmCounter which) const {
   return l_->ctl[q].counters[which].load(std::memory_order_acquire);
 }
 
+void ShmTransport::publish_recovery(ProcId q, std::int64_t nacks_sent,
+                                    std::int64_t resends) {
+  ShmRankCtl& c = l_->ctl[q];
+  c.live_nacks.store(nacks_sent, std::memory_order_relaxed);
+  c.live_resends.store(resends, std::memory_order_relaxed);
+}
+
+std::int64_t ShmTransport::live_nacks(ProcId q) const {
+  return l_->ctl[q].live_nacks.load(std::memory_order_relaxed);
+}
+
+std::int64_t ShmTransport::live_resends(ProcId q) const {
+  return l_->ctl[q].live_resends.load(std::memory_order_relaxed);
+}
+
 double ShmTransport::lease_age_seconds(ProcId q) const {
   const std::int64_t lease =
       l_->ctl[q].lease_ns.load(std::memory_order_acquire);
@@ -600,6 +623,7 @@ std::string fresh_segment_name() {
 
 ShmSession::ShmSession(std::unique_ptr<ShmTransport> tp) : tp_(std::move(tp)) {
   children_.resize(static_cast<std::size_t>(tp_->num_procs()));
+  detail::shm_health_register(this);
 }
 
 std::unique_ptr<ShmSession> ShmSession::create(const ShmTransport::Dims& dims,
@@ -609,6 +633,9 @@ std::unique_ptr<ShmSession> ShmSession::create(const ShmTransport::Dims& dims,
 }
 
 ShmSession::~ShmSession() {
+  // Unregister before tearing anything down so the telemetry sampler can
+  // never observe a half-destroyed session.
+  detail::shm_health_unregister(this);
   kill_all(SIGKILL);
   wait_all(10.0);
 }

@@ -166,7 +166,14 @@ class ShmTransport final : public Transport {
   void beat_wait(ProcId q, DataId object, std::int32_t version, TaskId flag,
                  ProcId map_dest, std::int32_t retry_attempts,
                  bool exhausted) override;
+  void publish_recovery(ProcId q, std::int64_t nacks_sent,
+                        std::int64_t resends) override;
   LightState light(ProcId q) const override;
+
+  /// Live mid-run recovery totals mirrored by publish_recovery (distinct
+  /// from worker_counter, which is valid only after worker_done).
+  std::int64_t live_nacks(ProcId q) const;
+  std::int64_t live_resends(ProcId q) const;
 
   // Worker/coordinator extras --------------------------------------------
   /// Worker at clean end: stores its counter slots and raises done
@@ -241,5 +248,14 @@ class ShmSession {
 /// rapid_shm_worker binary). Returns the worker exit code.
 int shm_worker_run(ShmTransport& transport, const RunPlan& plan,
                    const ObjectInit& init, const TaskBody& body);
+
+namespace detail {
+/// Global registry of live coordinator-side ShmSessions, maintained by
+/// ShmSession's ctor/dtor so the telemetry plane (rt/shm_health.hpp) can
+/// sample per-rank heartbeat/recovery health across every active session
+/// without owning any of them.
+void shm_health_register(ShmSession* session);
+void shm_health_unregister(ShmSession* session);
+}  // namespace detail
 
 }  // namespace rapid::rt

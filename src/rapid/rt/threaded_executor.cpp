@@ -270,6 +270,16 @@ struct ThreadedExecutor::Impl {
 
   void bump_progress() { bell->ring(); }
 
+  /// Mirror the running recovery totals into the transport's control plane
+  /// so an external sampler sees per-rank NACK/resend rates mid-run. Only
+  /// called on recovery paths (already cold); no-op in-proc.
+  void publish_recovery_counters(ProcId q) {
+    tp->publish_recovery(
+        q, nacks_sent.load(std::memory_order_relaxed),
+        resends.load(std::memory_order_relaxed) +
+            flag_resends.load(std::memory_order_relaxed));
+  }
+
   /// Publishes q's light protocol state (and, cross-process, refreshes its
   /// heartbeat lease).
   void set_state(ProcId q, ProcState s) {
@@ -403,7 +413,10 @@ struct ThreadedExecutor::Impl {
       // The one publication-order contract (crc relaxed -> version
       // release max-merge -> seq release), defined once on the Transport.
       tp->publish(dst, p.object, p.version, checksum_on, p.crc, p.attempt);
-      if (p.attempt > 1) resends.fetch_add(1, std::memory_order_relaxed);
+      if (p.attempt > 1) {
+        resends.fetch_add(1, std::memory_order_relaxed);
+        publish_recovery_counters(q);
+      }
       if (tracing) {
         trace->record(q, p.attempt > 1 ? obs::EventKind::kResend
                                        : obs::EventKind::kPutPublish,
@@ -504,6 +517,7 @@ struct ThreadedExecutor::Impl {
       n.flag_task = gate.flag_task;
     }
     nacks_sent.fetch_add(1, std::memory_order_relaxed);
+    publish_recovery_counters(q);
     if (tracing) {
       if (gate.object != graph::kInvalidData) {
         trace->record(q, obs::EventKind::kNack, gate.object, gate.version,
@@ -534,6 +548,7 @@ struct ThreadedExecutor::Impl {
       if (plan.schedule.pos_of_task[n.flag_task] < me.pos) {
         send_flag(q, n.requester, n.flag_task);
         flag_resends.fetch_add(1, std::memory_order_relaxed);
+        publish_recovery_counters(q);
         return true;
       }
       return false;  // not yet complete: normal completion will deliver it
@@ -1604,6 +1619,9 @@ struct ThreadedExecutor::Impl {
     if (tracing) {
       RAPID_CHECK(trace->num_procs() >= plan.num_procs,
                   "the Trace is sized for fewer processors than the plan");
+      // Tag the trace with its owning run before any worker writes a
+      // record, so multi-tenant Chrome traces split per run.
+      if (options.run_id > 0) trace->set_run_id(options.run_id);
       // Baseline heap samples (permanents, plus preallocated volatiles in
       // baseline mode), recorded before the workers exist so the
       // single-writer ring rule holds via the thread-creation edge.
@@ -1834,6 +1852,7 @@ struct ThreadedExecutor::Impl {
     if (tracing) {
       RAPID_CHECK(trace->num_procs() >= plan.num_procs,
                   "the Trace is sized for fewer processors than the plan");
+      if (options.run_id > 0) trace->set_run_id(options.run_id);
       if (trace_dir.empty()) {
         trace_dir = (std::filesystem::temp_directory_path() /
                      cat("rapid-trace-", ::getpid(), "-",

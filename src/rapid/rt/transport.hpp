@@ -200,6 +200,14 @@ class Transport {
     (void)q; (void)object; (void)version; (void)flag; (void)map_dest;
     (void)retry_attempts; (void)exhausted;
   }
+  /// Publishes q's running recovery-traffic totals (NACKs sent, content
+  /// resends) so an external sampler can read per-rank health *during* a
+  /// run. Cross-process transports mirror these into the control segment;
+  /// in-proc runs are observable directly and keep this a no-op.
+  virtual void publish_recovery(ProcId q, std::int64_t nacks_sent,
+                                std::int64_t resends) {
+    (void)q; (void)nacks_sent; (void)resends;
+  }
   virtual LightState light(ProcId q) const = 0;
 };
 

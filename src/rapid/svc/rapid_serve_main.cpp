@@ -28,11 +28,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "rapid/obs/telemetry.hpp"
 #include "rapid/rt/faults.hpp"
+#include "rapid/rt/shm_health.hpp"
 #include "rapid/support/backoff.hpp"
 #include "rapid/support/exit_codes.hpp"
 #include "rapid/support/flags.hpp"
@@ -116,6 +119,13 @@ int main(int argc, char** argv) {
   flags.define("json", "", "write the full service document to this path");
   flags.define("report-dir", "",
                "also write each run's record as <dir>/run_<id>.json");
+  flags.define("metrics-file", "",
+               "write live Prometheus telemetry snapshots to this path "
+               "(plus <path>.json), atomically, while serving; a write "
+               "failure disables the sampler with a warning, never the "
+               "service");
+  flags.define("metrics-interval-ms", "250",
+               "telemetry sampling/write period in milliseconds");
   try {
     flags.parse(argc, argv);
   } catch (const rapid::Error& e) {
@@ -142,6 +152,26 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("cache"));
     svc::RuntimeService service(sopts);
 
+    // Telemetry plane: bind the service's instruments, sample its gauges
+    // and any live shm sessions, and snapshot to --metrics-file until the
+    // service drains. The registry must outlive the service binding, and
+    // the sampler must stop before the service dies — scope order below.
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (!flags.get("metrics-file").empty()) {
+      service.bind_telemetry(registry);
+      obs::TelemetrySamplerOptions topts;
+      topts.path = flags.get("metrics-file");
+      topts.interval_ms =
+          static_cast<int>(flags.get_int("metrics-interval-ms"));
+      sampler = std::make_unique<obs::TelemetrySampler>(registry, topts);
+      sampler->add_probe(
+          [&service](obs::MetricsRegistry&) { service.sample_telemetry(); });
+      sampler->add_probe(
+          [](obs::MetricsRegistry& reg) { rt::sample_shm_health(reg); });
+      sampler->start();
+    }
+
     std::string line;
     std::vector<std::int64_t> ids;
     while (std::getline(*in, line)) {
@@ -162,6 +192,10 @@ int main(int argc, char** argv) {
                    record.to_json().dump());
       }
     }
+
+    // Final snapshot after every run is terminal, so the written counters
+    // reconcile exactly with the summed RunRecords.
+    if (sampler) sampler->stop();
 
     const svc::ServiceReport report = service.report();
     std::fprintf(stderr, "%s", report.to_json().dump().c_str());

@@ -89,6 +89,7 @@ RuntimeService::RuntimeService(ServiceOptions options)
                   options_.queue_limit >= 1,
               "RuntimeService needs a positive budget, >= 1 worker and a "
               "queue limit >= 1");
+  start_ns_ = now_ns();
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (std::int32_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -102,6 +103,92 @@ RuntimeService::~RuntimeService() {
   }
   cv_work_.notify_all();
   for (std::thread& w : workers_) w.join();
+}
+
+void RuntimeService::bind_telemetry(obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(m_);
+  Telemetry t;
+  t.registry = &registry;
+  t.submitted = &registry.counter("rapid_runs_submitted_total",
+                                  "Runs submitted to the service");
+  t.completed = &registry.counter(
+      "rapid_runs_completed_total", "Runs that executed to completion");
+  t.failed = &registry.counter("rapid_runs_failed_total",
+                               "Runs that exhausted their restart attempts");
+  t.rejected = &registry.counter("rapid_runs_rejected_total",
+                                 "Runs refused at admission");
+  t.shed = &registry.counter(
+      "rapid_runs_shed_total", "Runs dropped by the bounded-queue overload "
+                               "policy");
+  t.expired = &registry.counter(
+      "rapid_runs_expired_total",
+      "Runs whose deadline lapsed (queued or cancelled mid-run)");
+  t.cache_hits = &registry.counter("rapid_plan_cache_hits_total",
+                                   "Plan-cache hits");
+  t.cache_misses = &registry.counter("rapid_plan_cache_misses_total",
+                                     "Plan-cache misses (plan built)");
+  t.recovery_nacks = &registry.counter(
+      "rapid_recovery_nacks_total",
+      "NACK re-requests across all finished runs");
+  t.recovery_resends = &registry.counter(
+      "rapid_recovery_resends_total",
+      "Content + flag resends across all finished runs");
+  t.recovery_task_retries = &registry.counter(
+      "rapid_recovery_task_retries_total",
+      "Task-level retries across all finished runs");
+  t.recovery_run_attempts = &registry.counter(
+      "rapid_recovery_run_attempts_total",
+      "Run attempts (1 per run + restarts) across all finished runs");
+  t.latency_us = &registry.histogram(
+      "rapid_run_latency_us",
+      "Admission-to-terminal latency of dispatched runs (microseconds)");
+  t.wait_us = &registry.histogram(
+      "rapid_run_wait_us",
+      "Submit-to-dispatch queue wait of dispatched runs (microseconds)");
+  t.task_us = &registry.histogram(
+      "rapid_task_us",
+      "Task durations merged from traced runs (microseconds)");
+  t.put_bytes = &registry.histogram(
+      "rapid_put_bytes", "Content put sizes merged from traced runs");
+  t.queue_depth =
+      &registry.gauge("rapid_queue_depth", "Admission queue occupancy");
+  t.in_flight =
+      &registry.gauge("rapid_runs_in_flight", "Runs currently executing");
+  t.reserved_bytes = &registry.gauge(
+      "rapid_reserved_bytes",
+      "Capacity bytes currently reserved by admitted runs");
+  t.budget_bytes =
+      &registry.gauge("rapid_budget_bytes", "Global capacity budget");
+  t.peak_reserved_bytes = &registry.gauge(
+      "rapid_peak_reserved_bytes",
+      "High-water mark of concurrently reserved bytes");
+  t.peak_queue_depth = &registry.gauge("rapid_peak_queue_depth",
+                                       "High-water admission queue depth");
+  t.workers = &registry.gauge("rapid_workers", "Worker pool size");
+  t.uptime_seconds =
+      &registry.gauge("rapid_uptime_seconds", "Service uptime");
+  t.bound = true;
+  tel_ = t;
+  tel_.budget_bytes->set(static_cast<double>(options_.budget_bytes));
+  tel_.workers->set(static_cast<double>(options_.workers));
+}
+
+void RuntimeService::sample_telemetry() {
+  if (!tel_.bound) return;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    tel_.queue_depth->set(static_cast<double>(queue_.size()));
+    tel_.in_flight->set(static_cast<double>(running_));
+    tel_.reserved_bytes->set(static_cast<double>(reserved_bytes_));
+    tel_.peak_reserved_bytes->set(
+        static_cast<double>(peak_reserved_bytes_));
+    tel_.peak_queue_depth->set(static_cast<double>(peak_queue_depth_));
+  }
+  // The cache keeps its own monotone totals; ratchet, don't add.
+  tel_.cache_hits->advance_to(cache_.hits());
+  tel_.cache_misses->advance_to(cache_.misses());
+  tel_.uptime_seconds->set(static_cast<double>(now_ns() - start_ns_) *
+                           1e-9);
 }
 
 RunRecord& RuntimeService::record_of(std::int64_t run_id) {
@@ -135,6 +222,7 @@ std::int64_t RuntimeService::submit(RunRequest request) {
   RunRecord& record = *rec;
   records_[id] = std::move(rec);
   submit_order_.push_back(id);
+  if (tel_.bound) tel_.submitted->add(1);
 
   const auto reject = [&](std::string reason, std::int64_t shortfall) {
     record.state = RunState::kRejected;
@@ -143,6 +231,7 @@ std::int64_t RuntimeService::submit(RunRequest request) {
     record.admission.queue_depth = static_cast<std::int32_t>(queue_.size());
     record.admission.reason = record.reason = std::move(reason);
     ++rejected_;
+    if (tel_.bound) tel_.rejected->add(1);
     cv_done_.notify_all();
   };
 
@@ -201,6 +290,7 @@ std::int64_t RuntimeService::submit(RunRequest request) {
         cat("admission queue full (limit ", options_.queue_limit,
             "); shed as the earliest-deadline entry");
     ++shed_;
+    if (tel_.bound) tel_.shed->add(1);
     RAPID_WARN("service: shed run " << shed_id << " (" << shed_rec.spec
                                     << ") under overload");
     if (victim != queue_.size()) {
@@ -238,6 +328,7 @@ void RuntimeService::sweep_expired_locked() {
                         " us lapsed while queued (waited ", record.wait_us,
                         " us)");
     ++expired_;
+    if (tel_.bound) tel_.expired->add(1);
     it = queue_.erase(it);
     cv_done_.notify_all();
   }
@@ -284,24 +375,33 @@ void RuntimeService::worker_loop() {
                 "admission invariant violated: reservations exceed budget");
     record.state = RunState::kRunning;
     record.wait_us = (now_ns() - pending.submit_ns) / 1000;
+    ++running_;
     lock.unlock();
 
     execute(record, std::move(pending));
 
     lock.lock();
     reserved_bytes_ -= need;
+    --running_;
     switch (record.state) {
       case RunState::kCompleted:
         ++completed_;
+        if (tel_.bound) tel_.completed->add(1);
         break;
       case RunState::kFailed:
         ++failed_;
+        if (tel_.bound) tel_.failed->add(1);
         break;
       case RunState::kExpired:
         ++expired_;
+        if (tel_.bound) tel_.expired->add(1);
         break;
       default:
         RAPID_FAIL("execute() left a non-terminal state");
+    }
+    if (tel_.bound) {
+      tel_.wait_us->observe(record.wait_us);
+      tel_.latency_us->observe(record.wait_us + record.exec_us);
     }
     cv_work_.notify_all();
     cv_done_.notify_all();
@@ -381,6 +481,22 @@ void RuntimeService::execute(RunRecord& record, Pending pending) {
     // Completed or not, drop the executor now: records outlive runs, and a
     // parked arena would silently outlast its budget reservation.
     outcome.executor.reset();
+    if (tel_.bound) {
+      // Fold the finished run's RunReport into the live plane: recovery
+      // totals as counter deltas (each run's totals are final here, so a
+      // snapshot's counters equal the summed per-run reports), and the
+      // traced distributions bucket-exactly via the shared bucket rule.
+      const rt::RecoveryCounters& rc = outcome.report.recovery;
+      tel_.recovery_nacks->add(rc.nacks_sent);
+      tel_.recovery_resends->add(rc.resends + rc.flag_resends);
+      tel_.recovery_task_retries->add(rc.task_retries);
+      tel_.recovery_run_attempts->add(
+          std::max<std::int64_t>(rc.run_attempts, 1));
+      if (outcome.report.metrics) {
+        tel_.task_us->merge(outcome.report.metrics->task_us);
+        tel_.put_bytes->merge(outcome.report.metrics->put_bytes);
+      }
+    }
   } catch (const Error& e) {
     // Infrastructure failure the recovery layer could not structure (e.g. a
     // RAPID_CHECK tripping). Contained to this run.

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rapid/obs/telemetry.hpp"
 #include "rapid/rt/recovery.hpp"
 #include "rapid/svc/admission.hpp"
 #include "rapid/svc/plan_cache.hpp"
@@ -164,6 +165,21 @@ class RuntimeService {
   ServiceReport report() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Registers the service's metric families in `registry` and turns on
+  /// inline instrumentation: every state transition that bumps an internal
+  /// counter also bumps the matching registry counter, so snapshots
+  /// reconcile exactly with report() and with the summed per-run
+  /// RunReports (submitted = completed + failed + rejected + shed +
+  /// expired once the queue drains). Call once, before traffic; the
+  /// registry must outlive the service.
+  void bind_telemetry(obs::MetricsRegistry& registry);
+
+  /// Refreshes the instantaneous gauges (queue depth, runs in flight,
+  /// reservations vs budget, uptime) and ratchets the plan-cache
+  /// counters. The TelemetrySampler probe target; safe from any thread;
+  /// no-op when bind_telemetry was never called.
+  void sample_telemetry();
+
  private:
   struct Pending {
     std::int64_t run_id = -1;
@@ -183,8 +199,41 @@ class RuntimeService {
   void execute(RunRecord& record, Pending pending);
   RunRecord& record_of(std::int64_t run_id);
 
+  /// Registry instruments, resolved once at bind_telemetry(). All null
+  /// until bound; hot-path sites guard on `bound`.
+  struct Telemetry {
+    bool bound = false;
+    obs::MetricsRegistry* registry = nullptr;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* recovery_nacks = nullptr;
+    obs::Counter* recovery_resends = nullptr;
+    obs::Counter* recovery_task_retries = nullptr;
+    obs::Counter* recovery_run_attempts = nullptr;
+    obs::AtomicHistogram* latency_us = nullptr;
+    obs::AtomicHistogram* wait_us = nullptr;
+    obs::AtomicHistogram* task_us = nullptr;
+    obs::AtomicHistogram* put_bytes = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* in_flight = nullptr;
+    obs::Gauge* reserved_bytes = nullptr;
+    obs::Gauge* budget_bytes = nullptr;
+    obs::Gauge* peak_reserved_bytes = nullptr;
+    obs::Gauge* peak_queue_depth = nullptr;
+    obs::Gauge* workers = nullptr;
+    obs::Gauge* uptime_seconds = nullptr;
+  };
+
   const ServiceOptions options_;
   PlanCache cache_;
+  Telemetry tel_;
+  std::int64_t start_ns_ = 0;
 
   mutable std::mutex m_;
   std::condition_variable cv_work_;  // queue/budget changed
@@ -196,6 +245,7 @@ class RuntimeService {
   std::int64_t reserved_bytes_ = 0;
   std::int64_t peak_reserved_bytes_ = 0;
   std::int32_t peak_queue_depth_ = 0;
+  std::int32_t running_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t failed_ = 0;
   std::int64_t rejected_ = 0;

@@ -50,8 +50,9 @@ int run(const std::string& cmd) {
 
 const std::vector<std::string> kAllClis = {
     "src/rapid/verify/rapid_check", "src/rapid/verify/rapid_verify",
-    "src/rapid/obs/rapid_trace",    "src/rapid/svc/rapid_serve",
-    "bench/bench_executor",         "bench/bench_service",
+    "src/rapid/obs/rapid_trace",    "src/rapid/obs/rapid_top",
+    "src/rapid/svc/rapid_serve",    "bench/bench_executor",
+    "bench/bench_service",
 };
 
 TEST(CliExitCodes, HelpExitsOkOnEveryBinary) {
@@ -98,6 +99,54 @@ TEST(CliExitCodes, ServeDistinguishesFindingsFromInfraError) {
   // An unreadable runs file means the service never saw the work.
   EXPECT_EQ(run(bin + " --runs=" + dir + "/serve_missing.runs"),
             kExitInfraError);
+}
+
+TEST(CliExitCodes, ServeMetricsWriteFailureDegradesNotDies) {
+  const std::string bin = binary("src/rapid/svc/rapid_serve");
+  if (bin.empty()) GTEST_SKIP() << "rapid_serve not built";
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/serve_metrics_good.runs";
+  std::ofstream(good) << "grid:rows=6,cols=6,procs=4\n";
+
+  // An unwritable metrics path disables the sampler with a warning; the
+  // service itself still runs every workload and exits by the normal
+  // contract — telemetry loss must never take the service down.
+  EXPECT_EQ(run(bin + " --runs=" + good +
+                " --metrics-file=/nonexistent_rapid_dir/metrics.prom"),
+            kExitOk);
+
+  // And a writable one produces the snapshot pair alongside the same exit.
+  const std::string prom = dir + "/serve_metrics.prom";
+  EXPECT_EQ(run(bin + " --runs=" + good + " --metrics-file=" + prom),
+            kExitOk);
+  EXPECT_TRUE(std::ifstream(prom).good());
+  EXPECT_TRUE(std::ifstream(prom + ".json").good());
+}
+
+TEST(CliExitCodes, TopDistinguishesFindingsFromInfraError) {
+  const std::string top = binary("src/rapid/obs/rapid_top");
+  const std::string serve = binary("src/rapid/svc/rapid_serve");
+  if (top.empty()) GTEST_SKIP() << "rapid_top not built";
+  const std::string dir = ::testing::TempDir();
+
+  // Missing --file / unreadable snapshot: the tool never rendered.
+  EXPECT_EQ(run(top), kExitInfraError);
+  EXPECT_EQ(run(top + " --file=" + dir + "/top_missing.prom --frames=1"),
+            kExitInfraError);
+
+  // A file that is not exposition text is a finding about the snapshot.
+  const std::string bad = dir + "/top_bad.prom";
+  std::ofstream(bad) << "this is { not prometheus\n";
+  EXPECT_EQ(run(top + " --file=" + bad + " --frames=1"), kExitFindings);
+
+  // A real snapshot from rapid_serve renders clean.
+  if (serve.empty()) return;
+  const std::string runs = dir + "/top_runs.runs";
+  std::ofstream(runs) << "grid:rows=6,cols=6,procs=4\n";
+  const std::string prom = dir + "/top_live.prom";
+  ASSERT_EQ(run(serve + " --runs=" + runs + " --metrics-file=" + prom),
+            kExitOk);
+  EXPECT_EQ(run(top + " --file=" + prom + " --frames=1"), kExitOk);
 }
 
 }  // namespace

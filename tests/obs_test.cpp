@@ -296,6 +296,83 @@ TEST(ObsThreaded, ChromeTraceExportIsStructurallySound) {
   EXPECT_NE(bare.find("obj"), std::string::npos);
 }
 
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// PR 7's put batcher publishes several objects back-to-back inside one
+/// coalesced RMA put; each published object must keep its own flow arrow —
+/// merging them (or letting a later publication overwrite an earlier one
+/// under the same key) loses dataflow edges in the viewer.
+TEST(ChromeTraceFlows, BatchedPutsKeepOneArrowPerObject) {
+  Trace trace(2, small_ring(64));
+  // Proc 1 publishes objects 3 and 4 to reader 0 back-to-back (one staged
+  // batch), then proc 0 consumes both. The consumer has the LOWER proc
+  // index, so a single forward scan that matches while collecting would
+  // see the consumes before the publishes — the two-pass regression.
+  trace.record_at(1, 10, EventKind::kPutPublish, /*obj=*/3, /*ver=*/1,
+                  /*dest=*/0, /*bytes=*/64, /*seq=*/1);
+  trace.record_at(1, 11, EventKind::kPutPublish, /*obj=*/4, /*ver=*/1,
+                  /*dest=*/0, /*bytes=*/64, /*seq=*/1);
+  trace.record_at(0, 20, EventKind::kConsume, /*obj=*/3, /*ver=*/1,
+                  /*owner=*/1, /*bytes=*/0, /*seq=*/1);
+  trace.record_at(0, 21, EventKind::kConsume, /*obj=*/4, /*ver=*/1,
+                  /*owner=*/1, /*bytes=*/0, /*seq=*/1);
+  const std::string json = chrome_trace(trace).dump();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"s\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"f\""), 2u) << json;
+  // Distinct flow ids, each appearing exactly twice (its s and its f).
+  EXPECT_EQ(count_occurrences(json, "\"id\": 1"), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"id\": 2"), 2u) << json;
+}
+
+/// A republication of the same (object, reader) pair must not overwrite
+/// the earlier publish's arrow: both consumptions resolve FIFO against
+/// their own publication via the put-sequence stamp.
+TEST(ChromeTraceFlows, RepublishKeepsEarlierArrowDistinct) {
+  Trace trace(2, small_ring(64));
+  trace.record_at(1, 10, EventKind::kPutPublish, 3, 1, 0, 64, /*seq=*/1);
+  trace.record_at(1, 30, EventKind::kPutPublish, 3, 2, 0, 64, /*seq=*/2);
+  trace.record_at(0, 20, EventKind::kConsume, 3, 1, 1, 0, /*seq=*/1);
+  trace.record_at(0, 40, EventKind::kConsume, 3, 2, 1, 0, /*seq=*/2);
+  const std::string json = chrome_trace(trace).dump();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"s\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"f\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"id\": 1"), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"id\": 2"), 2u) << json;
+}
+
+/// Unstamped records (seq 0, e.g. simulator traces) fall back to the
+/// (object, version, reader) plane and still pair up.
+TEST(ChromeTraceFlows, VersionFallbackPairsUnstampedRecords) {
+  Trace trace(2, small_ring(64));
+  trace.record_at(1, 10, EventKind::kPutPublish, 3, 1, 0, 64, /*seq=*/0);
+  trace.record_at(0, 20, EventKind::kConsume, 3, 1, 1, 0, /*seq=*/0);
+  const std::string json = chrome_trace(trace).dump();
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"s\""), 1u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"f\""), 1u) << json;
+}
+
+/// Run-id tagging: the executor stamps the trace before workers start and
+/// the exporter uses it as the Chrome pid so merged multi-tenant
+/// documents split per run.
+TEST(ChromeTraceFlows, RunIdBecomesProcessGroup) {
+  Trace trace(1, small_ring(64));
+  trace.set_run_id(42);
+  trace.record_at(0, 1, EventKind::kStateEnter, 0);
+  trace.record_at(0, 5, EventKind::kStateEnter, 1);
+  const std::string json = chrome_trace(trace).dump();
+  EXPECT_NE(json.find("\"pid\": 42"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"pid\": 0,"), std::string::npos) << json;
+  EXPECT_NE(json.find("rapid run 42"), std::string::npos) << json;
+}
+
 TEST(ObsSim, SimulatorEmitsSameVocabularyInModeledTime) {
   const int procs = 4;
   CounterApp app(procs);
